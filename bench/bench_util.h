@@ -1,0 +1,108 @@
+// Shared scaffolding for the figure-reproduction harnesses: cluster +
+// per-client engine assembly on a named testbed, table formatting, and an
+// environment scale knob.
+//
+// Benchmarks run "size-only": payloads alias shared zero buffers and the
+// codec cost model charges simulated compute time (DESIGN.md §5). All
+// numbers printed are simulated-time figures; shapes and ratios — not
+// absolute microseconds — are the reproduction target (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/testbeds.h"
+#include "ec/rs_vandermonde.h"
+#include "resilience/factory.h"
+
+namespace hpres::bench {
+
+/// HPRES_BENCH_SCALE scales op counts (default 1.0; raise for more
+/// statistical weight, lower for smoke runs).
+inline double bench_scale() {
+  const char* env = std::getenv("HPRES_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::uint64_t scaled(std::uint64_t ops) {
+  const double v = static_cast<double>(ops) * bench_scale();
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+/// A cluster plus one resilience engine per client, all sharing one codec
+/// and cost model. Rebuilt per experiment point for isolation.
+class Testbench {
+ public:
+  Testbench(const cluster::Testbed& bed, std::size_t servers,
+            std::size_t clients, resilience::Design design, std::size_t k = 3,
+            std::size_t m = 2, std::uint32_t rep_factor = 3,
+            resilience::ArpeParams arpe = {})
+      : codec_(k, m),
+        cost_(ec::CostModel::defaults(ec::Scheme::kRsVandermonde, k, m,
+                                      bed.cpu_factor)),
+        cluster_(cluster::make_config(bed, servers, clients)) {
+    cluster_.enable_server_ec(codec_, cost_, /*materialize=*/false);
+    engines_.reserve(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+      resilience::EngineContext ctx;
+      ctx.sim = &cluster_.sim();
+      ctx.client = &cluster_.client(i);
+      ctx.ring = &cluster_.ring();
+      ctx.membership = &cluster_.membership();
+      ctx.server_nodes = &cluster_.server_nodes();
+      ctx.materialize = false;
+      engines_.push_back(resilience::make_engine(design, ctx, rep_factor,
+                                                 &codec_, cost_, arpe));
+    }
+    cluster_.start();
+  }
+
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return cluster_.sim(); }
+  [[nodiscard]] resilience::Engine& engine(std::size_t i = 0) {
+    return *engines_.at(i);
+  }
+  [[nodiscard]] std::size_t num_engines() const noexcept {
+    return engines_.size();
+  }
+
+ private:
+  ec::RsVandermondeCodec codec_;
+  ec::CostModel cost_;
+  cluster::Cluster cluster_;
+  std::vector<std::unique_ptr<resilience::Engine>> engines_;
+};
+
+// --- Table printing -----------------------------------------------------------
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) std::printf("%14s", "----");
+  std::printf("\n");
+}
+
+inline void print_cell(const std::string& s) {
+  std::printf("%14s", s.c_str());
+}
+inline void print_cell(double v) { std::printf("%14.1f", v); }
+inline void end_row() { std::printf("\n"); }
+
+inline std::string size_label(std::size_t bytes) {
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    return std::to_string(bytes / (1024 * 1024)) + "M";
+  }
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    return std::to_string(bytes / 1024) + "K";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+}  // namespace hpres::bench

@@ -1,0 +1,76 @@
+// FIG9 — Client-side time-wise breakdown for Set/Get (paper Fig 9).
+//
+// For value sizes 64 KB - 1 MB, splits each design's client-observed
+// latency into Request (issue), Encode/Decode (compute) and Wait-Response
+// phases. Set on a healthy cluster (Fig 9a); Get under two node failures
+// (Fig 9b), where the wait time dominates due to the skewed survivor load.
+//
+// Expected shape (paper): for Sets, the request phase dominates small
+// values and T_encode grows dominant (and overlapped) at large values for
+// CE designs; SE designs show only request/wait at the client. For Gets
+// under failures, wait dominates; only CD designs show client decode time.
+#include "bench_util.h"
+#include "workload/ohb.h"
+
+namespace {
+
+using namespace hpres;         // NOLINT(google-build-using-namespace)
+using namespace hpres::bench;  // NOLINT(google-build-using-namespace)
+
+constexpr std::size_t kSizes[] = {64 * 1024, 256 * 1024, 1024 * 1024};
+constexpr resilience::Design kDesigns[] = {resilience::Design::kAsyncRep,
+                                           resilience::Design::kEraCeCd,
+                                           resilience::Design::kEraSeSd,
+                                           resilience::Design::kEraSeCd};
+
+sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
+                          cluster::Cluster* cluster, workload::OhbConfig cfg,
+                          bool get_with_failures, workload::OhbResult* result) {
+  workload::OhbResult ignore;
+  co_await workload::ohb_set_workload(sim, engine, cfg, &ignore);
+  if (!get_with_failures) {
+    workload::OhbConfig cfg2 = cfg;
+    cfg2.seed = cfg.seed + 1;
+    co_await workload::ohb_set_workload(sim, engine, cfg2, result);
+  } else {
+    cluster->fail_server(0);
+    cluster->fail_server(1);
+    co_await workload::ohb_get_workload(sim, engine, cfg, result);
+  }
+}
+
+void run_table(const char* title, bool get_with_failures) {
+  print_header(title, {"design", "value", "request_us", "compute_us",
+                       "wait_us", "total_us"});
+  for (const auto design : kDesigns) {
+    for (const std::size_t size : kSizes) {
+      Testbench bench(cluster::ri_qdr(), 5, 1, design);
+      workload::OhbConfig cfg;
+      cfg.operations = scaled(500);
+      cfg.value_size = size;
+      workload::OhbResult result;
+      bench.sim().spawn(run_point(&bench.sim(), &bench.engine(),
+                                  &bench.cluster(), cfg, get_with_failures,
+                                  &result));
+      bench.sim().run();
+      const auto ops = static_cast<double>(result.operations);
+      print_cell(std::string(to_string(design)));
+      print_cell(size_label(size));
+      print_cell(units::to_us(result.phases.request_ns) / ops);
+      print_cell(units::to_us(result.phases.compute_ns) / ops);
+      print_cell(units::to_us(result.phases.wait_ns) / ops);
+      print_cell(units::to_us(result.phases.total()) / ops);
+      end_row();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG9 (paper Fig 9) — client-side phase breakdown per op,"
+              " RI-QDR, 5 servers\n");
+  run_table("Fig 9(a): Set phases, healthy cluster", false);
+  run_table("Fig 9(b): Get phases, two node failures", true);
+  return 0;
+}

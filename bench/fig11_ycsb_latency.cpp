@@ -1,0 +1,60 @@
+// FIG11 — YCSB average read/write latencies (paper Fig 11).
+//
+//   (a) SDSC-Comet (FDR): YCSB-A (50:50) and YCSB-B (95:5), 150 clients,
+//       value sizes 1 KB - 32 KB.
+//   (b) RI2-EDR (EDR): same at the large-value end.
+//
+// Designs: Async-Rep=3 vs Era-CE-CD vs Era-SE-CD (the two finalists of the
+// micro-benchmarks) with RS(3,2).
+//
+// Expected shape (paper): Era-CE-CD up to 2.3x (Comet) / 2.6x (EDR) better
+// average latency than Async-Rep for >16 KB values; similar below.
+#include "ycsb_runner.h"
+
+namespace {
+
+using namespace hpres;         // NOLINT(google-build-using-namespace)
+using namespace hpres::bench;  // NOLINT(google-build-using-namespace)
+
+constexpr resilience::Design kDesigns[] = {resilience::Design::kAsyncRep,
+                                           resilience::Design::kEraCeCd,
+                                           resilience::Design::kEraSeCd};
+
+void run_cluster(const cluster::Testbed& bed,
+                 std::initializer_list<std::size_t> sizes) {
+  for (const double read_fraction : {0.5, 0.95}) {
+    std::string title = std::string(bed.name) + " — YCSB-" +
+                        (read_fraction == 0.5 ? "A (50:50)" : "B (95:5)") +
+                        " avg latency (us)";
+    std::vector<std::string> cols{"value"};
+    for (const auto d : kDesigns) {
+      cols.push_back(std::string(to_string(d)) + ":rd");
+      cols.push_back(std::string(to_string(d)) + ":wr");
+    }
+    print_header(title, cols);
+    for (const std::size_t size : sizes) {
+      print_cell(size_label(size));
+      for (const auto design : kDesigns) {
+        workload::YcsbConfig cfg;
+        cfg.read_fraction = read_fraction;
+        cfg.record_count = scaled(4'000);
+        cfg.ops_per_client = scaled(60);
+        cfg.value_size = size;
+        const YcsbRun run = run_ycsb(bed, design, cfg);
+        print_cell(run.avg_read_us());
+        print_cell(run.avg_write_us());
+      }
+      end_row();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG11 (paper Fig 11) — YCSB read/write latency, 150 clients,"
+              " 5 servers, RS(3,2) / Rep=3\n");
+  run_cluster(cluster::sdsc_comet(), {1024, 4096, 16 * 1024, 32 * 1024});
+  run_cluster(cluster::ri2_edr(), {16 * 1024, 32 * 1024});
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared YCSB multi-client runner for the FIG11/FIG12 harnesses: builds a
+// testbed cluster with one engine per client, preloads the record set, runs
+// every client's op stream concurrently, and merges the results.
+//
+// Scale note: the paper preloads 250K records and runs 2.5K ops on each of
+// 150 clients. The simulated runs keep the 150-client concurrency (that is
+// what stresses the servers) but scale record/op counts down by default;
+// set HPRES_BENCH_SCALE to grow them.
+#pragma once
+
+#include "bench_util.h"
+#include "workload/ycsb.h"
+
+namespace hpres::bench {
+
+struct YcsbRun {
+  workload::YcsbResult merged;  ///< all clients
+  SimDur makespan_ns = 0;       ///< first op to last completion
+
+  [[nodiscard]] double throughput_ops_s() const {
+    return merged.throughput_ops_per_s(makespan_ns);
+  }
+  [[nodiscard]] double avg_read_us() const {
+    return units::to_us(
+        static_cast<SimDur>(merged.read_latency.mean()));
+  }
+  [[nodiscard]] double avg_write_us() const {
+    return units::to_us(
+        static_cast<SimDur>(merged.write_latency.mean()));
+  }
+};
+
+namespace detail {
+
+inline sim::Task<void> client_proc(sim::Simulator* sim,
+                                   resilience::Engine* engine,
+                                   workload::YcsbConfig cfg,
+                                   std::uint64_t seed,
+                                   workload::YcsbResult* result,
+                                   sim::Latch* done) {
+  co_await workload::ycsb_client(sim, engine, cfg, seed, result);
+  done->count_down();
+}
+
+inline sim::Task<void> loader_proc(sim::Simulator* sim,
+                                   resilience::Engine* engine,
+                                   workload::YcsbConfig cfg,
+                                   std::uint64_t first, std::uint64_t last,
+                                   sim::Latch* done) {
+  co_await workload::ycsb_load(sim, engine, cfg, first, last);
+  done->count_down();
+}
+
+}  // namespace detail
+
+inline YcsbRun run_ycsb(const cluster::Testbed& bed,
+                        resilience::Design design,
+                        workload::YcsbConfig cfg, std::size_t servers = 5,
+                        std::size_t clients = 150,
+                        std::uint32_t rep_factor = 3) {
+  Testbench bench(bed, servers, clients, design, 3, 2, rep_factor);
+
+  // Preload, partitioned over a handful of loader clients.
+  const std::size_t loaders = std::min<std::size_t>(8, clients);
+  {
+    sim::Latch done(bench.sim(), static_cast<std::uint32_t>(loaders));
+    const std::uint64_t stride =
+        (cfg.record_count + loaders - 1) / loaders;
+    for (std::size_t l = 0; l < loaders; ++l) {
+      const std::uint64_t first = static_cast<std::uint64_t>(l) * stride;
+      const std::uint64_t last = std::min<std::uint64_t>(
+          first + stride, cfg.record_count);
+      if (first >= last) {
+        done.count_down();
+        continue;
+      }
+      bench.sim().spawn(detail::loader_proc(&bench.sim(), &bench.engine(l),
+                                            cfg, first, last, &done));
+    }
+    bench.sim().run();
+  }
+
+  // Measured phase: every client runs its stream concurrently.
+  YcsbRun run;
+  std::vector<workload::YcsbResult> results(clients);
+  const SimTime start = bench.sim().now();
+  {
+    sim::Latch done(bench.sim(), static_cast<std::uint32_t>(clients));
+    for (std::size_t c = 0; c < clients; ++c) {
+      bench.sim().spawn(detail::client_proc(&bench.sim(), &bench.engine(c),
+                                            cfg, cfg.seed + 1000 + c,
+                                            &results[c], &done));
+    }
+    bench.sim().run();
+  }
+  run.makespan_ns = bench.sim().now() - start;
+  for (const auto& r : results) run.merged.merge(r);
+  return run;
+}
+
+/// Testbed variant that swaps the fabric for IPoIB (the Memc-IPoIB
+/// baseline: kernel TCP over the same wires).
+inline cluster::Testbed with_ipoib(cluster::Testbed bed) {
+  bed.fabric = net::FabricParams::ipoib_qdr();
+  return bed;
+}
+
+}  // namespace hpres::bench

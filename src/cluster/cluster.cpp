@@ -1,0 +1,78 @@
+#include "cluster/cluster.h"
+
+#include <cassert>
+
+namespace hpres::cluster {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      fabric_(sim_, config.fabric, config.num_servers + config.num_clients),
+      ring_(config.num_servers, config.ring_vnodes, config.ring_seed),
+      membership_(config.num_servers, config.membership_check_ns) {
+  servers_.reserve(config.num_servers);
+  server_nodes_.reserve(config.num_servers);
+  for (std::size_t i = 0; i < config.num_servers; ++i) {
+    const auto node = static_cast<net::NodeId>(i);
+    server_nodes_.push_back(node);
+    servers_.push_back(
+        std::make_unique<kv::Server>(sim_, fabric_, node, config.server));
+  }
+  clients_.reserve(config.num_clients);
+  for (std::size_t i = 0; i < config.num_clients; ++i) {
+    const auto node = static_cast<net::NodeId>(config.num_servers + i);
+    clients_.push_back(
+        std::make_unique<kv::Client>(sim_, fabric_, node, config.client));
+  }
+}
+
+void Cluster::enable_server_ec(const ec::Codec& codec, ec::CostModel cost,
+                               bool materialize) {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    kv::ServerEcContext ctx;
+    ctx.codec = &codec;
+    ctx.cost = cost;
+    ctx.ring = &ring_;
+    ctx.membership = &membership_;
+    ctx.server_nodes = &server_nodes_;
+    ctx.my_index = i;
+    ctx.materialize = materialize;
+    servers_[i]->enable_ec(std::move(ctx));
+  }
+}
+
+void Cluster::fail_server(std::size_t index) {
+  servers_.at(index)->fail();
+  membership_.set_up(index, false);
+}
+
+void Cluster::recover_server(std::size_t index) {
+  servers_.at(index)->recover();
+  membership_.set_up(index, true);
+}
+
+void Cluster::start() {
+  assert(!started_ && "Cluster::start called twice");
+  started_ = true;
+  for (const auto& s : servers_) s->start();
+  for (const auto& c : clients_) c->start();
+}
+
+std::uint64_t Cluster::total_bytes_used() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->store().bytes_used();
+  return total;
+}
+
+std::uint64_t Cluster::total_evicted_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->store().stats().evicted_bytes;
+  return total;
+}
+
+std::uint64_t Cluster::total_capacity() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->store().capacity();
+  return total;
+}
+
+}  // namespace hpres::cluster

@@ -1,0 +1,94 @@
+// Cluster harness: assembles the simulator, fabric, servers, clients, hash
+// ring and membership into one object, with controlled failure injection.
+// Node ids: servers occupy 0..S-1, clients S..S+C-1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ec/codec.h"
+#include "ec/cost_model.h"
+#include "kv/client.h"
+#include "kv/hash_ring.h"
+#include "kv/membership.h"
+#include "kv/server.h"
+
+namespace hpres::cluster {
+
+struct ClusterConfig {
+  std::size_t num_servers = 5;
+  std::size_t num_clients = 1;
+  net::FabricParams fabric = net::FabricParams::rdma_qdr();
+  kv::ServerParams server;
+  kv::ClientParams client;
+  SimDur membership_check_ns = 1'500;
+  std::size_t ring_vnodes = 128;
+  std::uint64_t ring_seed = 0x5eed;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] kv::KvFabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const kv::HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] kv::Membership& membership() noexcept { return membership_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] std::size_t num_clients() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] kv::Server& server(std::size_t index) {
+    return *servers_.at(index);
+  }
+  [[nodiscard]] kv::Client& client(std::size_t index) {
+    return *clients_.at(index);
+  }
+
+  /// NodeId of each server, indexed by server-list position.
+  [[nodiscard]] const std::vector<net::NodeId>& server_nodes() const noexcept {
+    return server_nodes_;
+  }
+
+  /// Turns on server-side erasure offloads (kSetEncode/kGetDecode) on every
+  /// server. The codec must outlive the cluster.
+  void enable_server_ec(const ec::Codec& codec, ec::CostModel cost,
+                        bool materialize);
+
+  /// Controlled failure: server stops serving, fabric drops its traffic,
+  /// membership broadcasts the death. Only between operations (DESIGN.md).
+  void fail_server(std::size_t index);
+  void recover_server(std::size_t index);
+
+  /// Starts every node's dispatch loop. Call once, before running.
+  void start();
+
+  /// Runs the simulation to quiescence; returns final simulated time.
+  SimTime run() { return sim_.run(); }
+
+  /// Sum of bytes_used across all server stores (memory-efficiency metric).
+  [[nodiscard]] std::uint64_t total_bytes_used() const;
+  /// Sum of evicted (lost) bytes across all server stores.
+  [[nodiscard]] std::uint64_t total_evicted_bytes() const;
+  /// Sum of configured capacities.
+  [[nodiscard]] std::uint64_t total_capacity() const;
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  kv::KvFabric fabric_;
+  kv::HashRing ring_;
+  kv::Membership membership_;
+  std::vector<net::NodeId> server_nodes_;
+  std::vector<std::unique_ptr<kv::Server>> servers_;
+  std::vector<std::unique_ptr<kv::Client>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace hpres::cluster

@@ -1,0 +1,58 @@
+#include "cluster/testbeds.h"
+
+namespace hpres::cluster {
+
+namespace {
+
+kv::ServerParams server_with(std::uint32_t workers, std::uint64_t memory) {
+  kv::ServerParams p;
+  p.workers = workers;
+  p.memory_bytes = memory;
+  return p;
+}
+
+}  // namespace
+
+Testbed ri_qdr() {
+  // 2.53 GHz Westmere: the calibration reference (factor 1.0). Storage
+  // nodes run with 20 GB Memcached and 8 workers (Section VI-B).
+  return Testbed{.name = "RI-QDR",
+                 .fabric = net::FabricParams::rdma_qdr(),
+                 .cpu_factor = 1.0,
+                 .server = server_with(8, 20ULL * units::kGiB)};
+}
+
+Testbed ri_qdr_ipoib() {
+  Testbed bed = ri_qdr();
+  bed.name = "RI-QDR-IPoIB";
+  bed.fabric = net::FabricParams::ipoib_qdr();
+  return bed;
+}
+
+Testbed sdsc_comet() {
+  // Dual 12-core Haswell, FDR; YCSB experiments use 64 GB per server.
+  return Testbed{.name = "SDSC-Comet",
+                 .fabric = net::FabricParams::rdma_fdr(),
+                 .cpu_factor = 1.8,
+                 .server = server_with(12, 64ULL * units::kGiB)};
+}
+
+Testbed ri2_edr() {
+  // Dual 14-core Broadwell, EDR.
+  return Testbed{.name = "RI2-EDR",
+                 .fabric = net::FabricParams::rdma_edr(),
+                 .cpu_factor = 2.2,
+                 .server = server_with(14, 64ULL * units::kGiB)};
+}
+
+ClusterConfig make_config(const Testbed& bed, std::size_t servers,
+                          std::size_t clients) {
+  ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.num_clients = clients;
+  cfg.fabric = bed.fabric;
+  cfg.server = bed.server;
+  return cfg;
+}
+
+}  // namespace hpres::cluster

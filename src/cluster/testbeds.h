@@ -1,0 +1,37 @@
+// Named testbeds mirroring the paper's three evaluation clusters
+// (Section VI-A). Each bundles a fabric preset with a CPU speed factor for
+// the erasure cost model (relative to this repo's calibration host,
+// standing in for Westmere / Haswell / Broadwell generations).
+#pragma once
+
+#include <string_view>
+
+#include "cluster/cluster.h"
+
+namespace hpres::cluster {
+
+struct Testbed {
+  std::string_view name;
+  net::FabricParams fabric;
+  double cpu_factor = 1.0;  ///< encode/decode speed multiplier
+  kv::ServerParams server;
+};
+
+/// RI-QDR: Intel Westmere, IB QDR (32 Gbps), 8-worker servers, 20 GB each.
+[[nodiscard]] Testbed ri_qdr();
+
+/// RI-QDR nodes talking IPoIB instead of verbs (the Memc-IPoIB baseline).
+[[nodiscard]] Testbed ri_qdr_ipoib();
+
+/// SDSC-Comet: Intel Haswell, IB FDR (56 Gbps), 64 GB memcached servers.
+[[nodiscard]] Testbed sdsc_comet();
+
+/// RI2-EDR: Intel Broadwell, IB EDR (100 Gbps).
+[[nodiscard]] Testbed ri2_edr();
+
+/// Builds a ClusterConfig for `servers` + `clients` nodes on a testbed.
+[[nodiscard]] ClusterConfig make_config(const Testbed& bed,
+                                        std::size_t servers,
+                                        std::size_t clients);
+
+}  // namespace hpres::cluster

@@ -1,0 +1,81 @@
+// Byte-buffer vocabulary types shared across the erasure-coding and KV
+// layers. A `Bytes` owns its storage; `ConstByteSpan`/`ByteSpan` are the
+// non-owning views used at API boundaries (C++ Core Guidelines I.13).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace hpres {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<std::byte>;
+using ConstByteSpan = std::span<const std::byte>;
+
+/// Shared immutable payload. Message fan-out (e.g. replicating one value to
+/// F servers) aliases one buffer instead of copying it per destination.
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+inline SharedBytes make_shared_bytes(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+/// Shared zero-filled buffer of a given size, served from a process-wide
+/// cache. Benchmarks run "size-only" (DESIGN.md): payload content is
+/// irrelevant, so every op can alias one buffer per distinct size instead
+/// of allocating per-op — a simulated 100 GB experiment costs megabytes of
+/// host memory. Single-threaded by design, like the simulator.
+inline SharedBytes zero_bytes(std::size_t size) {
+  static std::unordered_map<std::size_t, SharedBytes> cache;
+  auto& slot = cache[size];
+  if (!slot) slot = std::make_shared<const Bytes>(size);
+  return slot;
+}
+
+/// Builds an owning buffer from a string literal / std::string payload.
+inline Bytes to_bytes(std::string_view s) {
+  Bytes out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+/// Renders a byte buffer as a std::string (test/debug convenience).
+inline std::string to_string(ConstByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Deterministic pseudo-random fill used by workload generators: value
+/// content is a function of (seed, position) so any chunk can be re-derived
+/// and verified without storing the original.
+inline void fill_pattern(ByteSpan out, std::uint64_t seed) {
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::memcpy(out.data() + i, &x, 8);
+    i += 8;
+  }
+  for (; i < out.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<std::byte>(x & 0xFF);
+  }
+}
+
+/// Allocates and fills a patterned buffer (see fill_pattern).
+inline Bytes make_pattern(std::size_t size, std::uint64_t seed) {
+  Bytes out(size);
+  fill_pattern(out, seed);
+  return out;
+}
+
+}  // namespace hpres

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (workload key choice, value
+// sizes, jitter) flows from explicitly seeded generators so that every
+// experiment is reproducible bit-for-bit. xoshiro256** is used for speed;
+// SplitMix64 seeds it and doubles as a hash finalizer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hpres {
+
+/// SplitMix64: statistically strong 64-bit mixer. Used for seeding and as a
+/// cheap avalanche hash (e.g. scrambling Zipfian ranks).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0xC0FFEE) noexcept {
+    // SplitMix64 expansion is the canonical way to fill xoshiro state and
+    // guarantees a non-zero state for every seed.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm += 0x9E3779B97F4A7C15ULL;
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    __extension__ using Uint128 = unsigned __int128;
+    const Uint128 product = static_cast<Uint128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hpres

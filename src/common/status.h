@@ -1,0 +1,133 @@
+// Lightweight Status / Result<T> error-handling vocabulary types.
+//
+// The simulator-driven code paths in this project are exception-free by
+// design (an error such as "server unreachable" is an expected outcome of a
+// distributed operation, not an exceptional condition — see C++ Core
+// Guidelines E.3). Constructor/invariant violations still throw.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hpres {
+
+/// Error category for distributed KV operations.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,          ///< Key (or chunk) not present on the server.
+  kUnavailable,       ///< Server failed / unreachable.
+  kTimeout,           ///< Operation exceeded its deadline.
+  kOutOfMemory,       ///< Server memory cap reached and eviction impossible.
+  kTooManyFailures,   ///< Not enough surviving fragments to reconstruct.
+  kInvalidArgument,   ///< Malformed request or unsupported parameter.
+  kResourceExhausted, ///< Client-side buffer pool / window exhausted.
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// Human-readable name of a StatusCode (stable, for logs and tests).
+constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kTooManyFailures: return "TOO_MANY_FAILURES";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Result of an operation that can fail: a code plus optional detail message.
+/// Cheap to copy when OK (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  explicit Status(StatusCode code) noexcept : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out{hpres::to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+/// Expected-style value-or-status. `Result<T>` holds exactly one of a T or a
+/// non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from value / error keeps call sites readable
+  // (`return value;` / `return Status{...};`), mirroring absl::StatusOr.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+  Result(StatusCode code) : storage_(Status{code}) {  // NOLINT(google-explicit-constructor)
+    assert(code != StatusCode::kOk);
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(storage_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace hpres

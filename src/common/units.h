@@ -1,0 +1,49 @@
+// Simulation time and data-size units.
+//
+// All simulated time is carried as integral nanoseconds (`SimTime`/`SimDur`)
+// to keep event ordering exact; helpers convert to human units only at the
+// reporting boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace hpres {
+
+using SimTime = std::int64_t;  ///< Absolute simulated time, nanoseconds.
+using SimDur = std::int64_t;   ///< Simulated duration, nanoseconds.
+
+namespace units {
+
+constexpr SimDur kNanosecond = 1;
+constexpr SimDur kMicrosecond = 1'000;
+constexpr SimDur kMillisecond = 1'000'000;
+constexpr SimDur kSecond = 1'000'000'000;
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Converts a duration in nanoseconds to floating-point microseconds.
+constexpr double to_us(SimDur ns) noexcept {
+  return static_cast<double>(ns) / 1e3;
+}
+/// Converts a duration in nanoseconds to floating-point milliseconds.
+constexpr double to_ms(SimDur ns) noexcept {
+  return static_cast<double>(ns) / 1e6;
+}
+/// Converts a duration in nanoseconds to floating-point seconds.
+constexpr double to_s(SimDur ns) noexcept {
+  return static_cast<double>(ns) / 1e9;
+}
+
+/// Time to move `bytes` at `gbps` gigabits per second (decimal gigabits, as
+/// network link rates are quoted), in integral nanoseconds, rounded up.
+constexpr SimDur transfer_time_ns(std::uint64_t bytes, double gbps) noexcept {
+  if (gbps <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) * 8.0 / gbps;  // bits / (Gbit/s) = ns
+  const auto floor_ns = static_cast<SimDur>(ns);
+  return floor_ns + (static_cast<double>(floor_ns) < ns ? 1 : 0);
+}
+
+}  // namespace units
+}  // namespace hpres

@@ -1,0 +1,67 @@
+#include "ec/bitmatrix.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hpres::ec {
+
+std::size_t BitMatrix::popcount() const noexcept {
+  std::size_t n = 0;
+  for (const auto b : bits_) n += b;
+  return n;
+}
+
+BitMatrix BitMatrix::from_gf_matrix(const GfMatrix& m) {
+  constexpr unsigned w = 8;
+  BitMatrix out(m.rows() * w, m.cols() * w);
+  const GF256& gf = GF256::instance();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const std::uint8_t a = m.at(r, c);
+      if (a == 0) continue;
+      for (unsigned col = 0; col < w; ++col) {
+        const std::uint8_t pattern =
+            gf.mul(a, static_cast<std::uint8_t>(1u << col));
+        for (unsigned row = 0; row < w; ++row) {
+          if (pattern & (1u << row)) {
+            out.set(r * w + row, c * w + col, true);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void bitmatrix_apply(const BitMatrix& bits, unsigned w,
+                     std::span<const ConstByteSpan> sources,
+                     std::span<ByteSpan> outputs) {
+  assert(bits.rows() == outputs.size() * w &&
+         bits.cols() == sources.size() * w);
+  const std::size_t frag_size = sources.empty() ? 0 : sources[0].size();
+  assert(frag_size % w == 0 && "fragment size must be a multiple of w");
+  const std::size_t packet = frag_size / w;
+
+  for (std::size_t p = 0; p < outputs.size(); ++p) {
+    assert(outputs[p].size() == frag_size);
+    for (unsigned r = 0; r < w; ++r) {
+      ByteSpan out = outputs[p].subspan(r * packet, packet);
+      bool first = true;
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        for (unsigned c = 0; c < w; ++c) {
+          if (!bits.get(p * w + r, i * w + c)) continue;
+          const ConstByteSpan src = sources[i].subspan(c * packet, packet);
+          if (first) {
+            std::memcpy(out.data(), src.data(), packet);
+            first = false;
+          } else {
+            GF256::xor_region(src, out);
+          }
+        }
+      }
+      if (first) std::memset(out.data(), 0, packet);
+    }
+  }
+}
+
+}  // namespace hpres::ec

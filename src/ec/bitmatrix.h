@@ -1,0 +1,58 @@
+// Bit matrices over GF(2): the machinery of Cauchy Reed-Solomon coding,
+// where every GF(2^w) multiplication is unrolled into w XOR-packet
+// operations (Blomer et al.'s XOR-based erasure-resilient coding, the
+// technique behind Jerasure's CRS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ec/gf_matrix.h"
+
+namespace hpres::ec {
+
+/// Dense bit matrix, row-major, one byte per bit (simple and fast enough —
+/// the matrix is tiny; the work is in the region XORs it schedules).
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), bits_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const noexcept {
+    return bits_[r * cols_ + c] != 0;
+  }
+  void set(std::size_t r, std::size_t c, bool v) noexcept {
+    bits_[r * cols_ + c] = v ? 1 : 0;
+  }
+
+  /// Number of set bits — the XOR cost of applying this matrix (used by
+  /// tests to confirm the density advantage of RAID-6 style codes).
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// Expands a GF(2^8) matrix into its (rows*8) x (cols*8) bit form: the
+  /// block for element a has column c equal to the bit pattern of a * x^c,
+  /// so block-times-bit-vector equals multiplication by a in the field.
+  static BitMatrix from_gf_matrix(const GfMatrix& m);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Applies a (outputs*w x sources*w) bit matrix to source fragments. Each
+/// fragment is split into w packets; output packet r is the XOR of every
+/// source packet whose bit is set in row r. All fragments must share a size
+/// divisible by w. Data is interpreted bit-sliced: the field element at
+/// byte offset b, bit t is spread across the w packets — both encode and
+/// decode must therefore go through a bit matrix (they do).
+void bitmatrix_apply(const BitMatrix& bits, unsigned w,
+                     std::span<const ConstByteSpan> sources,
+                     std::span<ByteSpan> outputs);
+
+}  // namespace hpres::ec

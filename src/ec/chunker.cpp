@@ -1,0 +1,62 @@
+#include "ec/chunker.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hpres::ec {
+
+ChunkLayout make_layout(std::size_t value_size, std::size_t k,
+                        std::size_t alignment) {
+  assert(k >= 1 && alignment >= 1);
+  const std::size_t raw = (value_size + k - 1) / k;
+  std::size_t frag = (raw + alignment - 1) / alignment * alignment;
+  if (frag == 0) frag = alignment;
+  return ChunkLayout{value_size, frag, k};
+}
+
+std::vector<Bytes> split_value(ConstByteSpan value,
+                               const ChunkLayout& layout) {
+  assert(value.size() == layout.original_size);
+  std::vector<Bytes> out;
+  out.reserve(layout.k);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < layout.k; ++i) {
+    Bytes frag(layout.fragment_size);  // zero-initialized => tail padding
+    const std::size_t take =
+        offset < value.size()
+            ? std::min(layout.fragment_size, value.size() - offset)
+            : 0;
+    if (take > 0) {
+      std::memcpy(frag.data(), value.data() + offset, take);
+    }
+    offset += take;
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+Result<Bytes> join_fragments(std::span<const ConstByteSpan> data_fragments,
+                             const ChunkLayout& layout) {
+  if (data_fragments.size() != layout.k) {
+    return Status{StatusCode::kInvalidArgument, "fragment count != k"};
+  }
+  for (const auto& f : data_fragments) {
+    if (f.size() != layout.fragment_size) {
+      return Status{StatusCode::kInvalidArgument, "fragment size mismatch"};
+    }
+  }
+  if (layout.original_size > layout.k * layout.fragment_size) {
+    return Status{StatusCode::kInvalidArgument, "layout overflows fragments"};
+  }
+  Bytes out(layout.original_size);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < layout.k && offset < out.size(); ++i) {
+    const std::size_t take =
+        std::min(layout.fragment_size, out.size() - offset);
+    std::memcpy(out.data() + offset, data_fragments[i].data(), take);
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace hpres::ec

@@ -1,0 +1,227 @@
+#include "ec/codec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "ec/cauchy_rs.h"
+#include "ec/raid6.h"
+#include "ec/rs_vandermonde.h"
+
+namespace hpres::ec {
+
+namespace {
+const GF256& gf() { return GF256::instance(); }
+}  // namespace
+
+MatrixCodec::MatrixCodec(std::size_t k, std::size_t m, GfMatrix generator)
+    : Codec(k, m), generator_(std::move(generator)) {
+  assert(generator_.rows() == k + m && generator_.cols() == k);
+#ifndef NDEBUG
+  // The generator must be systematic: top k x k block == identity.
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      assert(generator_.at(r, c) == (r == c ? 1 : 0));
+    }
+  }
+#endif
+}
+
+void MatrixCodec::encode(std::span<const ConstByteSpan> data,
+                         std::span<ByteSpan> parity) const {
+  assert(data.size() == k() && parity.size() == m());
+  for (std::size_t p = 0; p < m(); ++p) {
+    assert(parity[p].size() == data[0].size());
+    bool first = true;
+    for (std::size_t c = 0; c < k(); ++c) {
+      const std::uint8_t coeff = generator_.at(k() + p, c);
+      if (first) {
+        gf().mul_region(coeff, data[c], parity[p]);
+        first = false;
+      } else {
+        gf().mul_region_acc(coeff, data[c], parity[p]);
+      }
+    }
+  }
+}
+
+void MatrixCodec::encode_parity_row(std::size_t parity_index,
+                                    std::span<const ByteSpan> data,
+                                    ByteSpan out) const {
+  bool first = true;
+  for (std::size_t c = 0; c < k(); ++c) {
+    const std::uint8_t coeff = generator_.at(k() + parity_index, c);
+    if (first) {
+      gf().mul_region(coeff, data[c], out);
+      first = false;
+    } else {
+      gf().mul_region_acc(coeff, data[c], out);
+    }
+  }
+}
+
+Result<std::vector<std::size_t>> MatrixCodec::select_read_set(
+    const std::vector<bool>& available) const {
+  Result<RecoveryPlan> plan = plan_recovery(available);
+  if (!plan.ok()) return plan.status();
+  std::vector<std::size_t> chosen = plan->survivors;
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+Status MatrixCodec::reconstruct(std::span<ByteSpan> fragments,
+                                const std::vector<bool>& present) const {
+  return solve_erased(fragments, present, /*data_only=*/false);
+}
+
+Status MatrixCodec::reconstruct_data(std::span<ByteSpan> fragments,
+                                     const std::vector<bool>& present) const {
+  return solve_erased(fragments, present, /*data_only=*/true);
+}
+
+Result<MatrixCodec::RecoveryPlan> MatrixCodec::plan_recovery(
+    const std::vector<bool>& present) const {
+  if (present.size() != n()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "present arity must equal k+m"};
+  }
+  RecoveryPlan plan;
+  // Prefer data rows as survivors: a present data fragment contributes
+  // itself verbatim, keeping the inverted matrix sparse.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(n());
+  for (std::size_t i = 0; i < k(); ++i) {
+    if (present[i]) {
+      candidates.push_back(i);
+    } else {
+      plan.erased_data.push_back(i);
+    }
+  }
+  for (std::size_t i = k(); i < n(); ++i) {
+    if (present[i]) {
+      candidates.push_back(i);
+    } else {
+      plan.erased_parity.push_back(i);
+    }
+  }
+  if (candidates.size() < k()) {
+    return Status{StatusCode::kTooManyFailures,
+                  "fewer than k fragments available"};
+  }
+
+  // Select k candidates whose generator rows are linearly independent. For
+  // MDS codes the first k always work; for non-MDS codes (LRC) a greedy
+  // rank-building pass over all survivors finds a spanning subset whenever
+  // the erasure pattern is information-theoretically decodable.
+  plan.survivors.assign(candidates.begin(),
+                        candidates.begin() + static_cast<std::ptrdiff_t>(k()));
+  Result<GfMatrix> inv = generator_.select_rows(plan.survivors).inverted();
+  if (!inv.ok() && candidates.size() > k()) {
+    plan.survivors.clear();
+    GfMatrix echelon(k(), k());  // row-reduced rows accepted so far
+    std::size_t rank = 0;
+    for (const std::size_t idx : candidates) {
+      if (rank == k()) break;
+      // Reduce the candidate row against the accepted basis.
+      std::vector<std::uint8_t> row(k());
+      for (std::size_t c = 0; c < k(); ++c) row[c] = generator_.at(idx, c);
+      for (std::size_t r = 0; r < rank; ++r) {
+        // Find pivot column of echelon row r.
+        std::size_t pivot = 0;
+        while (pivot < k() && echelon.at(r, pivot) == 0) ++pivot;
+        if (pivot == k() || row[pivot] == 0) continue;
+        const std::uint8_t factor =
+            gf().div(row[pivot], echelon.at(r, pivot));
+        for (std::size_t c = 0; c < k(); ++c) {
+          row[c] ^= gf().mul(factor, echelon.at(r, c));
+        }
+      }
+      bool nonzero = false;
+      for (const std::uint8_t v : row) nonzero |= (v != 0);
+      if (!nonzero) continue;  // dependent on rows already accepted
+      for (std::size_t c = 0; c < k(); ++c) echelon.at(rank, c) = row[c];
+      ++rank;
+      plan.survivors.push_back(idx);
+    }
+    if (rank < k()) {
+      return Status{StatusCode::kTooManyFailures,
+                    "erasure pattern not decodable by this code"};
+    }
+    inv = generator_.select_rows(plan.survivors).inverted();
+  }
+  if (!inv.ok()) {
+    return Status{StatusCode::kTooManyFailures,
+                  "erasure pattern not decodable by this code"};
+  }
+
+  if (!plan.erased_data.empty()) {
+    plan.coeffs = GfMatrix(plan.erased_data.size(), k());
+    for (std::size_t j = 0; j < plan.erased_data.size(); ++j) {
+      for (std::size_t i = 0; i < k(); ++i) {
+        plan.coeffs.at(j, i) = inv->at(plan.erased_data[j], i);
+      }
+    }
+  }
+  return plan;
+}
+
+Status MatrixCodec::solve_erased(std::span<ByteSpan> fragments,
+                                 const std::vector<bool>& present,
+                                 bool data_only) const {
+  if (fragments.size() != n()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "fragment arity must equal k+m"};
+  }
+  Result<RecoveryPlan> plan = plan_recovery(present);
+  if (!plan.ok()) return plan.status();
+
+  for (std::size_t j = 0; j < plan->erased_data.size(); ++j) {
+    ByteSpan out = fragments[plan->erased_data[j]];
+    bool first = true;
+    for (std::size_t i = 0; i < k(); ++i) {
+      const std::uint8_t coeff = plan->coeffs.at(j, i);
+      const ConstByteSpan src = fragments[plan->survivors[i]];
+      if (first) {
+        gf().mul_region(coeff, src, out);
+        first = false;
+      } else {
+        gf().mul_region_acc(coeff, src, out);
+      }
+    }
+  }
+
+  if (!data_only) {
+    // Parity re-encode needs all data fragments, which are now complete.
+    std::vector<ByteSpan> data(
+        fragments.begin(),
+        fragments.begin() + static_cast<std::ptrdiff_t>(k()));
+    for (const std::size_t p : plan->erased_parity) {
+      encode_parity_row(p - k(), data, fragments[p]);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string_view to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kRsVandermonde: return "rs_van";
+    case Scheme::kCauchyRs: return "crs";
+    case Scheme::kRaid6: return "raid6";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Codec> make_codec(Scheme scheme, std::size_t k,
+                                  std::size_t m) {
+  switch (scheme) {
+    case Scheme::kRsVandermonde:
+      return std::make_unique<RsVandermondeCodec>(k, m);
+    case Scheme::kCauchyRs:
+      return std::make_unique<CauchyRsCodec>(k, m);
+    case Scheme::kRaid6:
+      return std::make_unique<Raid6Codec>(k, m);
+  }
+  return nullptr;
+}
+
+}  // namespace hpres::ec

@@ -1,0 +1,77 @@
+// Encode/decode compute-time model charged inside the simulation.
+//
+// The paper's T_encode(D)/T_decode(D) terms (Equations 3 and 5) are the
+// compute costs the ARPE must overlap with communication. In this
+// reproduction the simulated clusters charge these costs from an affine
+// model — T = fixed + bytes_processed / throughput — whose default
+// constants were calibrated against this repository's real codecs (see
+// `calibrate()` and bench/fig04_ec_study). A per-cluster CPU speed factor
+// scales the model between the paper's Westmere / Haswell / Broadwell
+// generations.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/units.h"
+#include "ec/codec.h"
+
+namespace hpres::ec {
+
+/// Affine cost: fixed overhead plus per-byte time.
+struct AffineCost {
+  double fixed_ns = 0.0;
+  double ns_per_byte = 0.0;
+
+  [[nodiscard]] SimDur at(std::size_t bytes) const noexcept {
+    const double ns = fixed_ns + ns_per_byte * static_cast<double>(bytes);
+    return ns <= 0.0 ? 0 : static_cast<SimDur>(ns);
+  }
+};
+
+/// Compute-time model for one codec configuration.
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(AffineCost encode, AffineCost decode_per_failure)
+      : encode_(encode), decode_per_failure_(decode_per_failure) {}
+
+  /// Time to encode a value of `value_size` bytes (produce all m parities).
+  [[nodiscard]] SimDur encode_ns(std::size_t value_size) const noexcept {
+    return encode_.at(value_size);
+  }
+
+  /// Time to decode a value of `value_size` bytes with `failures` missing
+  /// data fragments. No failures => no decode work (systematic code).
+  [[nodiscard]] SimDur decode_ns(std::size_t value_size,
+                                 unsigned failures) const noexcept {
+    if (failures == 0) return 0;
+    SimDur total = 0;
+    for (unsigned f = 0; f < failures; ++f) {
+      total += decode_per_failure_.at(value_size);
+    }
+    return total;
+  }
+
+  /// Scales all throughputs by `factor` (>1 = faster CPU). Models the
+  /// paper's cluster generations relative to the calibration host.
+  [[nodiscard]] CostModel scaled_by_cpu(double factor) const noexcept;
+
+  /// Built-in constants calibrated on the reference host for a given
+  /// scheme and (k, m). `cpu_speed_factor` as in scaled_by_cpu.
+  static CostModel defaults(Scheme scheme, std::size_t k, std::size_t m,
+                            double cpu_speed_factor = 1.0);
+
+  /// Measures the real codec on this machine (wall-clock timing of encode
+  /// and single-failure reconstruct at two probe sizes) and fits the
+  /// affine model. Used by calibration tooling; sim benches use defaults()
+  /// so their output is machine-independent.
+  static CostModel calibrate(const Codec& codec, std::size_t probe_small,
+                             std::size_t probe_large, int iterations);
+
+ private:
+  AffineCost encode_{};
+  AffineCost decode_per_failure_{};
+};
+
+}  // namespace hpres::ec

@@ -1,0 +1,71 @@
+// Arithmetic over GF(2^8), the finite field underlying all Reed-Solomon
+// style codes in this project.
+//
+// Representation: polynomial basis modulo the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by Jerasure, ISA-L and
+// Linux RAID-6. Multiplication is table-driven: a 64 KiB full product table
+// gives one-lookup-per-byte region operations, which is what makes "online"
+// encoding of KV-sized values practical on a general-purpose CPU.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace hpres::ec {
+
+class GF256 {
+ public:
+  static constexpr unsigned kFieldSize = 256;
+  static constexpr unsigned kPrimitivePoly = 0x11D;
+  static constexpr std::uint8_t kGenerator = 2;  // primitive element
+
+  /// Shared immutable instance (tables are built once).
+  static const GF256& instance();
+
+  /// Field product a*b.
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const noexcept {
+    return mul_table_[static_cast<std::size_t>(a) << 8 | b];
+  }
+
+  /// Field quotient a/b. Precondition: b != 0.
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const noexcept;
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  [[nodiscard]] std::uint8_t inv(std::uint8_t a) const noexcept;
+
+  /// kGenerator^i (i taken mod 255).
+  [[nodiscard]] std::uint8_t exp(unsigned i) const noexcept {
+    return exp_table_[i % 255];
+  }
+
+  /// Discrete log base kGenerator. Precondition: a != 0.
+  [[nodiscard]] std::uint8_t log(std::uint8_t a) const noexcept {
+    return log_table_[a];
+  }
+
+  /// a^e by log/exp. pow(0, 0) == 1 by convention; pow(0, e>0) == 0.
+  [[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned e) const noexcept;
+
+  /// dst[i] = c * src[i] for a whole region. Spans must be equal length and
+  /// must not partially overlap (dst == src is allowed).
+  void mul_region(std::uint8_t c, ConstByteSpan src, ByteSpan dst) const noexcept;
+
+  /// dst[i] ^= c * src[i] (multiply-accumulate) for a whole region.
+  void mul_region_acc(std::uint8_t c, ConstByteSpan src,
+                      ByteSpan dst) const noexcept;
+
+  /// dst[i] ^= src[i]. Word-wide XOR; spans must be equal length.
+  static void xor_region(ConstByteSpan src, ByteSpan dst) noexcept;
+
+ private:
+  GF256();
+
+  std::array<std::uint8_t, 255> exp_table_{};
+  std::array<std::uint8_t, 256> log_table_{};
+  // Flat 256x256 product table: mul_table_[a << 8 | b] = a*b.
+  std::array<std::uint8_t, 256 * 256> mul_table_{};
+};
+
+}  // namespace hpres::ec

@@ -1,0 +1,177 @@
+#include "ec/gf_matrix.h"
+
+#include <cassert>
+
+namespace hpres::ec {
+
+namespace {
+const GF256& gf() { return GF256::instance(); }
+}  // namespace
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = 1;
+  return out;
+}
+
+GfMatrix GfMatrix::vandermonde(std::size_t rows, std::size_t cols) {
+  assert(rows <= GF256::kFieldSize && "need distinct field elements per row");
+  GfMatrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.at(r, c) =
+          gf().pow(static_cast<std::uint8_t>(r), static_cast<unsigned>(c));
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::cauchy(std::size_t rows, std::size_t cols) {
+  assert(rows + cols <= GF256::kFieldSize &&
+         "x and y element sets must be disjoint in GF(256)");
+  GfMatrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto x = static_cast<std::uint8_t>(r);
+      const auto y = static_cast<std::uint8_t>(rows + c);
+      out.at(r, c) = gf().inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::multiply(const GfMatrix& other) const {
+  assert(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const std::uint8_t a = at(r, i);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) ^= gf().mul(a, other.at(i, c));
+      }
+    }
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::inverted() const {
+  if (rows_ != cols_) {
+    return Status{StatusCode::kInvalidArgument, "inverse of non-square matrix"};
+  }
+  const std::size_t n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot (any nonzero element works in a field).
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return Status{StatusCode::kInternal, "singular matrix"};
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t scale = gf().inv(work.at(col, col));
+    if (scale != 1) {
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(col, c) = gf().mul(work.at(col, c), scale);
+        inv.at(col, c) = gf().mul(inv.at(col, c), scale);
+      }
+    }
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(r, c) ^= gf().mul(factor, work.at(col, c));
+        inv.at(r, c) ^= gf().mul(factor, inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<std::size_t>& idx) const {
+  GfMatrix out(idx.size(), cols_);
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    assert(idx[r] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c) out.at(r, c) = at(idx[r], c);
+  }
+  return out;
+}
+
+void GfMatrix::swap_cols(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t r = 0; r < rows_; ++r) std::swap(at(r, a), at(r, b));
+}
+
+void GfMatrix::scale_col(std::size_t c, std::uint8_t factor) {
+  for (std::size_t r = 0; r < rows_; ++r) at(r, c) = gf().mul(at(r, c), factor);
+}
+
+void GfMatrix::add_scaled_col(std::size_t dst, std::size_t src,
+                              std::uint8_t factor) {
+  if (factor == 0) return;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    at(r, dst) ^= gf().mul(factor, at(r, src));
+  }
+}
+
+GfMatrix systematic_rs_generator(std::size_t k, std::size_t m) {
+  GfMatrix v = GfMatrix::vandermonde(k + m, k);
+  // Column-reduce the top k x k block to the identity. Column operations
+  // right-multiply by an invertible matrix, which preserves the "any k rows
+  // are independent" (MDS) property of the Vandermonde matrix.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (v.at(i, i) == 0) {
+      std::size_t c = i + 1;
+      while (c < k && v.at(i, c) == 0) ++c;
+      assert(c < k && "Vandermonde row cannot be all-zero in its top block");
+      v.swap_cols(i, c);
+    }
+    const std::uint8_t scale = GF256::instance().inv(v.at(i, i));
+    v.scale_col(i, scale);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == i) continue;
+      v.add_scaled_col(c, i, v.at(i, c));
+    }
+  }
+  return v;
+}
+
+GfMatrix systematic_cauchy_generator(std::size_t k, std::size_t m) {
+  GfMatrix out(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) out.at(i, i) = 1;
+  const GfMatrix c = GfMatrix::cauchy(m, k);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t col = 0; col < k; ++col) {
+      out.at(k + r, col) = c.at(r, col);
+    }
+  }
+  return out;
+}
+
+GfMatrix raid6_generator(std::size_t k, std::size_t m) {
+  assert(m <= 2 && "RAID-6 style codes support at most two parities");
+  GfMatrix out(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) out.at(i, i) = 1;
+  if (m >= 1) {
+    for (std::size_t c = 0; c < k; ++c) out.at(k, c) = 1;  // P row
+  }
+  if (m >= 2) {
+    for (std::size_t c = 0; c < k; ++c) {
+      out.at(k + 1, c) =
+          GF256::instance().pow(GF256::kGenerator, static_cast<unsigned>(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace hpres::ec

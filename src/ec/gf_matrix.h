@@ -1,0 +1,88 @@
+// Dense matrices over GF(2^8): the construction and inversion machinery
+// behind Reed-Solomon generator matrices and erasure decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ec/gf256.h"
+
+namespace hpres::ec {
+
+/// Row-major dense matrix over GF(2^8).
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  std::uint8_t& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (row-major contiguous).
+  [[nodiscard]] const std::uint8_t* row(std::size_t r) const noexcept {
+    return &data_[r * cols_];
+  }
+
+  [[nodiscard]] bool operator==(const GfMatrix&) const = default;
+
+  /// n x n identity.
+  static GfMatrix identity(std::size_t n);
+
+  /// rows x cols Vandermonde: at(r, c) = (r+1)^c... see .cpp for the exact
+  /// element choice (rows indexed by distinct field elements).
+  static GfMatrix vandermonde(std::size_t rows, std::size_t cols);
+
+  /// rows x cols Cauchy: at(r, c) = 1 / (x_r ^ y_c) with
+  /// x_r = r, y_c = rows + c (all distinct, x_r ^ y_c != 0).
+  static GfMatrix cauchy(std::size_t rows, std::size_t cols);
+
+  /// Matrix product (this * other). Dimension mismatch is a precondition
+  /// violation (assert).
+  [[nodiscard]] GfMatrix multiply(const GfMatrix& other) const;
+
+  /// Gauss-Jordan inverse. Returns kInvalidArgument for non-square input
+  /// and kInternal for a singular matrix.
+  [[nodiscard]] Result<GfMatrix> inverted() const;
+
+  /// Returns the submatrix formed by the given row indices (in order).
+  [[nodiscard]] GfMatrix select_rows(const std::vector<std::size_t>& idx) const;
+
+  /// In-place elementary column operations used to systematize a
+  /// Vandermonde matrix (see systematic_rs_generator).
+  void swap_cols(std::size_t a, std::size_t b);
+  void scale_col(std::size_t c, std::uint8_t factor);
+  /// col[dst] ^= factor * col[src]
+  void add_scaled_col(std::size_t dst, std::size_t src, std::uint8_t factor);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Builds the systematic (k+m) x k Reed-Solomon generator matrix from a
+/// Vandermonde matrix: elementary column operations transform the top k x k
+/// block into the identity while preserving the MDS property (this is the
+/// classic Jerasure/ISA-L construction). Row i < k emits data chunk i
+/// verbatim; rows k..k+m-1 emit parity.
+GfMatrix systematic_rs_generator(std::size_t k, std::size_t m);
+
+/// Builds the systematic Cauchy generator: identity stacked on an m x k
+/// Cauchy block. Any k rows are linearly independent because every square
+/// submatrix of a Cauchy matrix is nonsingular.
+GfMatrix systematic_cauchy_generator(std::size_t k, std::size_t m);
+
+/// Builds the classic RAID-6 generator for m <= 2: parity row P of all ones
+/// and row Q of generator powers (1, g, g^2, ...).
+GfMatrix raid6_generator(std::size_t k, std::size_t m);
+
+}  // namespace hpres::ec

@@ -1,0 +1,28 @@
+// RAID-6 P/Q coding: parity P is the plain XOR of the data fragments and Q
+// is the generator-weighted sum evaluated by Horner's rule, exactly as in
+// Linux md RAID-6. This codec stands in for the paper's "R6-Lib"
+// (Liberation) scheme: same m=2 fault tolerance and the same XOR-dominated
+// cost profile, per the substitution note in DESIGN.md.
+#pragma once
+
+#include "ec/codec.h"
+
+namespace hpres::ec {
+
+class Raid6Codec final : public MatrixCodec {
+ public:
+  /// Requires m <= 2 (P-only degenerates to simple XOR parity).
+  Raid6Codec(std::size_t k, std::size_t m);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "raid6";
+  }
+
+  /// Fast path: P via running XOR, Q via Horner (one doubling + one XOR per
+  /// data fragment) — byte-compatible with the generator-matrix form, so
+  /// the base-class reconstruction applies unchanged.
+  void encode(std::span<const ConstByteSpan> data,
+              std::span<ByteSpan> parity) const override;
+};
+
+}  // namespace hpres::ec

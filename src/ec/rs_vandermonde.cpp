@@ -1,0 +1,12 @@
+#include "ec/rs_vandermonde.h"
+
+#include <cassert>
+
+namespace hpres::ec {
+
+RsVandermondeCodec::RsVandermondeCodec(std::size_t k, std::size_t m)
+    : MatrixCodec(k, m, systematic_rs_generator(k, m)) {
+  assert(k >= 1 && k + m <= GF256::kFieldSize);
+}
+
+}  // namespace hpres::ec

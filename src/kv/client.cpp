@@ -1,0 +1,32 @@
+#include "kv/client.h"
+
+namespace hpres::kv {
+
+sim::Future<Response> Client::call_async(NodeId dst, Request req) {
+  sim::Promise<Response> promise(sim());
+  sim::Future<Response> future = promise.get_future();
+  sim().spawn(issue_coro(this, dst, std::move(req), std::move(promise)));
+  return future;
+}
+
+sim::Task<Response> Client::invoke(NodeId dst, Request req) {
+  const sim::Future<Response> f = call_async(dst, std::move(req));
+  co_return co_await f.wait();
+}
+
+sim::Task<void> Client::issue_coro(Client* self, NodeId dst, Request req,
+                                   sim::Promise<Response> out) {
+  ++self->stats_.requests;
+  const SimDur issue =
+      self->params_.issue_cpu_ns +
+      static_cast<SimDur>(self->params_.issue_ns_per_byte *
+                          static_cast<double>(payload_bytes(req)));
+  co_await self->cpu_.execute(issue);
+  const sim::Future<Response> f = self->call(dst, std::move(req));
+  Response resp = co_await f.wait();
+  ++self->stats_.responses;
+  if (resp.code == StatusCode::kUnavailable) ++self->stats_.unavailable;
+  out.set_value(std::move(resp));
+}
+
+}  // namespace hpres::kv

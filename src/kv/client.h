@@ -1,0 +1,57 @@
+// KV client node: the RDMA-Libmemcached analogue. Owns a single-core CPU
+// resource on which request-issue work serializes (the "Request" phase of
+// the paper's Figure 9 breakdown) and which the client-side erasure engines
+// borrow for encode/decode work.
+#pragma once
+
+#include "kv/rpc.h"
+#include "sim/sync.h"
+
+namespace hpres::kv {
+
+struct ClientParams {
+  SimDur issue_cpu_ns = 400;      ///< posting one non-blocking request
+  double issue_ns_per_byte = 0.0; ///< extra per-payload-byte issue cost
+};
+
+struct ClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t unavailable = 0;
+};
+
+class Client final : public RpcNode {
+ public:
+  Client(sim::Simulator& sim, KvFabric& fabric, NodeId id,
+         ClientParams params = {})
+      : RpcNode(sim, fabric, id), params_(params), cpu_(sim, 1) {}
+
+  /// Issues a request asynchronously: the issue cost serializes on this
+  /// client's CPU, then the request enters the fabric. The future resolves
+  /// with the server's response (memcached_iset/iget semantics).
+  sim::Future<Response> call_async(NodeId dst, Request req);
+
+  /// Blocking convenience: issue and await (memcached_set/get semantics).
+  sim::Task<Response> invoke(NodeId dst, Request req);
+
+  /// The client CPU; erasure engines charge encode/decode time here.
+  [[nodiscard]] sim::WorkerPool& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const ClientParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+
+ protected:
+  void on_request(KvEnvelope env) override {
+    // Clients never serve requests; stray traffic is dropped.
+    (void)env;
+  }
+
+ private:
+  static sim::Task<void> issue_coro(Client* self, NodeId dst, Request req,
+                                    sim::Promise<Response> out);
+
+  ClientParams params_;
+  sim::WorkerPool cpu_;
+  ClientStats stats_;
+};
+
+}  // namespace hpres::kv

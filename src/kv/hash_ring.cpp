@@ -1,0 +1,42 @@
+#include "kv/hash_ring.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace hpres::kv {
+
+HashRing::HashRing(std::size_t num_servers, std::size_t vnodes,
+                   std::uint64_t seed)
+    : num_servers_(num_servers) {
+  assert(num_servers >= 1 && vnodes >= 1);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Derive each virtual point from (seed, server, vnode); collisions
+      // are harmless (last writer wins on one point of many).
+      const std::uint64_t point =
+          splitmix64(seed ^ splitmix64(s * 0x10001 + v));
+      ring_[point] = s;
+    }
+  }
+}
+
+std::uint64_t HashRing::hash_key(std::string_view key) noexcept {
+  // FNV-1a 64 finished with a splitmix avalanche: fast and well spread for
+  // the short printable keys benchmarks generate.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return splitmix64(h);
+}
+
+std::size_t HashRing::primary_index(std::string_view key) const {
+  const std::uint64_t h = hash_key(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+}  // namespace hpres::kv

@@ -1,0 +1,45 @@
+// Consistent-hash ring (ketama-style virtual nodes) plus the paper's chunk
+// placement rule: consistent hashing locates the originally designated
+// server, then the N-1 *following servers in the server list* hold the
+// remaining fragments (Section IV-A).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "kv/protocol.h"
+
+namespace hpres::kv {
+
+class HashRing {
+ public:
+  /// `num_servers` servers indexed 0..num_servers-1, each projected onto
+  /// the ring at `vnodes` points.
+  explicit HashRing(std::size_t num_servers, std::size_t vnodes = 128,
+                    std::uint64_t seed = 0x5eed);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return num_servers_;
+  }
+
+  /// Index (into the server list) of the key's designated primary server.
+  [[nodiscard]] std::size_t primary_index(std::string_view key) const;
+
+  /// Server-list index holding slot `slot` of this key: the primary for
+  /// slot 0, then following servers in list order, wrapping.
+  [[nodiscard]] std::size_t slot_index(std::string_view key,
+                                       std::size_t slot) const {
+    return (primary_index(key) + slot) % num_servers_;
+  }
+
+  /// 64-bit key hash (exposed for tests and workload tooling).
+  [[nodiscard]] static std::uint64_t hash_key(std::string_view key) noexcept;
+
+ private:
+  std::size_t num_servers_;
+  std::map<std::uint64_t, std::size_t> ring_;  // point -> server index
+};
+
+}  // namespace hpres::kv

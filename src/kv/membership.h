@@ -1,0 +1,62 @@
+// Cluster membership view shared by clients and servers.
+//
+// Failure model (DESIGN.md): failures are announced through this oracle
+// rather than discovered via timeouts; consulting it when the primary is
+// down costs the paper's T_check server-selection overhead, charged by the
+// caller. This mirrors the paper's measurement setup, where nodes are
+// failed before the experiment and clients pay a "fixed server selection
+// overhead" (Equation 4).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "kv/protocol.h"
+
+namespace hpres::kv {
+
+class Membership {
+ public:
+  explicit Membership(std::size_t num_servers,
+                      SimDur check_cost_ns = 1'500)
+      : up_(num_servers, true), check_cost_ns_(check_cost_ns) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return up_.size(); }
+
+  void set_up(std::size_t server_index, bool up) {
+    assert(server_index < up_.size());
+    if (up_[server_index] != up) {
+      up_[server_index] = up;
+      ++epoch_;
+    }
+  }
+
+  [[nodiscard]] bool up(std::size_t server_index) const {
+    assert(server_index < up_.size());
+    return up_[server_index];
+  }
+
+  [[nodiscard]] std::size_t alive() const noexcept {
+    std::size_t n = 0;
+    for (const bool u : up_) n += u ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] bool all_up() const noexcept { return alive() == up_.size(); }
+
+  /// T_check: time a client spends identifying a live server when its
+  /// first choice is down.
+  [[nodiscard]] SimDur check_cost_ns() const noexcept { return check_cost_ns_; }
+
+  /// Bumped on every membership change (lets caches invalidate).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::vector<bool> up_;
+  SimDur check_cost_ns_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace hpres::kv

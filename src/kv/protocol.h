@@ -1,0 +1,120 @@
+// Wire protocol of the simulated Memcached-like KV store.
+//
+// Beyond plain kSet/kGet/kDelete, two verbs implement the paper's
+// server-side offload designs: kSetEncode asks the receiving server to
+// erasure-code the value and distribute the fragments itself (Era-SE-*),
+// and kGetDecode asks it to aggregate fragments from its peers and return
+// the reassembled value (Era-*-SD).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace hpres::kv {
+
+using net::NodeId;
+using Key = std::string;
+
+enum class Verb : std::uint8_t {
+  kSet,
+  kGet,
+  kDelete,
+  kSetEncode,  ///< server-side encode + fragment distribution
+  kGetDecode,  ///< server-side fragment aggregation + decode
+  kScan,       ///< enumerate stored keys (repair discovery)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Verb v) noexcept {
+  switch (v) {
+    case Verb::kSet: return "SET";
+    case Verb::kGet: return "GET";
+    case Verb::kDelete: return "DELETE";
+    case Verb::kSetEncode: return "SET_ENCODE";
+    case Verb::kGetDecode: return "GET_DECODE";
+    case Verb::kScan: return "SCAN";
+  }
+  return "?";
+}
+
+/// Metadata stored with (and returned alongside) each erasure-coded
+/// fragment, sufficient for any reader to size its reassembly buffers.
+struct ChunkInfo {
+  std::uint64_t original_size = 0;  ///< whole-value size before chunking
+  std::uint32_t chunk_index = 0;    ///< 0..k+m-1 (>= k means parity)
+  std::uint16_t k = 0;
+  std::uint16_t m = 0;
+
+  [[nodiscard]] bool operator==(const ChunkInfo&) const = default;
+};
+
+struct Request {
+  Verb verb = Verb::kGet;
+  Key key;
+  SharedBytes value;  ///< payload for kSet/kSetEncode; null otherwise
+  std::optional<ChunkInfo> chunk;
+  /// kGet only: return existence + ChunkInfo without the payload (cheap
+  /// presence probe for repair discovery).
+  bool head_only = false;
+  std::uint64_t rpc_id = 0;
+  NodeId reply_to = 0;
+};
+
+struct Response {
+  std::uint64_t rpc_id = 0;
+  StatusCode code = StatusCode::kOk;
+  SharedBytes value;  ///< payload for successful gets; null otherwise
+  std::optional<ChunkInfo> chunk;
+  std::vector<Key> keys;  ///< kScan results
+};
+
+using WireBody = std::variant<Request, Response>;
+using KvFabric = net::Fabric<WireBody>;
+using KvEnvelope = net::Envelope<WireBody>;
+
+/// Payload size used for wire timing (key + value + fixed verb framing).
+[[nodiscard]] inline std::size_t payload_bytes(const Request& r) noexcept {
+  return r.key.size() + (r.value ? r.value->size() : 0) + 16;
+}
+
+[[nodiscard]] inline std::size_t payload_bytes(const Response& r) noexcept {
+  std::size_t keys_bytes = 0;
+  for (const auto& k : r.keys) keys_bytes += k.size() + 4;
+  return (r.value ? r.value->size() : 0) + keys_bytes + 16;
+}
+
+/// Key under which fragment `index` of `key` is stored. The separator byte
+/// cannot occur in benchmarks' printable keys, so chunk keys never collide
+/// with user keys.
+[[nodiscard]] inline Key chunk_key(const Key& key, std::size_t index) {
+  Key out = key;
+  out.push_back('\x01');
+  out.push_back(static_cast<char>('0' + index));
+  return out;
+}
+
+/// Inverse of chunk_key: base key and fragment slot, or nullopt when the
+/// key is not a fragment key.
+struct ParsedChunkKey {
+  Key base;
+  std::size_t slot = 0;
+};
+
+[[nodiscard]] inline std::optional<ParsedChunkKey> parse_chunk_key(
+    const Key& stored) {
+  if (stored.size() < 2 || stored[stored.size() - 2] != '\x01') {
+    return std::nullopt;
+  }
+  ParsedChunkKey out;
+  out.base = stored.substr(0, stored.size() - 2);
+  out.slot = static_cast<std::size_t>(stored.back() - '0');
+  return out;
+}
+
+}  // namespace hpres::kv

@@ -1,0 +1,41 @@
+#include "kv/rpc.h"
+
+namespace hpres::kv {
+
+sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
+  sim::Promise<Response> promise(*sim_);
+  sim::Future<Response> future = promise.get_future();
+  if (!fabric_->node_up(dst)) {
+    Response failed;
+    failed.rpc_id = req.rpc_id;
+    failed.code = StatusCode::kUnavailable;
+    promise.set_value(std::move(failed));
+    return future;
+  }
+  req.rpc_id = next_rpc_++;
+  req.reply_to = id_;
+  pending_.emplace(req.rpc_id, std::move(promise));
+  const std::size_t bytes = payload_bytes(req);
+  fabric_->send(id_, dst, WireBody{std::move(req)}, bytes);
+  return future;
+}
+
+sim::Task<void> RpcNode::dispatch_loop(RpcNode* self) {
+  auto& inbox = self->fabric_->inbox(self->id_);
+  for (;;) {
+    std::optional<KvEnvelope> env = co_await inbox.recv();
+    if (!env) break;  // inbox closed: node shut down
+    if (std::holds_alternative<Request>(env->body)) {
+      self->on_request(std::move(*env));
+    } else {
+      auto& resp = std::get<Response>(env->body);
+      const auto it = self->pending_.find(resp.rpc_id);
+      if (it == self->pending_.end()) continue;  // stale/duplicate response
+      sim::Promise<Response> promise = std::move(it->second);
+      self->pending_.erase(it);
+      promise.set_value(std::move(resp));
+    }
+  }
+}
+
+}  // namespace hpres::kv

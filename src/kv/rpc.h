@@ -1,0 +1,62 @@
+// Request/response plumbing shared by clients and servers.
+//
+// Every node owns one fabric inbox. A dispatch loop routes incoming
+// Requests to the subclass handler (spawned, so slow handlers never block
+// the queue — the multi-threaded Memcached model) and matches incoming
+// Responses to pending calls by rpc id. Servers use the same machinery to
+// talk to their peers (the paper's server-embedded ARPE with Libmemcached
+// client, Section IV-A).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kv/protocol.h"
+#include "sim/future.h"
+
+namespace hpres::kv {
+
+class RpcNode {
+ public:
+  RpcNode(sim::Simulator& sim, KvFabric& fabric, NodeId id)
+      : sim_(&sim), fabric_(&fabric), id_(id) {}
+  virtual ~RpcNode() = default;
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  /// Begins dispatching this node's inbox. Must be called exactly once,
+  /// before the simulation runs; the RpcNode must outlive the simulation.
+  void start() { sim_->spawn(dispatch_loop(this)); }
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] sim::Simulator& sim() const noexcept { return *sim_; }
+  [[nodiscard]] KvFabric& fabric() const noexcept { return *fabric_; }
+
+  /// Sends a request; the future resolves with the peer's response. A
+  /// request to a node known-dead by the fabric resolves immediately with
+  /// kUnavailable (the HCA-level send fails fast; discovery via the
+  /// membership service is the caller's job and carries T_check).
+  sim::Future<Response> call(NodeId dst, Request req);
+
+ protected:
+  /// Handles one incoming request envelope. Implementations should spawn a
+  /// coroutine for any work that suspends.
+  virtual void on_request(KvEnvelope env) = 0;
+
+  /// Sends a response back to a requester.
+  void respond(NodeId dst, Response resp) {
+    const std::size_t bytes = payload_bytes(resp);
+    fabric_->send(id_, dst, WireBody{std::move(resp)}, bytes);
+  }
+
+ private:
+  static sim::Task<void> dispatch_loop(RpcNode* self);
+
+  sim::Simulator* sim_;
+  KvFabric* fabric_;
+  NodeId id_;
+  std::uint64_t next_rpc_ = 1;
+  std::unordered_map<std::uint64_t, sim::Promise<Response>> pending_;
+};
+
+}  // namespace hpres::kv

@@ -1,0 +1,349 @@
+#include "kv/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpres::kv {
+
+namespace {
+constexpr SimDur kPeerIssueNs = 300;  // posting one chunk request to a peer
+}  // namespace
+
+Server::Server(sim::Simulator& sim, KvFabric& fabric, NodeId id,
+               ServerParams params)
+    : RpcNode(sim, fabric, id),
+      params_(params),
+      store_(params.memory_bytes),
+      workers_(sim, params.workers) {
+  if (params.ssd_bytes > 0) {
+    store_.enable_ssd(SsdConfig{params.ssd_bytes});
+  }
+}
+
+void Server::fail() {
+  failed_ = true;
+  fabric().set_node_up(id(), false);
+}
+
+void Server::recover() {
+  failed_ = false;
+  fabric().set_node_up(id(), true);
+}
+
+void Server::on_request(KvEnvelope env) {
+  if (failed_) return;  // dead servers answer nothing
+  const auto& req = std::get<Request>(env.body);
+  switch (req.verb) {
+    case Verb::kSet:
+    case Verb::kGet:
+    case Verb::kDelete:
+    case Verb::kScan:
+      sim().spawn(handle_plain(this, std::move(env)));
+      break;
+    case Verb::kSetEncode:
+      assert(ec_ && "kSetEncode requires enable_ec()");
+      sim().spawn(handle_set_encode(this, std::move(env)));
+      break;
+    case Verb::kGetDecode:
+      assert(ec_ && "kGetDecode requires enable_ec()");
+      sim().spawn(handle_get_decode(this, std::move(env)));
+      break;
+  }
+}
+
+sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
+  auto& req = std::get<Request>(env.body);
+  const std::size_t touched =
+      req.value ? req.value->size()
+                : (req.verb == Verb::kGet ? 0 : req.key.size());
+  co_await self->workers_.execute(self->touch_cost(touched));
+
+  Response resp;
+  resp.rpc_id = req.rpc_id;
+  switch (req.verb) {
+    case Verb::kSet: {
+      const std::uint64_t demoted_before = self->store_.stats().demoted_bytes;
+      resp.code = self->store_.set(req.key, req.value, req.chunk).code();
+      const std::uint64_t demoted =
+          self->store_.stats().demoted_bytes - demoted_before;
+      if (demoted > 0) {
+        // Eviction pressure spilled colder items to the SSD tier.
+        co_await self->workers_.execute(
+            self->params_.ssd_access_ns +
+            static_cast<SimDur>(self->params_.ssd_write_ns_per_byte *
+                                static_cast<double>(demoted)));
+      }
+      break;
+    }
+    case Verb::kGet: {
+      auto got = self->store_.get(req.key);
+      if (got.ok()) {
+        resp.code = StatusCode::kOk;
+        resp.chunk = got->chunk;
+        if (got->from_ssd) {
+          // Promotion: the value came off the device, not the slab.
+          co_await self->workers_.execute(
+              self->params_.ssd_access_ns +
+              static_cast<SimDur>(
+                  self->params_.ssd_read_ns_per_byte *
+                  static_cast<double>(got->value ? got->value->size() : 0)));
+        }
+        if (req.head_only) {
+          // Presence probe: metadata only, no payload on the wire.
+          co_await self->workers_.execute(self->read_cost(0));
+        } else {
+          resp.value = got->value;
+          // Read path: response DMAs out of the registered slab (cheap).
+          co_await self->workers_.execute(self->read_cost(
+              resp.value ? resp.value->size() : 0));
+        }
+      } else {
+        resp.code = got.status().code();
+      }
+      break;
+    }
+    case Verb::kDelete: {
+      resp.code = self->store_.erase(req.key) ? StatusCode::kOk
+                                              : StatusCode::kNotFound;
+      break;
+    }
+    case Verb::kScan: {
+      // Distinct base keys of every fragment held here; repair discovery.
+      std::vector<Key> bases;
+      for (const Key& stored : self->store_.keys()) {
+        if (auto parsed = parse_chunk_key(stored); parsed) {
+          bases.push_back(std::move(parsed->base));
+        }
+      }
+      std::sort(bases.begin(), bases.end());
+      bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+      co_await self->workers_.execute(static_cast<SimDur>(
+          200 * bases.size()));  // index walk, ~200ns per item
+      resp.code = StatusCode::kOk;
+      resp.keys = std::move(bases);
+      break;
+    }
+    default:
+      resp.code = StatusCode::kInvalidArgument;
+      break;
+  }
+  if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+}
+
+sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
+  auto& req = std::get<Request>(env.body);
+  const ServerEcContext& ec = *self->ec_;
+  const std::size_t value_size = req.value ? req.value->size() : 0;
+  const std::size_t k = ec.codec->k();
+  const std::size_t n = ec.codec->n();
+
+  // Ingest the full value and stage it locally under the plain key, then
+  // acknowledge: the client's one write request completes after a single
+  // D-byte transfer (the Era-SE-* advantage, Section VI-B). Encoding and
+  // fragment distribution continue below on the server ARPE, overlapped
+  // with new requests by the parallel workers. The staged copy guarantees
+  // read-after-write: it is only dropped once every fragment is acked, and
+  // readers that race the distribution fall back to the stager.
+  co_await self->workers_.execute(self->touch_cost(value_size));
+  const Status staged = self->store_.set(req.key, req.value);
+  {
+    Response resp;
+    resp.rpc_id = req.rpc_id;
+    resp.code = staged.code();
+    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+  }
+  if (!staged.ok()) co_return;
+
+  co_await self->workers_.execute(ec.cost.encode_ns(value_size));
+
+  const ec::ChunkLayout layout =
+      ec::make_layout(value_size, k, ec.codec->alignment());
+  std::vector<SharedBytes> fragments;
+  fragments.reserve(n);
+  if (ec.materialize && req.value) {
+    std::vector<Bytes> data = ec::split_value(*req.value, layout);
+    std::vector<ConstByteSpan> data_spans(data.begin(), data.end());
+    std::vector<Bytes> parity(ec.codec->m(), Bytes(layout.fragment_size));
+    std::vector<ByteSpan> parity_spans(parity.begin(), parity.end());
+    ec.codec->encode(data_spans, parity_spans);
+    for (auto& f : data) fragments.push_back(make_shared_bytes(std::move(f)));
+    for (auto& p : parity) fragments.push_back(make_shared_bytes(std::move(p)));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      fragments.push_back(zero_bytes(layout.fragment_size));
+    }
+  }
+
+  StatusCode worst = StatusCode::kOk;
+  std::vector<sim::Future<Response>> pending;
+  pending.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::size_t owner = ec.ring->slot_index(req.key, slot);
+    ChunkInfo info{value_size, static_cast<std::uint32_t>(slot),
+                   static_cast<std::uint16_t>(k),
+                   static_cast<std::uint16_t>(ec.codec->m())};
+    const Key ckey = chunk_key(req.key, slot);
+    if (owner == ec.my_index) {
+      const Status s = self->store_.set(ckey, fragments[slot], info);
+      if (!s.ok()) worst = s.code();
+      continue;
+    }
+    co_await self->workers_.execute(kPeerIssueNs);
+    Request peer;
+    peer.verb = Verb::kSet;
+    peer.key = ckey;
+    peer.value = fragments[slot];
+    peer.chunk = info;
+    pending.push_back(self->call((*ec.server_nodes)[owner], std::move(peer)));
+  }
+  for (auto& f : pending) {
+    const Response r = co_await f.wait();
+    if (r.code != StatusCode::kOk) worst = r.code;
+  }
+  if (worst != StatusCode::kOk) ++self->background_set_failures_;
+  // All fragments placed: the staged full copy is no longer needed.
+  self->store_.erase(req.key);
+}
+
+sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
+  auto& req = std::get<Request>(env.body);
+  const ServerEcContext& ec = *self->ec_;
+  const std::size_t k = ec.codec->k();
+  const std::size_t n = ec.codec->n();
+
+  co_await self->workers_.execute(self->touch_cost(0));
+
+  // Staged full value (an in-progress or raced server-side Set): serve it
+  // directly.
+  if (auto staged = self->store_.get(req.key); staged.ok()) {
+    co_await self->workers_.execute(self->read_cost(
+        staged->value ? staged->value->size() : 0));
+    Response resp;
+    resp.rpc_id = req.rpc_id;
+    resp.code = StatusCode::kOk;
+    resp.value = staged->value;
+    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    co_return;
+  }
+
+  // Pick the fragments to aggregate, codec-aware (data slots first; LRC
+  // skips linearly dependent survivor rows).
+  std::vector<bool> available(n, false);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (ec.membership->up(ec.ring->slot_index(req.key, slot))) {
+      available[slot] = true;
+    }
+  }
+  Response resp;
+  resp.rpc_id = req.rpc_id;
+  const Result<std::vector<std::size_t>> selected =
+      ec.codec->select_read_set(available);
+  if (!selected.ok()) {
+    resp.code = selected.status().code();
+    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    co_return;
+  }
+  const std::vector<std::size_t>& chosen = *selected;
+
+  // Fetch the chosen fragments: local slot from the store, remote slots
+  // from peers, all in flight concurrently.
+  struct Fetch {
+    std::size_t slot = 0;
+    sim::Future<Response> future;  // invalid for local fetches
+    SharedBytes value;
+    std::optional<ChunkInfo> info;
+    bool ok = false;
+  };
+  std::vector<Fetch> fetches(chosen.size());
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const std::size_t slot = chosen[i];
+    fetches[i].slot = slot;
+    const std::size_t owner = ec.ring->slot_index(req.key, slot);
+    const Key ckey = chunk_key(req.key, slot);
+    if (owner == ec.my_index) {
+      auto got = self->store_.get(ckey);
+      if (got.ok()) {
+        co_await self->workers_.execute(
+            self->read_cost(got->value ? got->value->size() : 0));
+        fetches[i].value = got->value;
+        fetches[i].info = got->chunk;
+        fetches[i].ok = true;
+      }
+      continue;
+    }
+    co_await self->workers_.execute(kPeerIssueNs);
+    Request peer;
+    peer.verb = Verb::kGet;
+    peer.key = ckey;
+    fetches[i].future = self->call((*ec.server_nodes)[owner], std::move(peer));
+  }
+  for (auto& f : fetches) {
+    if (!f.future.valid()) continue;
+    Response r = co_await f.future.wait();
+    if (r.code == StatusCode::kOk) {
+      f.value = std::move(r.value);
+      f.info = r.chunk;
+      f.ok = true;
+    }
+  }
+
+  std::optional<ChunkInfo> meta;
+  std::size_t missing_data = k;  // data slots we could not fetch directly
+  for (const auto& f : fetches) {
+    if (!f.ok) continue;
+    if (f.info) meta = f.info;
+    if (f.slot < k) --missing_data;
+  }
+  const std::size_t fetched =
+      static_cast<std::size_t>(std::count_if(fetches.begin(), fetches.end(),
+                                             [](const Fetch& f) { return f.ok; }));
+  if (fetched < k || !meta) {
+    resp.code = StatusCode::kNotFound;
+    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    co_return;
+  }
+
+  const std::size_t value_size = meta->original_size;
+  if (missing_data > 0) {
+    co_await self->workers_.execute(ec.cost.decode_ns(
+        value_size, static_cast<unsigned>(missing_data)));
+  }
+
+  const ec::ChunkLayout layout =
+      ec::make_layout(value_size, k, ec.codec->alignment());
+  Bytes value(value_size);
+  if (ec.materialize) {
+    // Rebuild missing data fragments with the real codec, then join.
+    std::vector<Bytes> storage(n, Bytes(layout.fragment_size));
+    std::vector<bool> present(n, false);
+    for (const auto& f : fetches) {
+      if (!f.ok || !f.value) continue;
+      storage[f.slot] = *f.value;
+      present[f.slot] = true;
+    }
+    std::vector<ByteSpan> spans(storage.begin(), storage.end());
+    if (missing_data > 0) {
+      const Status s = ec.codec->reconstruct_data(spans, present);
+      if (!s.ok()) {
+        resp.code = s.code();
+        if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+        co_return;
+      }
+    }
+    std::vector<ConstByteSpan> data(
+        storage.begin(), storage.begin() + static_cast<std::ptrdiff_t>(k));
+    Result<Bytes> joined = ec::join_fragments(data, layout);
+    if (!joined.ok()) {
+      resp.code = joined.status().code();
+      if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+      co_return;
+    }
+    value = std::move(*joined);
+  }
+
+  resp.code = StatusCode::kOk;
+  resp.value = make_shared_bytes(std::move(value));
+  if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+}
+
+}  // namespace hpres::kv

@@ -1,0 +1,103 @@
+// KV server process: storage engine + worker pool + request handlers,
+// including the server-side erasure offloads (kSetEncode / kGetDecode)
+// that implement the paper's Era-SE-* and Era-*-SD designs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ec/chunker.h"
+#include "ec/codec.h"
+#include "ec/cost_model.h"
+#include "kv/hash_ring.h"
+#include "kv/membership.h"
+#include "kv/rpc.h"
+#include "kv/store.h"
+#include "sim/sync.h"
+
+namespace hpres::kv {
+
+struct ServerParams {
+  std::uint32_t workers = 8;            ///< worker threads (paper: 8)
+  SimDur request_cpu_ns = 1'500;        ///< per-request dispatch + hashing
+  double store_ns_per_byte = 0.5;       ///< value copy + slab alloc (~2 GB/s)
+  /// Read path is far cheaper: responses DMA straight out of the
+  /// registered slab (RDMA-Memcached's near-zero-copy get).
+  double read_ns_per_byte = 0.12;
+  std::uint64_t memory_bytes = 20ULL * 1024 * 1024 * 1024;  ///< 20 GB default
+  /// SSD overflow tier (0 = disabled): the SSD-assisted hybrid design of
+  /// the RDMA-Memcached the paper builds on. Rates model a PCIe SSD.
+  std::uint64_t ssd_bytes = 0;
+  SimDur ssd_access_ns = 60'000;       ///< device access latency per op
+  double ssd_read_ns_per_byte = 0.7;   ///< ~1.4 GB/s read
+  double ssd_write_ns_per_byte = 1.1;  ///< ~0.9 GB/s write (demotion)
+};
+
+/// Erasure-coding context a server needs only when it participates in
+/// server-side encode/decode. All referenced objects must outlive the
+/// server.
+struct ServerEcContext {
+  const ec::Codec* codec = nullptr;
+  ec::CostModel cost;
+  const HashRing* ring = nullptr;
+  const Membership* membership = nullptr;
+  const std::vector<NodeId>* server_nodes = nullptr;  ///< index -> NodeId
+  std::size_t my_index = 0;                           ///< index in the list
+  /// When false, chunk payloads are size-only placeholders (benchmarks);
+  /// when true, real bytes flow and decode really reconstructs (tests).
+  bool materialize = true;
+};
+
+class Server final : public RpcNode {
+ public:
+  Server(sim::Simulator& sim, KvFabric& fabric, NodeId id,
+         ServerParams params);
+
+  /// Enables server-side erasure offload handling.
+  void enable_ec(ServerEcContext ctx) { ec_ = std::move(ctx); }
+
+  [[nodiscard]] StorageEngine& store() noexcept { return store_; }
+  [[nodiscard]] const StorageEngine& store() const noexcept { return store_; }
+  [[nodiscard]] const ServerParams& params() const noexcept { return params_; }
+
+  /// Marks this server failed: it stops serving (requests are dropped) and
+  /// the fabric refuses traffic to it. Callers must ensure no operation is
+  /// mid-flight to this node (controlled-failure experiments only).
+  void fail();
+  void recover();
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+ protected:
+  void on_request(KvEnvelope env) override;
+
+  /// Fragment distributions whose peer acks never arrived (peer failed
+  /// mid-flight); diagnostics for the controlled-failure experiments.
+  [[nodiscard]] std::uint64_t background_set_failures() const noexcept {
+    return background_set_failures_;
+  }
+
+ private:
+  static sim::Task<void> handle_plain(Server* self, KvEnvelope env);
+  static sim::Task<void> handle_set_encode(Server* self, KvEnvelope env);
+  static sim::Task<void> handle_get_decode(Server* self, KvEnvelope env);
+
+  [[nodiscard]] SimDur touch_cost(std::size_t bytes) const noexcept {
+    return params_.request_cpu_ns +
+           static_cast<SimDur>(params_.store_ns_per_byte *
+                               static_cast<double>(bytes));
+  }
+  [[nodiscard]] SimDur read_cost(std::size_t bytes) const noexcept {
+    return params_.request_cpu_ns +
+           static_cast<SimDur>(params_.read_ns_per_byte *
+                               static_cast<double>(bytes));
+  }
+
+  ServerParams params_;
+  StorageEngine store_;
+  sim::WorkerPool workers_;
+  std::optional<ServerEcContext> ec_;
+  bool failed_ = false;
+  std::uint64_t background_set_failures_ = 0;
+};
+
+}  // namespace hpres::kv

@@ -1,0 +1,133 @@
+#include "kv/store.h"
+
+#include <cassert>
+
+namespace hpres::kv {
+
+Status StorageEngine::set(const Key& key, SharedBytes value,
+                          std::optional<ChunkInfo> chunk) {
+  ++stats_.set_ops;
+  const std::size_t charge = charge_for(key, value);
+  if (charge > capacity_) {
+    ++stats_.rejected_sets;
+    return Status{StatusCode::kOutOfMemory, "item exceeds server capacity"};
+  }
+
+  if (const auto it = map_.find(key); it != map_.end()) {
+    used_ -= it->second.charged_bytes;
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+  }
+  // Drop any stale SSD copy so a later promotion cannot resurrect it.
+  if (const auto sit = ssd_map_.find(key); sit != ssd_map_.end()) {
+    ssd_used_ -= sit->second.charged_bytes;
+    ssd_lru_.erase(sit->second.lru_it);
+    ssd_map_.erase(sit);
+  }
+  while (used_ + charge > capacity_) evict_one();
+
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(value), chunk, charge, lru_.begin()});
+  used_ += charge;
+  return Status::Ok();
+}
+
+Result<StorageEngine::GetResult> StorageEngine::get(const Key& key) {
+  ++stats_.get_ops;
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    // Memory miss: consult the SSD tier, promoting on a hit.
+    const auto sit = ssd_map_.find(key);
+    if (sit == ssd_map_.end()) {
+      ++stats_.misses;
+      return Status{StatusCode::kNotFound};
+    }
+    ++stats_.hits;
+    ++stats_.ssd_hits;
+    ++stats_.promotions;
+    Entry entry = std::move(sit->second);
+    ssd_used_ -= entry.charged_bytes;
+    ssd_lru_.erase(entry.lru_it);
+    ssd_map_.erase(sit);
+    GetResult out{entry.value, entry.chunk, /*from_ssd=*/true};
+    // Re-admit to memory (may demote colder items in turn).
+    while (used_ + entry.charged_bytes > capacity_ && !lru_.empty()) {
+      evict_one();
+    }
+    lru_.push_front(key);
+    entry.lru_it = lru_.begin();
+    used_ += entry.charged_bytes;
+    map_.emplace(key, std::move(entry));
+    return out;
+  }
+  ++stats_.hits;
+  // Refresh LRU position.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
+  return GetResult{it->second.value, it->second.chunk, false};
+}
+
+bool StorageEngine::erase(const Key& key) {
+  if (const auto it = map_.find(key); it != map_.end()) {
+    used_ -= it->second.charged_bytes;
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    return true;
+  }
+  if (const auto sit = ssd_map_.find(key); sit != ssd_map_.end()) {
+    ssd_used_ -= sit->second.charged_bytes;
+    ssd_lru_.erase(sit->second.lru_it);
+    ssd_map_.erase(sit);
+    return true;
+  }
+  return false;
+}
+
+void StorageEngine::evict_one() {
+  assert(!lru_.empty() && "capacity accounting underflow");
+  const Key victim = lru_.back();
+  const auto it = map_.find(victim);
+  assert(it != map_.end());
+  ++stats_.evictions;
+  Entry entry = std::move(it->second);
+  used_ -= entry.charged_bytes;
+  lru_.pop_back();
+  map_.erase(it);
+  if (ssd_enabled() && entry.charged_bytes <= ssd_capacity_) {
+    demote_to_ssd(victim, std::move(entry));
+  } else {
+    stats_.evicted_bytes += entry.value ? entry.value->size() : 0;
+  }
+}
+
+void StorageEngine::demote_to_ssd(const Key& key, Entry entry) {
+  while (ssd_used_ + entry.charged_bytes > ssd_capacity_) {
+    evict_one_from_ssd();
+  }
+  // Replace any stale SSD copy of the same key.
+  if (const auto sit = ssd_map_.find(key); sit != ssd_map_.end()) {
+    ssd_used_ -= sit->second.charged_bytes;
+    ssd_lru_.erase(sit->second.lru_it);
+    ssd_map_.erase(sit);
+  }
+  ++stats_.demotions;
+  stats_.demoted_bytes += entry.value ? entry.value->size() : 0;
+  ssd_lru_.push_front(key);
+  entry.lru_it = ssd_lru_.begin();
+  ssd_used_ += entry.charged_bytes;
+  ssd_map_.emplace(key, std::move(entry));
+}
+
+void StorageEngine::evict_one_from_ssd() {
+  assert(!ssd_lru_.empty() && "SSD accounting underflow");
+  const Key victim = ssd_lru_.back();
+  const auto it = ssd_map_.find(victim);
+  assert(it != ssd_map_.end());
+  ++stats_.evictions;
+  stats_.evicted_bytes += it->second.value ? it->second.value->size() : 0;
+  ssd_used_ -= it->second.charged_bytes;
+  ssd_lru_.pop_back();
+  ssd_map_.erase(it);
+}
+
+}  // namespace hpres::kv

@@ -1,0 +1,124 @@
+// In-memory storage engine of one KV server: hash table + LRU eviction
+// under a byte-capacity cap, with the accounting needed by the paper's
+// memory-efficiency experiment (Figure 10): bytes used, evictions, and the
+// bytes of cached data lost to eviction pressure.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "kv/protocol.h"
+
+namespace hpres::kv {
+
+struct StoreStats {
+  std::uint64_t set_ops = 0;
+  std::uint64_t get_ops = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;       ///< items evicted under memory pressure
+  std::uint64_t evicted_bytes = 0;   ///< value bytes lost to eviction
+  std::uint64_t rejected_sets = 0;   ///< values larger than total capacity
+  // SSD tier (when enabled): evictions demote instead of dropping.
+  std::uint64_t demotions = 0;       ///< items moved memory -> SSD
+  std::uint64_t demoted_bytes = 0;
+  std::uint64_t promotions = 0;      ///< SSD hits moved back to memory
+  std::uint64_t ssd_hits = 0;
+};
+
+/// Capacity of the optional SSD tier backing the in-memory store — the
+/// SSD-assisted hybrid design of the RDMA-Memcached the paper builds on
+/// (its Boldio servers cache into "SSD-assisted RDMA-enabled Memcached").
+struct SsdConfig {
+  std::uint64_t capacity_bytes = 0;
+};
+
+class StorageEngine {
+ public:
+  /// Per-item metadata + hash-table overhead charged against capacity,
+  /// matching Memcached's item header ballpark.
+  static constexpr std::size_t kItemOverhead = 56;
+
+  explicit StorageEngine(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Enables the SSD overflow tier: memory evictions demote to SSD, SSD
+  /// hits promote back (and report from_ssd so the server can charge the
+  /// device latency). SSD-capacity overflow is real data loss.
+  void enable_ssd(SsdConfig ssd) { ssd_capacity_ = ssd.capacity_bytes; }
+  [[nodiscard]] bool ssd_enabled() const noexcept {
+    return ssd_capacity_ > 0;
+  }
+  [[nodiscard]] std::uint64_t ssd_bytes_used() const noexcept {
+    return ssd_used_;
+  }
+  [[nodiscard]] std::uint64_t ssd_capacity() const noexcept {
+    return ssd_capacity_;
+  }
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Inserts or replaces; evicts LRU items as needed. Fails with
+  /// kOutOfMemory only when the single item exceeds total capacity.
+  Status set(const Key& key, SharedBytes value,
+             std::optional<ChunkInfo> chunk = std::nullopt);
+
+  struct GetResult {
+    SharedBytes value;
+    std::optional<ChunkInfo> chunk;
+    bool from_ssd = false;  ///< served via promotion from the SSD tier
+  };
+
+  /// Fetches and refreshes LRU position.
+  Result<GetResult> get(const Key& key);
+
+  /// Removes a key; returns whether it existed.
+  bool erase(const Key& key);
+
+  /// Snapshot of every stored key, in LRU order (most recent first). Used
+  /// by the scan verb for repair discovery; O(items).
+  [[nodiscard]] std::vector<Key> keys() const {
+    return {lru_.begin(), lru_.end()};
+  }
+
+  [[nodiscard]] std::uint64_t bytes_used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t items() const noexcept { return map_.size(); }
+  [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    SharedBytes value;
+    std::optional<ChunkInfo> chunk;
+    std::size_t charged_bytes = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  [[nodiscard]] static std::size_t charge_for(const Key& key,
+                                              const SharedBytes& value) {
+    return key.size() + (value ? value->size() : 0) + kItemOverhead;
+  }
+
+  void evict_one();
+  void evict_one_from_ssd();
+  void demote_to_ssd(const Key& key, Entry entry);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<Key, Entry> map_;
+  std::list<Key> lru_;  // front = most recent
+  // SSD tier (enabled when ssd_capacity_ > 0).
+  std::uint64_t ssd_capacity_ = 0;
+  std::uint64_t ssd_used_ = 0;
+  std::unordered_map<Key, Entry> ssd_map_;
+  std::list<Key> ssd_lru_;
+  StoreStats stats_;
+};
+
+}  // namespace hpres::kv

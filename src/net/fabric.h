@@ -1,0 +1,169 @@
+// Simulated message fabric: per-node NICs with bandwidth serialization, a
+// shared wire latency, and the eager/rendezvous protocol switch of
+// RDMA-Memcached. The fabric is templated on the message body so upper
+// layers define their own wire protocol; delivery order per (src, dst) pair
+// is FIFO, matching a reliable connected transport (IB RC queue pairs).
+//
+// Timing model for a payload of s bytes from A to B at time t (see
+// DESIGN.md): the message first waits for A's send NIC, occupies it for
+// ser = per_message + s/B (plus the rendezvous handshake for large
+// messages), crosses the wire in latency L, then occupies B's receive NIC
+// for its serialization time (this is what creates incast queueing when K
+// chunk responses converge on one client). An unloaded transfer completes
+// in per_message + L + s/B — the paper's Equation 1.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/params.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace hpres::net {
+
+/// Delivery wrapper handed to the receiving node's inbox.
+template <typename Body>
+struct Envelope {
+  NodeId src = 0;
+  NodeId dst = 0;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+  std::size_t wire_bytes = 0;
+  Body body;
+};
+
+/// Aggregate transfer statistics (per fabric).
+struct FabricStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;  ///< sent to a failed node
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t rendezvous_handshakes = 0;
+};
+
+template <typename Body>
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, FabricParams params, std::size_t num_nodes)
+      : sim_(&sim), params_(params), nics_(num_nodes) {
+    inboxes_.reserve(num_nodes);
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      inboxes_.push_back(std::make_unique<sim::Channel<Envelope<Body>>>(sim));
+    }
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return inboxes_.size();
+  }
+  [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
+  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+
+  /// The receive queue for a node; server/client processes loop on
+  /// `co_await fabric.inbox(id).recv()`.
+  [[nodiscard]] sim::Channel<Envelope<Body>>& inbox(NodeId id) {
+    assert(id < inboxes_.size());
+    return *inboxes_[id];
+  }
+
+  /// Marks a node up/down. Messages to a down node are dropped (its HCA is
+  /// gone); senders discover failures through the membership service, not
+  /// through timeouts (see DESIGN.md failure model).
+  void set_node_up(NodeId id, bool up) {
+    assert(id < nics_.size());
+    nics_[id].up = up;
+  }
+  [[nodiscard]] bool node_up(NodeId id) const {
+    assert(id < nics_.size());
+    return nics_[id].up;
+  }
+
+  /// Asynchronously transfers `body` with `payload_bytes` of payload.
+  /// Returns immediately; delivery lands in the destination inbox at the
+  /// modeled time. Loopback (src == dst) skips the NIC entirely and
+  /// delivers after a fixed small local latency.
+  void send(NodeId src, NodeId dst, Body body, std::size_t payload_bytes) {
+    assert(src < nics_.size() && dst < nics_.size());
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload_bytes;
+    if (!nics_[dst].up || !nics_[src].up) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    const SimTime now = sim_->now();
+    Envelope<Body> env{src, dst, now, 0, payload_bytes + params_.header_bytes,
+                       std::move(body)};
+
+    if (src == dst) {
+      env.delivered_at = now + kLoopbackNs;
+      deliver_at(env.delivered_at, std::move(env));
+      return;
+    }
+
+    SimDur pre_tx = 0;  // protocol work before the payload can move
+    const bool rendezvous = payload_bytes >= params_.rendezvous_threshold;
+    if (rendezvous) {
+      // RTS/CTS control round trip before the zero-copy transfer.
+      pre_tx += 2 * params_.latency_ns;
+      ++stats_.rendezvous_handshakes;
+    } else {
+      // Eager: copy into pre-registered bounce buffers.
+      pre_tx += static_cast<SimDur>(params_.eager_copy_ns_per_byte *
+                                    static_cast<double>(payload_bytes));
+    }
+
+    const SimDur ser = params_.per_message_ns +
+                       units::transfer_time_ns(env.wire_bytes,
+                                               params_.bandwidth_gbps);
+    // Sender NIC: queue behind earlier transmissions, then serialize.
+    NicState& src_nic = nics_[src];
+    const SimTime tx_start = std::max(now + pre_tx, src_nic.tx_busy_until);
+    const SimTime tx_end = tx_start + ser;
+    src_nic.tx_busy_until = tx_end;
+
+    // Receiver NIC: the stream could start landing `ser` before its last
+    // bit (cut-through); queue behind other arrivals.
+    NicState& dst_nic = nics_[dst];
+    const SimTime rx_start =
+        std::max(tx_end + params_.latency_ns - ser, dst_nic.rx_busy_until);
+    const SimTime rx_end = rx_start + ser;
+    dst_nic.rx_busy_until = rx_end;
+
+    env.delivered_at = rx_end;
+    deliver_at(rx_end, std::move(env));
+  }
+
+ private:
+  static constexpr SimDur kLoopbackNs = 400;
+
+  struct NicState {
+    SimTime tx_busy_until = 0;
+    SimTime rx_busy_until = 0;
+    bool up = true;
+  };
+
+  void deliver_at(SimTime when, Envelope<Body> env) {
+    const SimDur delay = when - sim_->now();
+    sim_->spawn(deliver_coro(sim_, inboxes_[env.dst].get(), delay,
+                             std::move(env)));
+  }
+
+  // Free coroutine per CP.51/CP.53: parameters by value / raw pointers that
+  // outlive the fabric's messages.
+  static sim::Task<void> deliver_coro(sim::Simulator* sim,
+                                      sim::Channel<Envelope<Body>>* inbox,
+                                      SimDur delay, Envelope<Body> env) {
+    co_await sim->delay(delay);
+    inbox->send(std::move(env));
+  }
+
+  sim::Simulator* sim_;
+  FabricParams params_;
+  std::vector<NicState> nics_;
+  std::vector<std::unique_ptr<sim::Channel<Envelope<Body>>>> inboxes_;
+  FabricStats stats_;
+};
+
+}  // namespace hpres::net

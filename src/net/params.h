@@ -1,0 +1,92 @@
+// Network fabric parameterization: the simulated stand-ins for the paper's
+// InfiniBand QDR/FDR/EDR interconnects (RDMA verbs transport) and IPoIB
+// (TCP over IB). See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace hpres::net {
+
+using NodeId = std::uint32_t;
+
+/// Latency/bandwidth/protocol model of one interconnect + transport stack.
+struct FabricParams {
+  std::string_view name = "fabric";
+
+  /// One-way wire latency (switch + propagation + HCA), ns.
+  SimDur latency_ns = 1'700;
+
+  /// Effective point-to-point bandwidth, Gbit/s (line rate minus protocol
+  /// overheads; e.g. IB QDR 32 Gbps line rate yields ~26 Gbps payload).
+  double bandwidth_gbps = 26.0;
+
+  /// Fixed per-message cost charged to the sending NIC (doorbell, header
+  /// DMA, completion handling), ns.
+  SimDur per_message_ns = 300;
+
+  /// Messages at or above this payload size use the rendezvous protocol:
+  /// an RTS/CTS control handshake (one extra round trip) precedes the
+  /// zero-copy payload transfer. Below it, eager copies into pre-registered
+  /// bounce buffers (extra per-byte copy cost, no handshake). This is the
+  /// RDMA-Memcached protocol switch the paper observes at 16 KB.
+  std::size_t rendezvous_threshold = 16 * 1024;
+
+  /// Eager-path copy cost, ns per payload byte (bounce-buffer memcpy).
+  double eager_copy_ns_per_byte = 0.08;
+
+  /// Bytes of wire framing added to every message.
+  std::size_t header_bytes = 64;
+
+  // --- Presets mirroring the paper's three testbeds + IPoIB baseline -----
+
+  /// Mellanox IB QDR (32 Gbps) with RDMA verbs — the RI-QDR cluster.
+  static FabricParams rdma_qdr() {
+    return FabricParams{.name = "rdma-qdr",
+                        .latency_ns = 1'700,
+                        .bandwidth_gbps = 26.0,
+                        .per_message_ns = 300,
+                        .rendezvous_threshold = 16 * 1024,
+                        .eager_copy_ns_per_byte = 0.08,
+                        .header_bytes = 64};
+  }
+
+  /// Mellanox IB FDR (56 Gbps) — the SDSC-Comet cluster.
+  static FabricParams rdma_fdr() {
+    return FabricParams{.name = "rdma-fdr",
+                        .latency_ns = 1'200,
+                        .bandwidth_gbps = 48.0,
+                        .per_message_ns = 250,
+                        .rendezvous_threshold = 16 * 1024,
+                        .eager_copy_ns_per_byte = 0.07,
+                        .header_bytes = 64};
+  }
+
+  /// Mellanox IB EDR (100 Gbps) — the RI2-EDR cluster.
+  static FabricParams rdma_edr() {
+    return FabricParams{.name = "rdma-edr",
+                        .latency_ns = 900,
+                        .bandwidth_gbps = 90.0,
+                        .per_message_ns = 200,
+                        .rendezvous_threshold = 16 * 1024,
+                        .eager_copy_ns_per_byte = 0.06,
+                        .header_bytes = 64};
+  }
+
+  /// TCP/IP over IB (IPoIB) on the QDR fabric: kernel stack latency and a
+  /// fraction of the payload bandwidth; no RDMA protocols (the rendezvous
+  /// threshold is pushed out of range, every byte pays the socket copy).
+  static FabricParams ipoib_qdr() {
+    return FabricParams{.name = "ipoib-qdr",
+                        .latency_ns = 11'000,
+                        .bandwidth_gbps = 14.0,
+                        .per_message_ns = 2'500,
+                        .rendezvous_threshold = static_cast<std::size_t>(-1),
+                        .eager_copy_ns_per_byte = 0.25,
+                        .header_bytes = 96};
+  }
+};
+
+}  // namespace hpres::net

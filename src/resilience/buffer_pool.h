@@ -1,0 +1,48 @@
+// Pre-registered buffer pool of the ARPE (Section IV-A): a fixed number of
+// RDMA-registered bounce buffers. Operations hold one buffer for their
+// lifetime; exhaustion applies backpressure (the request queues) rather
+// than failing, and the pool records how often that happened.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sync.h"
+
+namespace hpres::resilience {
+
+struct BufferPoolStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t backpressure_waits = 0;  ///< acquire had to queue
+  std::uint32_t high_water = 0;          ///< max buffers simultaneously held
+};
+
+class BufferPool {
+ public:
+  BufferPool(sim::Simulator& sim, std::uint32_t buffers)
+      : sem_(sim, buffers), total_(buffers) {}
+
+  [[nodiscard]] std::uint32_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint32_t in_use() const noexcept {
+    return total_ - sem_.available();
+  }
+  [[nodiscard]] const BufferPoolStats& stats() const noexcept { return stats_; }
+
+  /// Acquires one registered buffer, queueing under exhaustion.
+  sim::Task<void> acquire() {
+    ++stats_.acquisitions;
+    if (!sem_.try_acquire()) {
+      ++stats_.backpressure_waits;
+      co_await sem_.acquire();
+    }
+    stats_.high_water = std::max(stats_.high_water, in_use());
+  }
+
+  void release() { sem_.release(); }
+
+ private:
+  sim::Semaphore sem_;
+  std::uint32_t total_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace hpres::resilience

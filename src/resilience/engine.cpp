@@ -1,0 +1,101 @@
+#include "resilience/engine.h"
+
+namespace hpres::resilience {
+
+sim::Task<Status> Engine::set(kv::Key key, SharedBytes value) {
+  const SimTime t0 = sim().now();
+  OpPhases phases;
+  const Status status = co_await do_set(std::move(key), std::move(value),
+                                        &phases);
+  const SimDur total = sim().now() - t0;
+  ++stats_.sets;
+  if (!status.ok()) ++stats_.set_failures;
+  stats_.set_latency.record(total);
+  stats_.set_phases.request_ns += phases.request_ns;
+  stats_.set_phases.compute_ns += phases.compute_ns;
+  stats_.set_phases.wait_ns +=
+      std::max<SimDur>(0, total - phases.request_ns - phases.compute_ns);
+  co_return status;
+}
+
+sim::Task<Result<Bytes>> Engine::get(kv::Key key) {
+  const SimTime t0 = sim().now();
+  OpPhases phases;
+  Result<Bytes> result = co_await do_get(std::move(key), &phases);
+  const SimDur total = sim().now() - t0;
+  ++stats_.gets;
+  if (!result.ok()) ++stats_.get_failures;
+  stats_.get_latency.record(total);
+  stats_.get_phases.request_ns += phases.request_ns;
+  stats_.get_phases.compute_ns += phases.compute_ns;
+  stats_.get_phases.wait_ns +=
+      std::max<SimDur>(0, total - phases.request_ns - phases.compute_ns);
+  co_return result;
+}
+
+sim::Task<std::vector<Status>> Engine::mset(
+    std::vector<kv::Key> keys, std::vector<SharedBytes> values) {
+  std::vector<sim::Future<Status>> pending;
+  pending.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    pending.push_back(iset(std::move(keys[i]),
+                           i < values.size() ? std::move(values[i])
+                                             : SharedBytes{}));
+  }
+  std::vector<Status> out;
+  out.reserve(pending.size());
+  for (const auto& f : pending) out.push_back(co_await f.wait());
+  co_return out;
+}
+
+sim::Task<std::vector<Result<Bytes>>> Engine::mget(
+    std::vector<kv::Key> keys) {
+  std::vector<sim::Future<Result<Bytes>>> pending;
+  pending.reserve(keys.size());
+  for (auto& key : keys) pending.push_back(iget(std::move(key)));
+  std::vector<Result<Bytes>> out;
+  out.reserve(pending.size());
+  for (const auto& f : pending) out.push_back(co_await f.wait());
+  co_return out;
+}
+
+sim::Task<Status> Engine::del(kv::Key key) {
+  ++stats_.dels;
+  co_return co_await do_del(std::move(key));
+}
+
+sim::Future<Status> Engine::iset(kv::Key key, SharedBytes value) {
+  sim::Promise<Status> promise(sim());
+  sim::Future<Status> future = promise.get_future();
+  arpe_.submit();  // visible to wait_all immediately (REQ_QUEUE semantics)
+  sim().spawn(iset_coro(this, std::move(key), std::move(value),
+                        std::move(promise)));
+  return future;
+}
+
+sim::Future<Result<Bytes>> Engine::iget(kv::Key key) {
+  sim::Promise<Result<Bytes>> promise(sim());
+  sim::Future<Result<Bytes>> future = promise.get_future();
+  arpe_.submit();
+  sim().spawn(iget_coro(this, std::move(key), std::move(promise)));
+  return future;
+}
+
+sim::Task<void> Engine::iset_coro(Engine* self, kv::Key key,
+                                  SharedBytes value,
+                                  sim::Promise<Status> out) {
+  co_await self->arpe_.admit();
+  const Status status = co_await self->set(std::move(key), std::move(value));
+  self->arpe_.complete();
+  out.set_value(status);
+}
+
+sim::Task<void> Engine::iget_coro(Engine* self, kv::Key key,
+                                  sim::Promise<Result<Bytes>> out) {
+  co_await self->arpe_.admit();
+  Result<Bytes> result = co_await self->get(std::move(key));
+  self->arpe_.complete();
+  out.set_value(std::move(result));
+}
+
+}  // namespace hpres::resilience

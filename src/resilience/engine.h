@@ -1,0 +1,146 @@
+// Resilience engine interface: the client-side layer that turns one
+// application Set/Get into the fan-out required by a resilience scheme
+// (replication or online erasure coding), with blocking (memcached_set/get)
+// and non-blocking (memcached_iset/iget + wait) entry points.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "kv/client.h"
+#include "kv/hash_ring.h"
+#include "kv/membership.h"
+#include "resilience/arpe.h"
+
+namespace hpres::resilience {
+
+/// Client-side time decomposition of one operation class, mirroring the
+/// paper's Figure 9: Request (issue), Encode/Decode (compute) and
+/// Wait-Response (everything else in the op's latency).
+struct PhaseBreakdown {
+  SimDur request_ns = 0;
+  SimDur compute_ns = 0;
+  SimDur wait_ns = 0;
+
+  [[nodiscard]] SimDur total() const noexcept {
+    return request_ns + compute_ns + wait_ns;
+  }
+};
+
+struct EngineStats {
+  LatencyHistogram set_latency;
+  LatencyHistogram get_latency;
+  PhaseBreakdown set_phases;
+  PhaseBreakdown get_phases;
+  std::uint64_t sets = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t dels = 0;
+  std::uint64_t set_failures = 0;
+  std::uint64_t get_failures = 0;
+  std::uint64_t degraded_gets = 0;  ///< gets that needed failure handling
+  std::uint64_t fallback_gets = 0;  ///< CD gets retried via the server path
+};
+
+/// Everything a client-side engine needs from its host. All referenced
+/// objects must outlive the engine.
+struct EngineContext {
+  sim::Simulator* sim = nullptr;
+  kv::Client* client = nullptr;
+  const kv::HashRing* ring = nullptr;
+  const kv::Membership* membership = nullptr;
+  const std::vector<net::NodeId>* server_nodes = nullptr;
+  /// False = size-only payloads (benchmark mode, costs still charged).
+  bool materialize = true;
+};
+
+class Engine {
+ public:
+  Engine(EngineContext ctx, ArpeParams arpe_params)
+      : ctx_(ctx), arpe_(*ctx.sim, arpe_params) {}
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Number of simultaneous server failures this engine tolerates.
+  [[nodiscard]] virtual std::size_t fault_tolerance() const noexcept = 0;
+
+  /// Blocking Set: resolves when the value is durable per the scheme.
+  /// Records latency and phase stats.
+  sim::Task<Status> set(kv::Key key, SharedBytes value);
+
+  /// Blocking Get: resolves with the reassembled value.
+  sim::Task<Result<Bytes>> get(kv::Key key);
+
+  /// Blocking Delete: removes the value from every replica / every
+  /// fragment owner. OK if any copy existed; kNotFound if none did.
+  sim::Task<Status> del(kv::Key key);
+
+  /// Non-blocking variants: admission through the ARPE window, completion
+  /// through the returned future (memcached_iset/iget + wait/test).
+  sim::Future<Status> iset(kv::Key key, SharedBytes value);
+  sim::Future<Result<Bytes>> iget(kv::Key key);
+
+  /// Bulk operations (the paper's Section III-B bulk access patterns):
+  /// every element is submitted through the ARPE window before any is
+  /// awaited, so the D/B transfer factors of the batch overlap.
+  sim::Task<std::vector<Status>> mset(std::vector<kv::Key> keys,
+                                      std::vector<SharedBytes> values);
+  sim::Task<std::vector<Result<Bytes>>> mget(std::vector<kv::Key> keys);
+
+  /// Waits for every in-flight non-blocking op (memcached_wait on all).
+  sim::Task<void> wait_all() { return arpe_.drain(); }
+
+  [[nodiscard]] EngineStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Arpe& arpe() noexcept { return arpe_; }
+
+ protected:
+  /// Phase accounting filled by implementations during one operation.
+  struct OpPhases {
+    SimDur request_ns = 0;
+    SimDur compute_ns = 0;
+  };
+
+  virtual sim::Task<Status> do_set(kv::Key key, SharedBytes value,
+                                   OpPhases* phases) = 0;
+  virtual sim::Task<Result<Bytes>> do_get(kv::Key key, OpPhases* phases) = 0;
+  virtual sim::Task<Status> do_del(kv::Key key) = 0;
+
+  [[nodiscard]] const EngineContext& ctx() const noexcept { return ctx_; }
+  [[nodiscard]] sim::Simulator& sim() const noexcept { return *ctx_.sim; }
+  [[nodiscard]] kv::Client& client() const noexcept { return *ctx_.client; }
+  [[nodiscard]] const kv::HashRing& ring() const noexcept {
+    return *ctx_.ring;
+  }
+  [[nodiscard]] const kv::Membership& membership() const noexcept {
+    return *ctx_.membership;
+  }
+  [[nodiscard]] net::NodeId node_of(std::size_t server_index) const {
+    return (*ctx_.server_nodes)[server_index];
+  }
+
+  /// Estimated CPU cost of issuing one request (used for the Request phase
+  /// of the breakdown; the true serialization happens on the client CPU).
+  [[nodiscard]] SimDur issue_cost(std::size_t payload) const noexcept {
+    return client().params().issue_cpu_ns +
+           static_cast<SimDur>(client().params().issue_ns_per_byte *
+                               static_cast<double>(payload));
+  }
+
+ private:
+  static sim::Task<void> iset_coro(Engine* self, kv::Key key,
+                                   SharedBytes value,
+                                   sim::Promise<Status> out);
+  static sim::Task<void> iget_coro(Engine* self, kv::Key key,
+                                   sim::Promise<Result<Bytes>> out);
+
+  EngineContext ctx_;
+  Arpe arpe_;
+  EngineStats stats_;
+};
+
+}  // namespace hpres::resilience

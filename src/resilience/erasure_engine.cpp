@@ -1,0 +1,286 @@
+#include "resilience/erasure_engine.h"
+
+#include <cassert>
+
+namespace hpres::resilience {
+
+ErasureEngine::ErasureEngine(EngineContext ctx, const ec::Codec& codec,
+                             ec::CostModel cost, EraMode mode,
+                             ArpeParams arpe)
+    : Engine(ctx, arpe), codec_(&codec), cost_(cost), mode_(mode) {
+  assert(codec.n() <= ring().num_servers() &&
+         "need k+m distinct servers for fragment placement");
+}
+
+sim::Task<Status> ErasureEngine::do_set(kv::Key key, SharedBytes value,
+                                        OpPhases* phases) {
+  if (client_encodes(mode_)) {
+    return set_client_encode(std::move(key), std::move(value), phases);
+  }
+  return set_server_encode(std::move(key), std::move(value), phases);
+}
+
+sim::Task<Result<Bytes>> ErasureEngine::do_get(kv::Key key,
+                                               OpPhases* phases) {
+  if (client_decodes(mode_)) {
+    return get_client_decode(std::move(key), phases);
+  }
+  return get_server_decode(std::move(key), phases);
+}
+
+sim::Task<Status> ErasureEngine::do_del(kv::Key key) {
+  std::vector<sim::Future<kv::Response>> pending;
+  pending.reserve(codec_->n() + 1);
+  for (std::size_t slot = 0; slot < codec_->n(); ++slot) {
+    const std::size_t owner = ring().slot_index(key, slot);
+    if (!membership().up(owner)) continue;
+    kv::Request frag;
+    frag.verb = kv::Verb::kDelete;
+    frag.key = kv::chunk_key(key, slot);
+    pending.push_back(client().call_async(node_of(owner), std::move(frag)));
+    if (slot == 0) {
+      // Also clear any staged full copy left by a server-side encode.
+      kv::Request staged;
+      staged.verb = kv::Verb::kDelete;
+      staged.key = key;
+      pending.push_back(
+          client().call_async(node_of(owner), std::move(staged)));
+    }
+  }
+  std::size_t deleted = 0;
+  for (const auto& f : pending) {
+    const kv::Response resp = co_await f.wait();
+    if (resp.code == StatusCode::kOk) ++deleted;
+  }
+  co_return deleted > 0 ? Status::Ok() : Status{StatusCode::kNotFound};
+}
+
+sim::Task<std::optional<std::size_t>> ErasureEngine::pick_live_slot(
+    kv::Key key) {
+  bool checked = false;
+  std::optional<std::size_t> live;
+  for (std::size_t slot = 0; slot < codec_->n(); ++slot) {
+    if (membership().up(ring().slot_index(key, slot))) {
+      live = slot;
+      break;
+    }
+    checked = true;
+  }
+  if (checked) {
+    ++stats().degraded_gets;
+    co_await sim().delay(membership().check_cost_ns());
+  }
+  co_return live;
+}
+
+sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
+                                                   SharedBytes value,
+                                                   OpPhases* phases) {
+  const std::size_t value_size = value ? value->size() : 0;
+  const std::size_t k = codec_->k();
+  const std::size_t n = codec_->n();
+  const ec::ChunkLayout layout =
+      ec::make_layout(value_size, k, codec_->alignment());
+
+  // T_encode plus the posting of all n chunk requests occupy the client
+  // CPU as one contiguous slice — a single application thread encodes and
+  // then posts its non-blocking sends back-to-back. (Splitting the slice
+  // per send would let other in-flight operations' encodes starve this
+  // op's sends behind the FIFO CPU queue.) Under the ARPE window this
+  // slice overlaps the communication phases of neighbouring operations.
+  const SimDur encode_ns = cost_.encode_ns(value_size);
+  const SimDur post_ns =
+      static_cast<SimDur>(n) *
+      issue_cost(ec::make_layout(value_size, k, codec_->alignment())
+                     .fragment_size);
+  co_await client().cpu().execute(encode_ns + post_ns);
+  phases->compute_ns += encode_ns;
+  phases->request_ns += post_ns;
+
+  std::vector<SharedBytes> fragments;
+  fragments.reserve(n);
+  if (ctx().materialize && value) {
+    std::vector<Bytes> data = ec::split_value(*value, layout);
+    std::vector<ConstByteSpan> data_spans(data.begin(), data.end());
+    std::vector<Bytes> parity(codec_->m(), Bytes(layout.fragment_size));
+    std::vector<ByteSpan> parity_spans(parity.begin(), parity.end());
+    codec_->encode(data_spans, parity_spans);
+    for (auto& f : data) fragments.push_back(make_shared_bytes(std::move(f)));
+    for (auto& p : parity) {
+      fragments.push_back(make_shared_bytes(std::move(p)));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      fragments.push_back(zero_bytes(layout.fragment_size));
+    }
+  }
+
+  // Distribute all K+M fragments with non-blocking requests: the
+  // response waits overlap, approaching Equation 7's max over fragments.
+  std::vector<sim::Future<kv::Response>> pending;
+  pending.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::size_t owner = ring().slot_index(key, slot);
+    if (!membership().up(owner)) continue;
+    kv::Request req;
+    req.verb = kv::Verb::kSet;
+    req.key = kv::chunk_key(key, slot);
+    req.value = fragments[slot];
+    req.chunk = kv::ChunkInfo{value_size, static_cast<std::uint32_t>(slot),
+                              static_cast<std::uint16_t>(k),
+                              static_cast<std::uint16_t>(codec_->m())};
+    pending.push_back(client().call(node_of(owner), std::move(req)));
+  }
+
+  StatusCode worst = StatusCode::kOk;
+  std::size_t stored = 0;
+  for (const auto& f : pending) {
+    const kv::Response resp = co_await f.wait();
+    if (resp.code == StatusCode::kOk) {
+      ++stored;
+    } else {
+      worst = resp.code;
+    }
+  }
+  // Durability requires at least k fragments (any k reconstruct the value).
+  if (stored < k) {
+    co_return Status{StatusCode::kUnavailable,
+                     "fewer than k fragments stored"};
+  }
+  co_return Status{worst};
+}
+
+sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
+                                                   SharedBytes value,
+                                                   OpPhases* phases) {
+  const std::optional<std::size_t> slot = co_await pick_live_slot(key);
+  if (!slot) co_return Status{StatusCode::kUnavailable, "no live server"};
+  const net::NodeId target = node_of(ring().slot_index(key, *slot));
+
+  kv::Request req;
+  req.verb = kv::Verb::kSetEncode;
+  req.key = std::move(key);
+  req.value = std::move(value);
+  phases->request_ns += issue_cost(req.value ? req.value->size() : 0);
+  const kv::Response resp =
+      co_await client().invoke(target, std::move(req));
+  co_return Status{resp.code};
+}
+
+sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
+                                                          OpPhases* phases) {
+  const std::size_t k = codec_->k();
+  const std::size_t n = codec_->n();
+
+  // Select which fragments to fetch, codec-aware (an MDS code takes the
+  // first k live owners, data slots first; LRC skips dependent rows).
+  // Needing to work around a dead owner costs one T_check (Equation 4).
+  std::vector<bool> available(n, false);
+  bool degraded = false;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (membership().up(ring().slot_index(key, slot))) {
+      available[slot] = true;
+    } else {
+      degraded = true;
+    }
+  }
+  if (degraded) {
+    ++stats().degraded_gets;
+    co_await sim().delay(membership().check_cost_ns());
+  }
+  const Result<std::vector<std::size_t>> selected =
+      codec_->select_read_set(available);
+  if (!selected.ok()) co_return selected.status();
+  const std::vector<std::size_t>& chosen = *selected;
+
+  // K non-blocking fragment fetches posted back-to-back from one CPU
+  // slice; the responses overlap (Equation 8).
+  const SimDur post_ns =
+      static_cast<SimDur>(k) * issue_cost(key.size() + 2);
+  co_await client().cpu().execute(post_ns);
+  phases->request_ns += post_ns;
+  std::vector<sim::Future<kv::Response>> pending;
+  pending.reserve(k);
+  for (const std::size_t slot : chosen) {
+    kv::Request req;
+    req.verb = kv::Verb::kGet;
+    req.key = kv::chunk_key(key, slot);
+    pending.push_back(client().call(
+        node_of(ring().slot_index(key, slot)), std::move(req)));
+  }
+
+  std::vector<SharedBytes> values(k);
+  std::optional<kv::ChunkInfo> meta;
+  std::size_t fetched = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    kv::Response resp = co_await pending[i].wait();
+    if (resp.code != StatusCode::kOk) continue;
+    values[i] = std::move(resp.value);
+    if (resp.chunk) meta = resp.chunk;
+    ++fetched;
+  }
+  if (fetched < k || !meta) {
+    if (!client_encodes(mode_)) {
+      // Server-side encode may still be distributing this key's fragments;
+      // the stager holds the full value until every fragment is acked, so
+      // one server-side aggregate resolves the race (read-after-write).
+      ++stats().fallback_gets;
+      co_return co_await get_server_decode(std::move(key), phases);
+    }
+    co_return Status{StatusCode::kNotFound, "missing fragments"};
+  }
+
+  const std::size_t value_size = meta->original_size;
+  std::size_t missing_data = k;
+  for (const std::size_t slot : chosen) {
+    if (slot < k) --missing_data;
+  }
+
+  if (missing_data > 0) {
+    // T_decode on the client CPU, only on the degraded path.
+    const SimDur decode_ns =
+        cost_.decode_ns(value_size, static_cast<unsigned>(missing_data));
+    co_await client().cpu().execute(decode_ns);
+    phases->compute_ns += decode_ns;
+  }
+
+  const ec::ChunkLayout layout =
+      ec::make_layout(value_size, k, codec_->alignment());
+  if (!ctx().materialize) co_return Bytes(value_size);
+
+  // Rebuild missing data fragments for real, then reassemble.
+  std::vector<Bytes> storage(n, Bytes(layout.fragment_size));
+  std::vector<bool> present(n, false);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!values[i]) continue;
+    storage[chosen[i]] = *values[i];
+    present[chosen[i]] = true;
+  }
+  std::vector<ByteSpan> spans(storage.begin(), storage.end());
+  if (missing_data > 0) {
+    const Status s = codec_->reconstruct_data(spans, present);
+    if (!s.ok()) co_return s;
+  }
+  std::vector<ConstByteSpan> data(
+      storage.begin(), storage.begin() + static_cast<std::ptrdiff_t>(k));
+  co_return ec::join_fragments(data, layout);
+}
+
+sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
+                                                          OpPhases* phases) {
+  const std::optional<std::size_t> slot = co_await pick_live_slot(key);
+  if (!slot) {
+    co_return Status{StatusCode::kUnavailable, "no live server"};
+  }
+  const net::NodeId target = node_of(ring().slot_index(key, *slot));
+
+  kv::Request req;
+  req.verb = kv::Verb::kGetDecode;
+  req.key = std::move(key);
+  phases->request_ns += issue_cost(req.key.size());
+  kv::Response resp = co_await client().invoke(target, std::move(req));
+  if (resp.code != StatusCode::kOk) co_return Status{resp.code};
+  co_return resp.value ? Bytes(*resp.value) : Bytes{};
+}
+
+}  // namespace hpres::resilience

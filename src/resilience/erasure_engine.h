@@ -1,0 +1,83 @@
+// Online erasure-coding engine: the paper's primary contribution
+// (Section IV). One engine instance implements one of the four offload
+// designs, combining client- or server-side encode with client- or
+// server-side decode:
+//
+//   Era-CE-CD  client encodes + distributes; client aggregates + decodes
+//   Era-SE-SD  server encodes + distributes; server aggregates + decodes
+//   Era-SE-CD  server encodes; client aggregates + decodes (hybrid)
+//   Era-CE-SD  client encodes; server aggregates + decodes (hybrid,
+//              included for completeness; the paper sets it aside)
+#pragma once
+
+#include "ec/chunker.h"
+#include "ec/codec.h"
+#include "ec/cost_model.h"
+#include "resilience/engine.h"
+
+namespace hpres::resilience {
+
+enum class EraMode : std::uint8_t { kCeCd, kSeSd, kSeCd, kCeSd };
+
+[[nodiscard]] constexpr std::string_view to_string(EraMode m) noexcept {
+  switch (m) {
+    case EraMode::kCeCd: return "era-ce-cd";
+    case EraMode::kSeSd: return "era-se-sd";
+    case EraMode::kSeCd: return "era-se-cd";
+    case EraMode::kCeSd: return "era-ce-sd";
+  }
+  return "era-?";
+}
+
+[[nodiscard]] constexpr bool client_encodes(EraMode m) noexcept {
+  return m == EraMode::kCeCd || m == EraMode::kCeSd;
+}
+[[nodiscard]] constexpr bool client_decodes(EraMode m) noexcept {
+  return m == EraMode::kCeCd || m == EraMode::kSeCd;
+}
+
+class ErasureEngine final : public Engine {
+ public:
+  /// The codec must outlive the engine. Server-side modes additionally
+  /// require every server to have ServerEcContext enabled (see
+  /// Cluster::enable_server_ec).
+  ErasureEngine(EngineContext ctx, const ec::Codec& codec,
+                ec::CostModel cost, EraMode mode, ArpeParams arpe = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return to_string(mode_);
+  }
+  [[nodiscard]] std::size_t fault_tolerance() const noexcept override {
+    return codec_->m();
+  }
+  [[nodiscard]] EraMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const ec::Codec& codec() const noexcept { return *codec_; }
+
+ protected:
+  sim::Task<Status> do_set(kv::Key key, SharedBytes value,
+                           OpPhases* phases) override;
+  sim::Task<Result<Bytes>> do_get(kv::Key key, OpPhases* phases) override;
+
+  /// Deletes every fragment (and any staged full copy) of the key.
+  sim::Task<Status> do_del(kv::Key key) override;
+
+ private:
+  // Set paths.
+  sim::Task<Status> set_client_encode(kv::Key key, SharedBytes value,
+                                      OpPhases* phases);
+  sim::Task<Status> set_server_encode(kv::Key key, SharedBytes value,
+                                      OpPhases* phases);
+  // Get paths.
+  sim::Task<Result<Bytes>> get_client_decode(kv::Key key, OpPhases* phases);
+  sim::Task<Result<Bytes>> get_server_decode(kv::Key key, OpPhases* phases);
+
+  /// First live owner among the key's n slots (for SE/SD targets), paying
+  /// T_check when the designated one is down. Nullopt if all n are dead.
+  sim::Task<std::optional<std::size_t>> pick_live_slot(kv::Key key);
+
+  const ec::Codec* codec_;
+  ec::CostModel cost_;
+  EraMode mode_;
+};
+
+}  // namespace hpres::resilience

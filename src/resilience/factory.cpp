@@ -1,0 +1,33 @@
+#include "resilience/factory.h"
+
+#include <cassert>
+
+namespace hpres::resilience {
+
+std::unique_ptr<Engine> make_engine(Design design, EngineContext ctx,
+                                    std::uint32_t rep_factor,
+                                    const ec::Codec* codec,
+                                    ec::CostModel cost, ArpeParams arpe) {
+  switch (design) {
+    case Design::kNoRep:
+      return std::make_unique<AsyncReplicationEngine>(ctx, 1, arpe);
+    case Design::kSyncRep:
+      return std::make_unique<SyncReplicationEngine>(ctx, rep_factor, arpe);
+    case Design::kAsyncRep:
+      return std::make_unique<AsyncReplicationEngine>(ctx, rep_factor, arpe);
+    case Design::kEraCeCd:
+    case Design::kEraSeSd:
+    case Design::kEraSeCd:
+    case Design::kEraCeSd: {
+      assert(codec != nullptr && "erasure designs require a codec");
+      const EraMode mode = design == Design::kEraCeCd   ? EraMode::kCeCd
+                           : design == Design::kEraSeSd ? EraMode::kSeSd
+                           : design == Design::kEraSeCd ? EraMode::kSeCd
+                                                        : EraMode::kCeSd;
+      return std::make_unique<ErasureEngine>(ctx, *codec, cost, mode, arpe);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace hpres::resilience

@@ -1,0 +1,44 @@
+#include "resilience/hybrid.h"
+
+namespace hpres::resilience {
+
+HybridEngine::HybridEngine(EngineContext ctx, const ec::Codec& codec,
+                           ec::CostModel cost, std::uint32_t rep_factor,
+                           std::size_t threshold_bytes, EraMode mode,
+                           ArpeParams arpe)
+    : Engine(ctx, arpe),
+      replication_(ctx, rep_factor, arpe),
+      erasure_(ctx, codec, cost, mode, arpe),
+      threshold_bytes_(threshold_bytes) {}
+
+sim::Task<Status> HybridEngine::do_set(kv::Key key, SharedBytes value,
+                                       OpPhases* phases) {
+  (void)phases;  // sub-engines keep their own phase accounting
+  const std::size_t size = value ? value->size() : 0;
+  if (size < threshold_bytes_) {
+    co_return co_await replication_.set(std::move(key), std::move(value));
+  }
+  co_return co_await erasure_.set(std::move(key), std::move(value));
+}
+
+sim::Task<Result<Bytes>> HybridEngine::do_get(kv::Key key,
+                                              OpPhases* phases) {
+  (void)phases;
+  // Probe the replication path first: for below-threshold values this is
+  // the single-round-trip hit; for large values it is a cheap miss.
+  Result<Bytes> replicated = co_await replication_.get(key);
+  if (replicated.ok() ||
+      replicated.status().code() != StatusCode::kNotFound) {
+    co_return replicated;
+  }
+  co_return co_await erasure_.get(std::move(key));
+}
+
+sim::Task<Status> HybridEngine::do_del(kv::Key key) {
+  const Status rep = co_await replication_.del(key);
+  const Status era = co_await erasure_.del(std::move(key));
+  co_return rep.ok() || era.ok() ? Status::Ok()
+                                 : Status{StatusCode::kNotFound};
+}
+
+}  // namespace hpres::resilience

@@ -1,0 +1,64 @@
+// Fragment repair coordinator — the recovery machinery the paper defers to
+// future work ("we plan to undertake detailed recovery overhead analysis").
+//
+// When a failed server comes back empty (or a replacement takes its node
+// id), every key keeps working in degraded mode, but each degraded Get
+// pays T_decode and one fewer failure is now tolerable. The coordinator
+// restores full redundancy: it discovers affected keys by scanning a live
+// peer's fragment index, fetches k surviving fragments per key, rebuilds
+// the missing ones with the real codec, and re-places them on their
+// designated owners.
+#pragma once
+
+#include "ec/chunker.h"
+#include "ec/codec.h"
+#include "ec/cost_model.h"
+#include "resilience/engine.h"
+
+namespace hpres::resilience {
+
+struct RepairStats {
+  std::uint64_t keys_scanned = 0;
+  std::uint64_t keys_repaired = 0;      ///< had at least one fragment rebuilt
+  std::uint64_t fragments_rebuilt = 0;
+  std::uint64_t bytes_rebuilt = 0;
+  std::uint64_t fragments_read = 0;     ///< survivor fragments fetched
+  std::uint64_t bytes_read = 0;         ///< repair network traffic
+  std::uint64_t local_repairs = 0;      ///< used the codec's repair locality
+  std::uint64_t unrepairable_keys = 0;  ///< fewer than k fragments survive
+};
+
+class RepairCoordinator {
+ public:
+  /// The codec and every EngineContext referent must outlive the
+  /// coordinator.
+  RepairCoordinator(EngineContext ctx, const ec::Codec& codec,
+                    ec::CostModel cost)
+      : ctx_(ctx), codec_(&codec), cost_(cost) {}
+  RepairCoordinator(const RepairCoordinator&) = delete;
+  RepairCoordinator& operator=(const RepairCoordinator&) = delete;
+
+  [[nodiscard]] const RepairStats& stats() const noexcept { return stats_; }
+
+  /// Enumerates the base keys whose fragments a live server holds
+  /// (kScan). Repairing every key discovered through any single live
+  /// server covers all keys that server shares a fragment with.
+  sim::Task<Result<std::vector<kv::Key>>> discover(
+      std::size_t via_server_index);
+
+  /// Restores every missing fragment of `key` whose designated owner is
+  /// alive. No-op (OK) when the key is fully intact; kTooManyFailures when
+  /// fewer than k fragments survive.
+  sim::Task<Status> repair_key(kv::Key key);
+
+  /// Discovers via every live server and repairs every affected key.
+  sim::Task<Status> repair_all();
+
+ private:
+  EngineContext ctx_;
+  const ec::Codec* codec_;
+  ec::CostModel cost_;
+  RepairStats stats_;
+};
+
+}  // namespace hpres::resilience

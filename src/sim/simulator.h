@@ -1,0 +1,89 @@
+// Deterministic discrete-event simulator.
+//
+// A single-threaded event loop over (time, sequence) ordered continuations.
+// All awaitable primitives (delay, Event, Channel, Semaphore, resources)
+// schedule coroutine resumptions through this queue, so execution order is a
+// pure function of the program and its seeds — every experiment in this
+// repository is reproducible bit-for-bit.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace hpres::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (ns since simulation start).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Schedules `h` to resume after `delay` (>= 0) simulated nanoseconds.
+  /// Events at equal times run in scheduling (FIFO) order.
+  void schedule(std::coroutine_handle<> h, SimDur delay = 0) {
+    queue_.push(Scheduled{now_ + (delay < 0 ? 0 : delay), next_seq_++, h});
+  }
+
+  /// Starts a detached process. The process begins at the current simulated
+  /// time once the event loop runs; its frame is destroyed on completion.
+  /// A process must run to completion before the Simulator is destroyed
+  /// (drain with run()).
+  void spawn(Task<void> task);
+
+  /// Awaitable: suspends the caller for `d` simulated nanoseconds.
+  [[nodiscard]] auto delay(SimDur d) noexcept {
+    struct Awaiter {
+      Simulator* sim;
+      SimDur dur;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sim->schedule(h, dur);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Runs until the event queue is empty. Returns the final simulated time.
+  SimTime run();
+
+  /// Runs until the queue is empty or simulated time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  SimTime run_until(SimTime deadline);
+
+  /// True if no events remain.
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Scheduled {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    friend bool operator<(const Scheduled& a, const Scheduled& b) noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Scheduled> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpres::sim

@@ -1,0 +1,241 @@
+// Synchronization primitives for simulator coroutines: one-shot Event,
+// MPMC Channel, counting Semaphore, countdown Latch, and WorkerPool (a
+// semaphore-guarded compute resource that charges simulated time).
+//
+// Lifetime invariant shared by all primitives: a coroutine suspended on a
+// primitive must be kept alive until it resumes (the simulator never drops
+// scheduled handles), and the primitive must outlive its waiters.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace hpres::sim {
+
+namespace detail {
+
+/// Parks a coroutine on an external waiter list; resumption is triggered by
+/// the owning primitive scheduling the handle through the simulator.
+struct ParkAwaiter {
+  std::deque<std::coroutine_handle<>>* waiters;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    waiters->push_back(h);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+/// One-shot broadcast event. `wait()` suspends until `set()`; waiting on an
+/// already-set event completes immediately (same simulated time).
+class Event {
+ public:
+  explicit Event(Simulator& sim) noexcept : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] bool is_set() const noexcept { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    while (!waiters_.empty()) {
+      sim_->schedule(waiters_.front(), 0);
+      waiters_.pop_front();
+    }
+  }
+
+  Task<void> wait() {
+    while (!set_) co_await detail::ParkAwaiter{&waiters_};
+  }
+
+ private:
+  Simulator* sim_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel. Multiple producers and consumers are supported;
+/// `recv()` returns nullopt once the channel is closed and drained.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) noexcept : sim_(&sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues an item. Valid until close(); sends after close are dropped
+  /// (the peer has gone away — mirrors writing to a dead connection).
+  void send(T item) {
+    if (closed_) return;
+    items_.push_back(std::move(item));
+    wake_one();
+  }
+
+  /// Closes the channel: queued items remain receivable; subsequent recv()
+  /// on an empty channel yields nullopt.
+  void close() {
+    closed_ = true;
+    while (!waiters_.empty()) {
+      sim_->schedule(waiters_.front(), 0);
+      waiters_.pop_front();
+    }
+  }
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// Receives the next item, suspending while the channel is empty and open.
+  Task<std::optional<T>> recv() {
+    for (;;) {
+      if (!items_.empty()) {
+        T item = std::move(items_.front());
+        items_.pop_front();
+        co_return std::optional<T>{std::move(item)};
+      }
+      if (closed_) co_return std::nullopt;
+      co_await detail::ParkAwaiter{&waiters_};
+    }
+  }
+
+  /// Non-suspending receive; nullopt when empty.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  void wake_one() {
+    if (!waiters_.empty()) {
+      sim_->schedule(waiters_.front(), 0);
+      waiters_.pop_front();
+    }
+  }
+
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool closed_ = false;
+};
+
+/// Counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::uint32_t initial) noexcept
+      : sim_(&sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  [[nodiscard]] std::uint32_t available() const noexcept { return count_; }
+
+  Task<void> acquire() {
+    while (count_ == 0) co_await detail::ParkAwaiter{&waiters_};
+    --count_;
+  }
+
+  /// Acquires without suspending if a permit is free; false otherwise.
+  bool try_acquire() noexcept {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release() {
+    ++count_;
+    if (!waiters_.empty()) {
+      sim_->schedule(waiters_.front(), 0);
+      waiters_.pop_front();
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  std::uint32_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Condition variable: waiters park until notify_all(), then re-check their
+/// predicate (wait() must be used inside a while-loop, as with
+/// std::condition_variable).
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) noexcept : sim_(&sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  Task<void> wait() { co_await detail::ParkAwaiter{&waiters_}; }
+
+  void notify_all() {
+    while (!waiters_.empty()) {
+      sim_->schedule(waiters_.front(), 0);
+      waiters_.pop_front();
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Countdown latch: wait() completes once count_down() has been called
+/// `expected` times. Used by engines to join fan-out sub-operations.
+class Latch {
+ public:
+  Latch(Simulator& sim, std::uint32_t expected)
+      : remaining_(expected), event_(sim) {
+    if (remaining_ == 0) event_.set();
+  }
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down() {
+    assert(remaining_ > 0 && "Latch::count_down past zero");
+    if (--remaining_ == 0) event_.set();
+  }
+
+  [[nodiscard]] std::uint32_t remaining() const noexcept { return remaining_; }
+
+  Task<void> wait() { return event_.wait(); }
+
+ private:
+  std::uint32_t remaining_;
+  Event event_;
+};
+
+/// A pool of identical compute workers (e.g. a server's worker threads or a
+/// client's encoding cores). `execute(d)` occupies one worker for `d`
+/// simulated nanoseconds, queueing when all workers are busy.
+class WorkerPool {
+ public:
+  WorkerPool(Simulator& sim, std::uint32_t workers)
+      : sim_(&sim), sem_(sim, workers), workers_(workers) {}
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return workers_; }
+  [[nodiscard]] SimDur busy_time() const noexcept { return busy_ns_; }
+
+  Task<void> execute(SimDur duration) {
+    co_await sem_.acquire();
+    co_await sim_->delay(duration);
+    busy_ns_ += duration;
+    sem_.release();
+  }
+
+ private:
+  Simulator* sim_;
+  Semaphore sem_;
+  std::uint32_t workers_;
+  SimDur busy_ns_ = 0;
+};
+
+}  // namespace hpres::sim

@@ -1,0 +1,198 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// `Task<T>` is a lazy coroutine: it does not run until awaited (or handed to
+// `Simulator::spawn`). Awaiting a Task transfers control symmetrically into
+// the child and resumes the parent when the child finishes — no simulated
+// time passes across a plain Task boundary; time only advances through the
+// Simulator's awaitables (delay, channels, resources).
+//
+// Lifetime rules (C++ Core Guidelines CP.51/CP.53 apply throughout this
+// project): coroutines are functions or member functions, never capturing
+// lambdas, and take parameters by value so the coroutine frame owns them.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace hpres::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/// Final awaiter: resumes the awaiting ("continuation") coroutine, if any,
+/// via symmetric transfer. Keeps the frame alive so the Task destructor can
+/// retrieve the result and destroy it.
+template <typename Promise>
+struct FinalAwaiter {
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    if (auto cont = h.promise().continuation; cont) return cont;
+    return std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazy awaitable coroutine returning T (or void).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.done();
+  }
+
+  /// Awaiting a Task starts it (symmetric transfer) and yields its result.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+
+      [[nodiscard]] bool await_ready() const noexcept {
+        return !handle || handle.done();
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        assert(p.value.has_value() && "Task finished without a value");
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Internal: release ownership of the frame (used by Simulator::spawn).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.done();
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+
+      [[nodiscard]] bool await_ready() const noexcept {
+        return !handle || handle.done();
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace hpres::sim

@@ -1,0 +1,78 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+namespace hpres::workload {
+
+void YcsbResult::merge(const YcsbResult& other) {
+  read_latency.merge(other.read_latency);
+  write_latency.merge(other.write_latency);
+  reads += other.reads;
+  writes += other.writes;
+  failures += other.failures;
+  duration_ns = std::max(duration_ns, other.duration_ns);
+}
+
+double YcsbResult::throughput_ops_per_s(SimDur makespan_ns) const {
+  if (makespan_ns <= 0) return 0.0;
+  return static_cast<double>(reads + writes) /
+         (static_cast<double>(makespan_ns) / 1e9);
+}
+
+std::string ycsb_key(std::uint64_t id, std::size_t key_size) {
+  std::string digits = std::to_string(id);
+  std::string out = "user";
+  if (out.size() + digits.size() < key_size) {
+    out.append(key_size - out.size() - digits.size(), '0');
+  }
+  out += digits;
+  if (out.size() > key_size) out.resize(key_size);
+  return out;
+}
+
+sim::Task<void> ycsb_load(sim::Simulator* sim, resilience::Engine* engine,
+                          YcsbConfig config, std::uint64_t first,
+                          std::uint64_t last) {
+  (void)sim;
+  // One shared buffer: preload content is irrelevant, and sharing keeps the
+  // load phase's host memory flat even for millions of records.
+  const SharedBytes value = zero_bytes(config.value_size);
+  for (std::uint64_t id = first; id < last; ++id) {
+    (void)engine->iset(ycsb_key(id, config.key_size), value);
+    // Bound the pipeline depth during load.
+    if ((id - first + 1) % 64 == 0) co_await engine->wait_all();
+  }
+  co_await engine->wait_all();
+}
+
+sim::Task<void> ycsb_client(sim::Simulator* sim, resilience::Engine* engine,
+                            YcsbConfig config, std::uint64_t client_seed,
+                            YcsbResult* result) {
+  Xoshiro256 rng(client_seed);
+  const ScrambledZipfianGenerator keygen(config.record_count,
+                                         config.zipf_theta);
+  const SharedBytes write_value =
+      make_shared_bytes(make_pattern(config.value_size, client_seed));
+
+  const SimTime begin = sim->now();
+  for (std::uint64_t op = 0; op < config.ops_per_client; ++op) {
+    const std::uint64_t id = keygen.next(rng);
+    const std::string key = ycsb_key(id, config.key_size);
+    const bool is_read = rng.next_double() < config.read_fraction;
+    const SimTime op_start = sim->now();
+    if (is_read) {
+      const Result<Bytes> r = co_await engine->get(key);
+      ++result->reads;
+      result->read_latency.record(sim->now() - op_start);
+      if (!r.ok()) ++result->failures;
+    } else {
+      const Status s = co_await engine->set(key, write_value);
+      ++result->writes;
+      result->write_latency.record(sim->now() - op_start);
+      if (!s.ok()) ++result->failures;
+    }
+  }
+  result->duration_ns = sim->now() - begin;
+}
+
+}  // namespace hpres::workload

@@ -1,0 +1,216 @@
+// Lustre model, Boldio client streaming, and TestDFSIO map tasks.
+#include <gtest/gtest.h>
+
+#include "boldio/dfsio.h"
+#include "testing/fixtures.h"
+
+namespace hpres::boldio {
+namespace {
+
+using hpres::testing::FiveNodeClusterTest;
+using hpres::testing::run_sim;
+
+// --- LustreModel --------------------------------------------------------------
+
+TEST(Lustre, SingleStreamBoundByStreamRate) {
+  sim::Simulator sim;
+  LustreParams p;
+  p.aggregate_write_gbps = 80.0;
+  p.per_stream_gbps = 8.0;  // 1 byte/ns
+  p.metadata_ns = 0;
+  LustreModel lustre(sim, p);
+  struct Body {
+    static sim::Task<void> run(LustreModel* l) { co_await l->write(1'000'000); }
+  };
+  sim.spawn(Body::run(&lustre));
+  sim.run();
+  EXPECT_EQ(sim.now(), 1'000'000);  // stream cap, not the fat aggregate
+}
+
+TEST(Lustre, ConcurrentStreamsShareAggregate) {
+  sim::Simulator sim;
+  LustreParams p;
+  p.aggregate_write_gbps = 8.0;  // 1 byte/ns shared
+  p.per_stream_gbps = 8.0;
+  p.metadata_ns = 0;
+  LustreModel lustre(sim, p);
+  struct Body {
+    static sim::Task<void> run(LustreModel* l) { co_await l->write(500'000); }
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(Body::run(&lustre));
+  sim.run();
+  // 4 x 500KB through a 1 B/ns pipe: 2ms total.
+  EXPECT_EQ(sim.now(), 2'000'000);
+}
+
+TEST(Lustre, ReadAndWritePipesAreIndependent) {
+  sim::Simulator sim;
+  LustreParams p;
+  p.aggregate_write_gbps = 8.0;
+  p.aggregate_read_gbps = 8.0;
+  p.per_stream_gbps = 8.0;
+  p.metadata_ns = 0;
+  LustreModel lustre(sim, p);
+  struct Body {
+    static sim::Task<void> run(LustreModel* l, bool write) {
+      if (write) {
+        co_await l->write(1'000'000);
+      } else {
+        co_await l->read(1'000'000);
+      }
+    }
+  };
+  sim.spawn(Body::run(&lustre, true));
+  sim.spawn(Body::run(&lustre, false));
+  sim.run();
+  EXPECT_EQ(sim.now(), 1'000'000);  // full duplex
+  EXPECT_EQ(lustre.stats().bytes_written, 1'000'000u);
+  EXPECT_EQ(lustre.stats().bytes_read, 1'000'000u);
+}
+
+TEST(Lustre, MetadataCostPerOperation) {
+  sim::Simulator sim;
+  LustreParams p;
+  p.per_stream_gbps = 8.0;
+  p.aggregate_write_gbps = 8.0;
+  p.metadata_ns = 5'000;
+  LustreModel lustre(sim, p);
+  struct Body {
+    static sim::Task<void> run(LustreModel* l) { co_await l->write(1'000); }
+  };
+  sim.spawn(Body::run(&lustre));
+  sim.run();
+  EXPECT_EQ(sim.now(), 6'000);
+}
+
+// --- BoldioClient ---------------------------------------------------------------
+
+class BoldioTest : public FiveNodeClusterTest {
+ protected:
+  BoldioTest() : lustre_(cluster_.sim(), LustreParams{}) {}
+  LustreModel lustre_;
+};
+
+TEST_F(BoldioTest, WriteFileStoresAllChunksResiliently) {
+  auto engine = make_engine(resilience::Design::kEraCeCd);
+  cluster_.start();
+  BoldioClientParams params;
+  params.chunk_bytes = 64 * 1024;
+  BoldioClient client(cluster_.sim(), *engine, &lustre_, params);
+  struct Body {
+    static sim::Task<void> run(BoldioClient* c, cluster::Cluster* cl) {
+      const Status s = co_await c->write_file("job/part-0", 10 * 64 * 1024);
+      EXPECT_TRUE(s.ok());
+      // 10 chunks x 5 fragments spread across the cluster.
+      std::size_t items = 0;
+      for (std::size_t i = 0; i < 5; ++i) {
+        items += cl->server(i).store().items();
+      }
+      EXPECT_EQ(items, 50u);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, &client, &cluster_);
+  EXPECT_EQ(client.stats().files_written, 1u);
+  EXPECT_EQ(client.stats().bytes_written, 10u * 64 * 1024);
+  EXPECT_EQ(client.stats().chunk_failures, 0u);
+  // Asynchronous persistence reached Lustre.
+  EXPECT_EQ(lustre_.stats().bytes_written, 10u * 64 * 1024);
+}
+
+TEST_F(BoldioTest, ReadBackFromBurstBuffer) {
+  auto engine = make_engine(resilience::Design::kEraCeCd);
+  cluster_.start();
+  BoldioClientParams params;
+  params.chunk_bytes = 64 * 1024;
+  BoldioClient client(cluster_.sim(), *engine, &lustre_, params);
+  struct Body {
+    static sim::Task<void> run(BoldioClient* c) {
+      (void)co_await c->write_file("f", 5 * 64 * 1024 + 1000);
+      const Status s = co_await c->read_file("f", 5 * 64 * 1024 + 1000);
+      EXPECT_TRUE(s.ok());
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, &client);
+  EXPECT_EQ(client.stats().files_read, 1u);
+  EXPECT_EQ(client.stats().chunk_failures, 0u);
+}
+
+TEST_F(BoldioTest, ReadSurvivesTolerableServerFailures) {
+  auto engine = make_engine(resilience::Design::kEraCeCd);
+  cluster_.start();
+  BoldioClientParams params;
+  params.chunk_bytes = 32 * 1024;
+  BoldioClient client(cluster_.sim(), *engine, &lustre_, params);
+  struct Body {
+    static sim::Task<void> run(BoldioClient* c, cluster::Cluster* cl) {
+      (void)co_await c->write_file("resilient", 8 * 32 * 1024);
+      cl->fail_server(0);
+      cl->fail_server(1);
+      const Status s = co_await c->read_file("resilient", 8 * 32 * 1024);
+      EXPECT_TRUE(s.ok()) << s;
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, &client, &cluster_);
+}
+
+TEST_F(BoldioTest, MissingFileReadFails) {
+  auto engine = make_engine(resilience::Design::kEraCeCd);
+  cluster_.start();
+  BoldioClient client(cluster_.sim(), *engine, &lustre_);
+  struct Body {
+    static sim::Task<void> run(BoldioClient* c) {
+      const Status s = co_await c->read_file("never-written", 1024 * 1024);
+      EXPECT_FALSE(s.ok());
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, &client);
+}
+
+// --- TestDFSIO map tasks ---------------------------------------------------------
+
+TEST_F(BoldioTest, DfsioBoldioMapsCompleteAndCountDown) {
+  auto engine = make_engine(resilience::Design::kEraCeCd);
+  cluster_.start();
+  BoldioClientParams params;
+  params.chunk_bytes = 64 * 1024;
+  BoldioClient client(cluster_.sim(), *engine, &lustre_, params);
+  sim::Latch done(cluster_.sim(), 4);
+  std::uint64_t failures = 0;
+  for (int m = 0; m < 4; ++m) {
+    cluster_.sim().spawn(dfsio_boldio_map(&client,
+                                          "dfsio/f" + std::to_string(m),
+                                          4 * 64 * 1024, /*write=*/true,
+                                          &done, &failures));
+  }
+  cluster_.run();
+  EXPECT_EQ(done.remaining(), 0u);
+  EXPECT_EQ(failures, 0u);
+}
+
+TEST(DfsioDirect, LustreDirectMapsStreamAllBytes) {
+  sim::Simulator sim;
+  LustreParams p;
+  p.metadata_ns = 1'000;
+  LustreModel lustre(sim, p);
+  sim::Latch done(sim, 3);
+  for (int m = 0; m < 3; ++m) {
+    sim.spawn(dfsio_direct_map(&lustre, 4 * 1024 * 1024, 1024 * 1024,
+                               /*write=*/true, &done));
+  }
+  sim.run();
+  EXPECT_EQ(done.remaining(), 0u);
+  EXPECT_EQ(lustre.stats().bytes_written, 3u * 4 * 1024 * 1024);
+  EXPECT_EQ(lustre.stats().write_ops, 12u);
+}
+
+TEST(DfsioResult, ThroughputMath) {
+  DfsioResult r;
+  r.total_bytes = 100 * 1024 * 1024;
+  r.makespan_ns = units::kSecond;
+  EXPECT_DOUBLE_EQ(r.throughput_mib_s(), 100.0);
+  r.makespan_ns = 0;
+  EXPECT_EQ(r.throughput_mib_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace hpres::boldio

@@ -1,0 +1,52 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace hpres {
+namespace {
+
+TEST(Bytes, StringRoundTrip) {
+  const Bytes b = to_bytes("hello kv");
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(to_string(b), "hello kv");
+}
+
+TEST(Bytes, PatternIsDeterministic) {
+  EXPECT_EQ(make_pattern(1000, 5), make_pattern(1000, 5));
+  EXPECT_NE(make_pattern(1000, 5), make_pattern(1000, 6));
+}
+
+TEST(Bytes, PatternPrefixStable) {
+  // Same seed, different lengths: the 8-byte blocks shared by both lengths
+  // match, so chunk-level verification of a longer value is possible.
+  const Bytes a = make_pattern(64, 9);
+  const Bytes b = make_pattern(128, 9);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(Bytes, SharedBytesAliasesWithoutCopy) {
+  const SharedBytes s = make_shared_bytes(make_pattern(100, 1));
+  const SharedBytes alias = s;
+  EXPECT_EQ(s->data(), alias->data());
+  EXPECT_EQ(s.use_count(), 2);
+}
+
+TEST(Units, TransferTimeMatchesLineRate) {
+  // 1 KiB at 8 Gbps = 8192 bits / 8 bits-per-ns = 1024 ns.
+  EXPECT_EQ(units::transfer_time_ns(1024, 8.0), 1024);
+  // Rounds up on fractional ns.
+  EXPECT_EQ(units::transfer_time_ns(1, 3.0), 3);  // 8/3 = 2.67 -> 3
+  EXPECT_EQ(units::transfer_time_ns(0, 10.0), 0);
+  EXPECT_EQ(units::transfer_time_ns(100, 0.0), 0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(units::to_ms(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(units::to_s(3'000'000'000), 3.0);
+}
+
+}  // namespace
+}  // namespace hpres

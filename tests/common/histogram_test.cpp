@@ -1,0 +1,108 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hpres {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZeroEverywhere) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (int v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  EXPECT_DOUBLE_EQ(h.mean(), 31.5);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 63);
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.record(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorBounded) {
+  LatencyHistogram h;
+  Xoshiro256 rng(1);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(50'000'000));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * static_cast<double>(values.size() - 1))];
+    const auto approx = h.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.03 * static_cast<double>(exact) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeCombinesPopulations) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1'000'000);
+  EXPECT_EQ(a.quantile(0.25), 10);
+  // p75 lands in the big bucket (within 1.6% relative error).
+  EXPECT_NEAR(static_cast<double>(a.quantile(0.75)), 1'000'000.0, 20'000.0);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(123456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram h;
+  h.record(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_GT(h.quantile(0.5), 0);
+}
+
+TEST(RunningStats, TracksMoments) {
+  RunningStats s;
+  s.record(1.0);
+  s.record(2.0);
+  s.record(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace hpres

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hpres {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(9);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 10);
+  }
+}
+
+TEST(Rng, SplitMixAvalanches) {
+  // Flipping one input bit should change the output substantially.
+  const std::uint64_t base = splitmix64(12345);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = splitmix64(12345ULL ^ (1ULL << bit));
+    const int hamming = std::popcount(base ^ flipped);
+    EXPECT_GT(hamming, 10) << "bit " << bit;
+  }
+}
+
+TEST(Rng, ZeroSeedStillProducesEntropy) {
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace hpres

@@ -1,0 +1,71 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hpres {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s{StatusCode::kNotFound, "key missing"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "key missing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: key missing");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ((Status{StatusCode::kTimeout, "a"}),
+            (Status{StatusCode::kTimeout, "b"}));
+  EXPECT_FALSE((Status{StatusCode::kTimeout}) ==
+               (Status{StatusCode::kUnavailable}));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kUnavailable,
+        StatusCode::kTimeout, StatusCode::kOutOfMemory,
+        StatusCode::kTooManyFailures, StatusCode::kInvalidArgument,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    EXPECT_FALSE(to_string(code).empty());
+    EXPECT_NE(to_string(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r{Status{StatusCode::kUnavailable, "server down"}};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Result, ImplicitFromStatusCode) {
+  const Result<int> r = StatusCode::kNotFound;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string("payload")};
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  const Result<std::string> r{std::string("abc")};
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace hpres

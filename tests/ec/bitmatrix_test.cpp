@@ -1,0 +1,123 @@
+// Bit-matrix expansion and XOR-packet application.
+#include "ec/bitmatrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace hpres::ec {
+namespace {
+
+TEST(BitMatrix, FromGfIdentityIsBitIdentity) {
+  const BitMatrix b = BitMatrix::from_gf_matrix(GfMatrix::identity(3));
+  ASSERT_EQ(b.rows(), 24u);
+  ASSERT_EQ(b.cols(), 24u);
+  for (std::size_t r = 0; r < 24; ++r) {
+    for (std::size_t c = 0; c < 24; ++c) {
+      EXPECT_EQ(b.get(r, c), r == c);
+    }
+  }
+}
+
+TEST(BitMatrix, BlockColumnsArePatternsOfAMulXc) {
+  GfMatrix m(1, 1);
+  m.at(0, 0) = 0x53;
+  const BitMatrix b = BitMatrix::from_gf_matrix(m);
+  const GF256& gf = GF256::instance();
+  for (unsigned c = 0; c < 8; ++c) {
+    const std::uint8_t pattern =
+        gf.mul(0x53, static_cast<std::uint8_t>(1u << c));
+    for (unsigned r = 0; r < 8; ++r) {
+      EXPECT_EQ(b.get(r, c), (pattern >> r & 1) != 0);
+    }
+  }
+}
+
+TEST(BitMatrix, ApplyIdentityCopies) {
+  const BitMatrix id = BitMatrix::from_gf_matrix(GfMatrix::identity(2));
+  const Bytes a = make_pattern(64, 1);
+  const Bytes b = make_pattern(64, 2);
+  Bytes out_a(64);
+  Bytes out_b(64);
+  const std::vector<ConstByteSpan> sources{a, b};
+  std::vector<ByteSpan> outputs{out_a, out_b};
+  bitmatrix_apply(id, 8, sources, outputs);
+  EXPECT_EQ(out_a, a);
+  EXPECT_EQ(out_b, b);
+}
+
+TEST(BitMatrix, ApplyZeroMatrixClearsOutputs) {
+  const BitMatrix zero(8, 16);
+  const Bytes a = make_pattern(32, 3);
+  const Bytes b = make_pattern(32, 4);
+  Bytes out = make_pattern(32, 5);  // pre-filled garbage must be cleared
+  const std::vector<ConstByteSpan> sources{a, b};
+  std::vector<ByteSpan> outputs{ByteSpan{out}};
+  bitmatrix_apply(zero, 8, sources, outputs);
+  for (const auto byte : out) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(BitMatrix, ApplyIsLinearInSources) {
+  // apply(M, x ^ y) == apply(M, x) ^ apply(M, y)
+  Xoshiro256 rng(6);
+  GfMatrix gm(1, 2);
+  gm.at(0, 0) = static_cast<std::uint8_t>(rng());
+  gm.at(0, 1) = static_cast<std::uint8_t>(rng());
+  const BitMatrix bm = BitMatrix::from_gf_matrix(gm);
+
+  const Bytes x0 = make_pattern(40, 7);
+  const Bytes x1 = make_pattern(40, 8);
+  const Bytes y0 = make_pattern(40, 9);
+  const Bytes y1 = make_pattern(40, 10);
+  Bytes xy0(40);
+  Bytes xy1(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    xy0[i] = x0[i] ^ y0[i];
+    xy1[i] = x1[i] ^ y1[i];
+  }
+
+  auto apply1 = [&bm](const Bytes& a, const Bytes& b) {
+    Bytes out(a.size());
+    const std::vector<ConstByteSpan> sources{a, b};
+    std::vector<ByteSpan> outputs{ByteSpan{out}};
+    bitmatrix_apply(bm, 8, sources, outputs);
+    return out;
+  };
+
+  const Bytes fx = apply1(x0, x1);
+  const Bytes fy = apply1(y0, y1);
+  const Bytes fxy = apply1(xy0, xy1);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(fxy[i], fx[i] ^ fy[i]);
+  }
+}
+
+TEST(BitMatrix, PopcountCountsSetBits) {
+  BitMatrix b(4, 4);
+  EXPECT_EQ(b.popcount(), 0u);
+  b.set(0, 0, true);
+  b.set(3, 2, true);
+  b.set(3, 2, true);  // idempotent
+  EXPECT_EQ(b.popcount(), 2u);
+  b.set(3, 2, false);
+  EXPECT_EQ(b.popcount(), 1u);
+}
+
+TEST(BitMatrix, Raid6BitmatrixIsSparserThanCauchy) {
+  // The density argument behind minimum-density RAID-6 codes: the P/Q
+  // generator expands to far fewer bits than a Cauchy block of equal shape.
+  const std::size_t k = 6;
+  GfMatrix raid6(2, k);
+  const GfMatrix full = raid6_generator(k, 2);
+  for (std::size_t c = 0; c < k; ++c) {
+    raid6.at(0, c) = full.at(k, c);
+    raid6.at(1, c) = full.at(k + 1, c);
+  }
+  const GfMatrix cauchy = GfMatrix::cauchy(2, k);
+  EXPECT_LT(BitMatrix::from_gf_matrix(raid6).popcount(),
+            BitMatrix::from_gf_matrix(cauchy).popcount());
+}
+
+}  // namespace
+}  // namespace hpres::ec

@@ -1,0 +1,93 @@
+// Value <-> fragment layout math and round-trips.
+#include "ec/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace hpres::ec {
+namespace {
+
+TEST(Chunker, LayoutDividesEvenly) {
+  const ChunkLayout l = make_layout(3000, 3, 1);
+  EXPECT_EQ(l.fragment_size, 1000u);
+  EXPECT_EQ(l.original_size, 3000u);
+}
+
+TEST(Chunker, LayoutRoundsUpToK) {
+  const ChunkLayout l = make_layout(3001, 3, 1);
+  EXPECT_EQ(l.fragment_size, 1001u);
+}
+
+TEST(Chunker, LayoutAlignsFragment) {
+  const ChunkLayout l = make_layout(3001, 3, 8);
+  EXPECT_EQ(l.fragment_size, 1008u);
+  EXPECT_EQ(l.fragment_size % 8, 0u);
+}
+
+TEST(Chunker, ZeroSizeValueStillHasNonEmptyFragments) {
+  const ChunkLayout l = make_layout(0, 3, 8);
+  EXPECT_EQ(l.fragment_size, 8u);
+  const std::vector<Bytes> frags = split_value({}, l);
+  ASSERT_EQ(frags.size(), 3u);
+  for (const auto& f : frags) EXPECT_EQ(f.size(), 8u);
+}
+
+TEST(Chunker, SplitJoinRoundTripAcrossSizes) {
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{1024},
+        std::size_t{1'000'000}, std::size_t{1'048'576}}) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+      const Bytes value = make_pattern(size, size + k);
+      const ChunkLayout layout = make_layout(size, k, 8);
+      const std::vector<Bytes> frags = split_value(value, layout);
+      ASSERT_EQ(frags.size(), k);
+      const std::vector<ConstByteSpan> spans(frags.begin(), frags.end());
+      const Result<Bytes> joined = join_fragments(spans, layout);
+      ASSERT_TRUE(joined.ok()) << "size=" << size << " k=" << k;
+      EXPECT_EQ(*joined, value);
+    }
+  }
+}
+
+TEST(Chunker, TailFragmentIsZeroPadded) {
+  const Bytes value = make_pattern(10, 1);
+  const ChunkLayout layout = make_layout(10, 3, 8);  // fragment 8, holds 24
+  const std::vector<Bytes> frags = split_value(value, layout);
+  // value fills fragment 0 (8 bytes) and 2 bytes of fragment 1.
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_EQ(frags[1][i], std::byte{0});
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(frags[2][i], std::byte{0});
+  }
+}
+
+TEST(Chunker, JoinRejectsWrongArity) {
+  const ChunkLayout layout = make_layout(100, 3, 1);
+  const Bytes frag(layout.fragment_size);
+  const std::vector<ConstByteSpan> two{frag, frag};
+  EXPECT_EQ(join_fragments(two, layout).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Chunker, JoinRejectsWrongFragmentSize) {
+  const ChunkLayout layout = make_layout(100, 2, 1);
+  const Bytes good(layout.fragment_size);
+  const Bytes bad(layout.fragment_size + 1);
+  const std::vector<ConstByteSpan> frags{good, bad};
+  EXPECT_EQ(join_fragments(frags, layout).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Chunker, JoinRejectsInconsistentLayout) {
+  ChunkLayout layout = make_layout(100, 2, 1);
+  layout.original_size = 1000;  // exceeds k * fragment_size
+  const Bytes frag(layout.fragment_size);
+  const std::vector<ConstByteSpan> frags{frag, frag};
+  EXPECT_EQ(join_fragments(frags, layout).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpres::ec

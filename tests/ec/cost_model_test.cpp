@@ -1,0 +1,80 @@
+// Cost-model shape checks: monotonicity, scaling, calibration sanity.
+#include "ec/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hpres::ec {
+namespace {
+
+TEST(CostModel, EncodeGrowsWithSize) {
+  const CostModel m = CostModel::defaults(Scheme::kRsVandermonde, 3, 2);
+  EXPECT_LT(m.encode_ns(1024), m.encode_ns(64 * 1024));
+  EXPECT_LT(m.encode_ns(64 * 1024), m.encode_ns(1024 * 1024));
+}
+
+TEST(CostModel, NoFailuresMeansNoDecodeWork) {
+  const CostModel m = CostModel::defaults(Scheme::kRsVandermonde, 3, 2);
+  EXPECT_EQ(m.decode_ns(1024 * 1024, 0), 0);
+  EXPECT_GT(m.decode_ns(1024 * 1024, 1), 0);
+}
+
+TEST(CostModel, DecodeScalesWithFailures) {
+  const CostModel m = CostModel::defaults(Scheme::kRsVandermonde, 3, 2);
+  const SimDur one = m.decode_ns(256 * 1024, 1);
+  const SimDur two = m.decode_ns(256 * 1024, 2);
+  EXPECT_EQ(two, 2 * one);
+}
+
+TEST(CostModel, MoreParitiesCostMore) {
+  const CostModel rs32 = CostModel::defaults(Scheme::kRsVandermonde, 3, 2);
+  const CostModel rs33 = CostModel::defaults(Scheme::kRsVandermonde, 3, 3);
+  EXPECT_LT(rs32.encode_ns(1024 * 1024), rs33.encode_ns(1024 * 1024));
+}
+
+TEST(CostModel, FasterCpuShrinksAllCosts) {
+  const CostModel base = CostModel::defaults(Scheme::kCauchyRs, 3, 2, 1.0);
+  const CostModel fast = CostModel::defaults(Scheme::kCauchyRs, 3, 2, 2.0);
+  EXPECT_GT(base.encode_ns(65536), fast.encode_ns(65536));
+  EXPECT_GT(base.decode_ns(65536, 1), fast.decode_ns(65536, 1));
+  // Halved, within integer rounding.
+  EXPECT_NEAR(static_cast<double>(base.encode_ns(65536)),
+              2.0 * static_cast<double>(fast.encode_ns(65536)), 4.0);
+}
+
+TEST(CostModel, RsVandermondeIsFastestInKvRange) {
+  // The paper's Figure 4 conclusion: RS_Van wins for 1 KB - 1 MB because
+  // the XOR-oriented schemes (CRS, R6) pay per-operation schedule setup
+  // that only amortizes on much larger objects.
+  const CostModel rs = CostModel::defaults(Scheme::kRsVandermonde, 3, 2);
+  const CostModel crs = CostModel::defaults(Scheme::kCauchyRs, 3, 2);
+  const CostModel r6 = CostModel::defaults(Scheme::kRaid6, 3, 2);
+  for (std::size_t size = 1024; size <= 1024 * 1024; size *= 4) {
+    EXPECT_LT(rs.encode_ns(size), crs.encode_ns(size)) << size;
+    EXPECT_LT(rs.encode_ns(size), r6.encode_ns(size)) << size;
+    EXPECT_LT(rs.decode_ns(size, 1), crs.decode_ns(size, 1)) << size;
+  }
+}
+
+TEST(CostModel, XorSchemesWinAtVeryLargeObjects) {
+  // ...while at ~256 MB (the paper's cited amortization point) the lower
+  // per-byte cost of the XOR schemes takes over.
+  const std::size_t huge = 256 * 1024 * 1024;
+  const CostModel rs = CostModel::defaults(Scheme::kRsVandermonde, 3, 2);
+  const CostModel crs = CostModel::defaults(Scheme::kCauchyRs, 3, 2);
+  const CostModel r6 = CostModel::defaults(Scheme::kRaid6, 3, 2);
+  EXPECT_LT(crs.encode_ns(huge), rs.encode_ns(huge));
+  EXPECT_LT(r6.encode_ns(huge), rs.encode_ns(huge));
+}
+
+TEST(CostModel, CalibrationProducesPositiveMonotoneCosts) {
+  // Tiny real measurement: just verifies the fitting pipeline works; not a
+  // performance assertion.
+  const auto codec = make_codec(Scheme::kRsVandermonde, 3, 2);
+  const CostModel m = CostModel::calibrate(*codec, 4 * 1024, 64 * 1024, 3);
+  EXPECT_GT(m.encode_ns(64 * 1024), 0);
+  EXPECT_LE(m.encode_ns(8 * 1024), m.encode_ns(512 * 1024));
+  EXPECT_GT(m.decode_ns(64 * 1024, 1), 0);
+}
+
+}  // namespace
+}  // namespace hpres::ec

@@ -1,0 +1,165 @@
+// Field-axiom and region-kernel tests for GF(2^8).
+#include "ec/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace hpres::ec {
+namespace {
+
+const GF256& gf() { return GF256::instance(); }
+
+TEST(Gf256, MultiplicativeIdentity) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf().mul(x, 1), x);
+    EXPECT_EQ(gf().mul(1, x), x);
+  }
+}
+
+TEST(Gf256, ZeroAnnihilates) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf().mul(x, 0), 0);
+    EXPECT_EQ(gf().mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(gf().mul(a, b), gf().mul(b, a));
+  }
+}
+
+TEST(Gf256, MultiplicationAssociates) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    const auto c = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(gf().mul(gf().mul(a, b), c), gf().mul(a, gf().mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverXor) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    const auto c = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(gf().mul(a, static_cast<std::uint8_t>(b ^ c)),
+              gf().mul(a, b) ^ gf().mul(a, c));
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    const std::uint8_t ix = gf().inv(x);
+    EXPECT_EQ(gf().mul(x, ix), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    auto b = static_cast<std::uint8_t>(rng());
+    if (b == 0) b = 1;
+    EXPECT_EQ(gf().div(gf().mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf().exp(gf().log(x)), x);
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 2 is primitive: its powers enumerate all 255 non-zero elements.
+  std::vector<bool> seen(256, false);
+  for (unsigned i = 0; i < 255; ++i) {
+    const std::uint8_t v = gf().exp(i);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "repeat at exponent " << i;
+    seen[v] = true;
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto e = static_cast<unsigned>(rng() % 16);
+    std::uint8_t expect = 1;
+    for (unsigned j = 0; j < e; ++j) expect = gf().mul(expect, a);
+    EXPECT_EQ(gf().pow(a, e), expect);
+  }
+}
+
+TEST(Gf256, PowZeroConventions) {
+  EXPECT_EQ(gf().pow(0, 0), 1);
+  EXPECT_EQ(gf().pow(0, 5), 0);
+  EXPECT_EQ(gf().pow(7, 0), 1);
+}
+
+TEST(Gf256, MulRegionMatchesScalar) {
+  Xoshiro256 rng(6);
+  const Bytes src = make_pattern(1000, 7);
+  for (const int ci : {0, 1, 2, 37, 255}) {
+    const auto c = static_cast<std::uint8_t>(ci);
+    Bytes dst(src.size());
+    gf().mul_region(c, src, dst);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      EXPECT_EQ(std::to_integer<std::uint8_t>(dst[i]),
+                gf().mul(c, std::to_integer<std::uint8_t>(src[i])));
+    }
+  }
+}
+
+TEST(Gf256, MulRegionInPlace) {
+  Bytes buf = make_pattern(257, 8);
+  Bytes expect(buf.size());
+  gf().mul_region(19, buf, expect);
+  gf().mul_region(19, buf, buf);  // dst == src allowed
+  EXPECT_EQ(buf, expect);
+}
+
+TEST(Gf256, MulRegionAccAccumulates) {
+  const Bytes src = make_pattern(512, 9);
+  Bytes dst = make_pattern(512, 10);
+  const Bytes original = dst;
+  gf().mul_region_acc(33, src, dst);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const auto expect = static_cast<std::uint8_t>(
+        std::to_integer<std::uint8_t>(original[i]) ^
+        gf().mul(33, std::to_integer<std::uint8_t>(src[i])));
+    EXPECT_EQ(std::to_integer<std::uint8_t>(dst[i]), expect);
+  }
+}
+
+TEST(Gf256, XorRegionAllLengths) {
+  // Exercise the word-wide loop plus every tail length.
+  for (std::size_t len = 0; len < 40; ++len) {
+    const Bytes a = make_pattern(len, 11);
+    Bytes b = make_pattern(len, 12);
+    const Bytes original = b;
+    GF256::xor_region(a, b);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(b[i], a[i] ^ original[i]);
+    }
+    // XOR is an involution.
+    GF256::xor_region(a, b);
+    EXPECT_EQ(b, original);
+  }
+}
+
+}  // namespace
+}  // namespace hpres::ec

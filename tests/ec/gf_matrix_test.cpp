@@ -1,0 +1,173 @@
+// Matrix algebra over GF(2^8): inversion, generator constructions, MDS
+// property sweeps.
+#include "ec/gf_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hpres::ec {
+namespace {
+
+TEST(GfMatrix, IdentityActsNeutrally) {
+  const GfMatrix id = GfMatrix::identity(4);
+  GfMatrix a(4, 4);
+  Xoshiro256 rng(1);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      a.at(r, c) = static_cast<std::uint8_t>(rng());
+    }
+  }
+  EXPECT_EQ(a.multiply(id), a);
+  EXPECT_EQ(id.multiply(a), a);
+}
+
+TEST(GfMatrix, InverseTimesSelfIsIdentity) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(8);
+    GfMatrix a(n, n);
+    // Random matrices over GF(256) are overwhelmingly nonsingular; retry on
+    // the rare singular draw.
+    Result<GfMatrix> inv = Status{StatusCode::kInternal};
+    do {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          a.at(r, c) = static_cast<std::uint8_t>(rng());
+        }
+      }
+      inv = a.inverted();
+    } while (!inv.ok());
+    EXPECT_EQ(a.multiply(*inv), GfMatrix::identity(n));
+    EXPECT_EQ(inv->multiply(a), GfMatrix::identity(n));
+  }
+}
+
+TEST(GfMatrix, SingularMatrixReportsError) {
+  GfMatrix a(3, 3);  // all zeros
+  EXPECT_FALSE(a.inverted().ok());
+
+  // Duplicate rows.
+  GfMatrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 9;
+  b.at(1, 0) = 5;
+  b.at(1, 1) = 9;
+  const auto inv = b.inverted();
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.status().code(), StatusCode::kInternal);
+}
+
+TEST(GfMatrix, NonSquareInversionRejected) {
+  const GfMatrix a(2, 3);
+  EXPECT_EQ(a.inverted().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GfMatrix, VandermondeRowsAreGeometric) {
+  const GfMatrix v = GfMatrix::vandermonde(5, 3);
+  const GF256& gf = GF256::instance();
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(v.at(r, 0), 1);  // x^0
+    for (std::size_t c = 1; c < 3; ++c) {
+      EXPECT_EQ(v.at(r, c),
+                gf.mul(v.at(r, c - 1), static_cast<std::uint8_t>(r)));
+    }
+  }
+}
+
+TEST(GfMatrix, CauchyEntriesMatchDefinition) {
+  const GfMatrix c = GfMatrix::cauchy(2, 3);
+  const GF256& gf = GF256::instance();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t col = 0; col < 3; ++col) {
+      const auto x = static_cast<std::uint8_t>(r);
+      const auto y = static_cast<std::uint8_t>(2 + col);
+      EXPECT_EQ(c.at(r, col), gf.inv(static_cast<std::uint8_t>(x ^ y)));
+    }
+  }
+}
+
+TEST(GfMatrix, SelectRowsPreservesContent) {
+  const GfMatrix v = GfMatrix::vandermonde(6, 4);
+  const GfMatrix sel = v.select_rows({5, 0, 3});
+  ASSERT_EQ(sel.rows(), 3u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(sel.at(0, c), v.at(5, c));
+    EXPECT_EQ(sel.at(1, c), v.at(0, c));
+    EXPECT_EQ(sel.at(2, c), v.at(3, c));
+  }
+}
+
+// --- Generator constructions -----------------------------------------------
+
+class GeneratorParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(GeneratorParamTest, SystematicRsTopBlockIsIdentity) {
+  const auto [k, m] = GetParam();
+  const GfMatrix g = systematic_rs_generator(k, m);
+  ASSERT_EQ(g.rows(), k + m);
+  ASSERT_EQ(g.cols(), k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+// Exhaustive MDS check: every way of choosing k rows yields an invertible
+// matrix, i.e. ANY k surviving fragments reconstruct the data.
+void expect_mds(const GfMatrix& g, std::size_t k) {
+  const std::size_t n = g.rows();
+  std::vector<bool> mask(n, false);
+  std::fill(mask.begin(), mask.begin() + static_cast<std::ptrdiff_t>(k), true);
+  do {
+    std::vector<std::size_t> choice;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask[i]) choice.push_back(i);
+    }
+    EXPECT_TRUE(g.select_rows(choice).inverted().ok())
+        << "singular row choice found";
+  } while (std::prev_permutation(mask.begin(), mask.end()));
+}
+
+TEST_P(GeneratorParamTest, SystematicRsIsMds) {
+  const auto [k, m] = GetParam();
+  expect_mds(systematic_rs_generator(k, m), k);
+}
+
+TEST_P(GeneratorParamTest, SystematicCauchyIsMds) {
+  const auto [k, m] = GetParam();
+  expect_mds(systematic_cauchy_generator(k, m), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KMGrid, GeneratorParamTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 2},
+                      std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{4, 3},
+                      std::pair<std::size_t, std::size_t>{5, 3},
+                      std::pair<std::size_t, std::size_t>{6, 3},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{10, 4}));
+
+TEST(GfMatrix, Raid6GeneratorIsMdsUpToTwoParities) {
+  for (std::size_t k = 1; k <= 10; ++k) {
+    expect_mds(raid6_generator(k, 2), k);
+  }
+}
+
+TEST(GfMatrix, Raid6SingleParityIsXorRow) {
+  const GfMatrix g = raid6_generator(4, 1);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(g.at(4, c), 1);
+}
+
+}  // namespace
+}  // namespace hpres::ec

@@ -1,0 +1,89 @@
+// Consistent hashing and chunk placement properties.
+#include "kv/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hpres::kv {
+namespace {
+
+TEST(HashRing, PrimaryIsStable) {
+  const HashRing ring(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(ring.primary_index(key), ring.primary_index(key));
+  }
+}
+
+TEST(HashRing, PrimaryInRange) {
+  const HashRing ring(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(ring.primary_index("k" + std::to_string(i)), 5u);
+  }
+}
+
+TEST(HashRing, DistributionIsRoughlyBalanced) {
+  const HashRing ring(5, /*vnodes=*/256);
+  std::vector<int> counts(5, 0);
+  constexpr int kKeys = 20'000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ring.primary_index("user:" + std::to_string(i))];
+  }
+  for (const int c : counts) {
+    // Each server should own 20% +- 8% absolute of keys.
+    EXPECT_NEAR(c, kKeys / 5, kKeys * 8 / 100);
+  }
+}
+
+TEST(HashRing, SlotPlacementIsListSuccessors) {
+  const HashRing ring(5);
+  const std::string key = "abc";
+  const std::size_t p = ring.primary_index(key);
+  for (std::size_t slot = 0; slot < 5; ++slot) {
+    EXPECT_EQ(ring.slot_index(key, slot), (p + slot) % 5);
+  }
+}
+
+TEST(HashRing, NSlotsCoverNDistinctServers) {
+  // The paper places K+M fragments on K+M unique nodes.
+  const HashRing ring(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    std::set<std::size_t> owners;
+    for (std::size_t slot = 0; slot < 5; ++slot) {
+      owners.insert(ring.slot_index(key, slot));
+    }
+    EXPECT_EQ(owners.size(), 5u);
+  }
+}
+
+TEST(HashRing, DifferentSeedsGiveDifferentLayouts) {
+  const HashRing a(5, 128, 1);
+  const HashRing b(5, 128, 2);
+  int diff = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (a.primary_index(key) != b.primary_index(key)) ++diff;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(HashRing, SingleServerOwnsEverything) {
+  const HashRing ring(1);
+  EXPECT_EQ(ring.primary_index("anything"), 0u);
+  EXPECT_EQ(ring.slot_index("anything", 3), 0u);
+}
+
+TEST(HashRing, HashAvoidsTrivialCollisions) {
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 10'000; ++i) {
+    hashes.insert(HashRing::hash_key("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace hpres::kv

@@ -1,0 +1,72 @@
+// Wire-protocol helpers: payload sizing, chunk-key round trips, verb names.
+#include "kv/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace hpres::kv {
+namespace {
+
+TEST(Protocol, ChunkKeyRoundTrips) {
+  for (std::size_t slot = 0; slot < 14; ++slot) {
+    const Key ck = chunk_key("some/base:key", slot);
+    const auto parsed = parse_chunk_key(ck);
+    ASSERT_TRUE(parsed.has_value()) << "slot " << slot;
+    EXPECT_EQ(parsed->base, "some/base:key");
+    EXPECT_EQ(parsed->slot, slot);
+  }
+}
+
+TEST(Protocol, ChunkKeysAreDistinctPerSlot) {
+  EXPECT_NE(chunk_key("k", 0), chunk_key("k", 1));
+  EXPECT_NE(chunk_key("k", 0), chunk_key("q", 0));
+}
+
+TEST(Protocol, PlainKeysDoNotParseAsChunks) {
+  EXPECT_FALSE(parse_chunk_key("ordinary-key").has_value());
+  EXPECT_FALSE(parse_chunk_key("").has_value());
+  EXPECT_FALSE(parse_chunk_key("x").has_value());
+}
+
+TEST(Protocol, ChunkKeysNeverCollideWithPrintableUserKeys) {
+  // The separator is \x01, unreachable from printable benchmark keys.
+  const Key user = "user000000000001";
+  EXPECT_FALSE(parse_chunk_key(user).has_value());
+  EXPECT_NE(chunk_key(user, 0), user);
+}
+
+TEST(Protocol, RequestPayloadCountsKeyAndValue) {
+  Request r;
+  r.key = "0123456789";  // 10 bytes
+  EXPECT_EQ(payload_bytes(r), 10u + 16u);
+  r.value = make_shared_bytes(Bytes(100));
+  EXPECT_EQ(payload_bytes(r), 10u + 100u + 16u);
+}
+
+TEST(Protocol, ResponsePayloadCountsValueAndKeys) {
+  Response r;
+  EXPECT_EQ(payload_bytes(r), 16u);
+  r.value = make_shared_bytes(Bytes(50));
+  EXPECT_EQ(payload_bytes(r), 66u);
+  r.keys = {"abc", "defgh"};  // 3+4 + 5+4
+  EXPECT_EQ(payload_bytes(r), 66u + 16u);
+}
+
+TEST(Protocol, VerbNamesAreStable) {
+  EXPECT_EQ(to_string(Verb::kSet), "SET");
+  EXPECT_EQ(to_string(Verb::kGet), "GET");
+  EXPECT_EQ(to_string(Verb::kDelete), "DELETE");
+  EXPECT_EQ(to_string(Verb::kSetEncode), "SET_ENCODE");
+  EXPECT_EQ(to_string(Verb::kGetDecode), "GET_DECODE");
+  EXPECT_EQ(to_string(Verb::kScan), "SCAN");
+}
+
+TEST(Protocol, ChunkInfoEquality) {
+  const ChunkInfo a{100, 2, 3, 2};
+  ChunkInfo b = a;
+  EXPECT_EQ(a, b);
+  b.chunk_index = 3;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hpres::kv

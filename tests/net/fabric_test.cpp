@@ -1,0 +1,214 @@
+// Fabric timing model: Equation 1 behaviour, NIC serialization, incast
+// queueing, eager/rendezvous switch, failure drops, FIFO per pair.
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpres::net {
+namespace {
+
+using TestFabric = Fabric<int>;
+
+FabricParams flat_params() {
+  // Round numbers for exact arithmetic: L = 1000ns, 8 Gbps = 1 byte/ns,
+  // no per-message cost, no header, eager everywhere with no copy cost.
+  FabricParams p;
+  p.name = "test";
+  p.latency_ns = 1'000;
+  p.bandwidth_gbps = 8.0;
+  p.per_message_ns = 0;
+  p.rendezvous_threshold = static_cast<std::size_t>(-1);
+  p.eager_copy_ns_per_byte = 0.0;
+  p.header_bytes = 0;
+  return p;
+}
+
+struct Receiver {
+  static sim::Task<void> run(TestFabric* fabric, NodeId id,
+                             std::vector<std::pair<int, SimTime>>* log,
+                             sim::Simulator* sim, int expected) {
+    auto& inbox = fabric->inbox(id);
+    for (int i = 0; i < expected; ++i) {
+      const auto env = co_await inbox.recv();
+      if (!env) break;
+      log->push_back({env->body, sim->now()});
+    }
+  }
+};
+
+TEST(Fabric, UnloadedTransferMatchesEquationOne) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 1));
+  fabric.send(0, 1, 7, 4096);
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  // T = L + D/B = 1000 + 4096 ns.
+  EXPECT_EQ(log[0].second, 1'000 + 4'096);
+}
+
+TEST(Fabric, ZeroByteMessageTakesLatencyOnly) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 1));
+  fabric.send(0, 1, 1, 0);
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, 1'000);
+}
+
+TEST(Fabric, SenderNicSerializesConcurrentSends) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 3);
+  std::vector<std::pair<int, SimTime>> log1;
+  std::vector<std::pair<int, SimTime>> log2;
+  sim.spawn(Receiver::run(&fabric, 1, &log1, &sim, 1));
+  sim.spawn(Receiver::run(&fabric, 2, &log2, &sim, 1));
+  fabric.send(0, 1, 1, 10'000);
+  fabric.send(0, 2, 2, 10'000);  // queued behind the first at node 0's NIC
+  sim.run();
+  ASSERT_EQ(log1.size(), 1u);
+  ASSERT_EQ(log2.size(), 1u);
+  EXPECT_EQ(log1[0].second, 1'000 + 10'000);
+  EXPECT_EQ(log2[0].second, 1'000 + 20'000);  // waited for tx slot
+}
+
+TEST(Fabric, ReceiverNicQueuesIncast) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 3);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 2, &log, &sim, 2));
+  // Two different senders target node 2 simultaneously.
+  fabric.send(0, 2, 1, 10'000);
+  fabric.send(1, 2, 2, 10'000);
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].second, 11'000);  // first stream lands at L + D/B
+  EXPECT_EQ(log[1].second, 21'000);  // second queues at the receiver NIC
+}
+
+TEST(Fabric, ParallelDisjointPairsDoNotInterfere) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 4);
+  std::vector<std::pair<int, SimTime>> log2;
+  std::vector<std::pair<int, SimTime>> log3;
+  sim.spawn(Receiver::run(&fabric, 2, &log2, &sim, 1));
+  sim.spawn(Receiver::run(&fabric, 3, &log3, &sim, 1));
+  fabric.send(0, 2, 1, 10'000);
+  fabric.send(1, 3, 2, 10'000);
+  sim.run();
+  EXPECT_EQ(log2[0].second, 11'000);
+  EXPECT_EQ(log3[0].second, 11'000);  // full parallelism
+}
+
+TEST(Fabric, RendezvousAddsHandshakeRoundTrip) {
+  FabricParams p = flat_params();
+  p.rendezvous_threshold = 16 * 1024;
+  sim::Simulator sim;
+  TestFabric fabric(sim, p, 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 2));
+  fabric.send(0, 1, 1, 16 * 1024);      // rendezvous: 2L handshake first
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, 2'000 + 1'000 + 16 * 1024);
+  EXPECT_EQ(fabric.stats().rendezvous_handshakes, 1u);
+}
+
+TEST(Fabric, EagerCopyCostDelaysSmallMessages) {
+  FabricParams p = flat_params();
+  p.eager_copy_ns_per_byte = 1.0;
+  sim::Simulator sim;
+  TestFabric fabric(sim, p, 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 1));
+  fabric.send(0, 1, 1, 1'000);
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  // copy (1000) + L (1000) + D/B (1000)
+  EXPECT_EQ(log[0].second, 3'000);
+}
+
+TEST(Fabric, HeaderBytesRideTheWire) {
+  FabricParams p = flat_params();
+  p.header_bytes = 64;
+  sim::Simulator sim;
+  TestFabric fabric(sim, p, 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 1));
+  fabric.send(0, 1, 1, 1'000);
+  sim.run();
+  EXPECT_EQ(log[0].second, 1'000 + 1'064);
+}
+
+TEST(Fabric, SendToFailedNodeIsDropped) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  fabric.set_node_up(1, false);
+  fabric.send(0, 1, 1, 100);
+  sim.run();
+  EXPECT_EQ(fabric.stats().messages_dropped, 1u);
+  EXPECT_EQ(fabric.inbox(1).size(), 0u);
+  fabric.set_node_up(1, true);
+  EXPECT_TRUE(fabric.node_up(1));
+}
+
+TEST(Fabric, FifoPerPairEvenWithMixedSizes) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 3));
+  fabric.send(0, 1, 1, 50'000);  // big first
+  fabric.send(0, 1, 2, 10);      // small cannot overtake on an RC QP
+  fabric.send(0, 1, 3, 10);
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 1);
+  EXPECT_EQ(log[1].first, 2);
+  EXPECT_EQ(log[2].first, 3);
+  EXPECT_LT(log[0].second, log[1].second);
+  EXPECT_LE(log[1].second, log[2].second);
+}
+
+TEST(Fabric, LoopbackSkipsNic) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 0, &log, &sim, 1));
+  fabric.send(0, 0, 1, 1'000'000);
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_LT(log[0].second, 1'000);  // far below any wire transfer
+}
+
+TEST(Fabric, StatsCountTraffic) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(Receiver::run(&fabric, 1, &log, &sim, 2));
+  fabric.send(0, 1, 1, 100);
+  fabric.send(0, 1, 2, 200);
+  sim.run();
+  EXPECT_EQ(fabric.stats().messages_sent, 2u);
+  EXPECT_EQ(fabric.stats().bytes_sent, 300u);
+}
+
+TEST(FabricParams, PresetsAreOrderedByGeneration) {
+  const auto qdr = FabricParams::rdma_qdr();
+  const auto fdr = FabricParams::rdma_fdr();
+  const auto edr = FabricParams::rdma_edr();
+  const auto ipoib = FabricParams::ipoib_qdr();
+  EXPECT_LT(qdr.bandwidth_gbps, fdr.bandwidth_gbps);
+  EXPECT_LT(fdr.bandwidth_gbps, edr.bandwidth_gbps);
+  EXPECT_GT(qdr.latency_ns, fdr.latency_ns);
+  EXPECT_GT(ipoib.latency_ns, 5 * qdr.latency_ns);  // kernel TCP stack
+  EXPECT_LT(ipoib.bandwidth_gbps, qdr.bandwidth_gbps);
+}
+
+}  // namespace
+}  // namespace hpres::net

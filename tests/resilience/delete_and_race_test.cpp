@@ -1,0 +1,146 @@
+// Engine delete semantics across all designs, and the server-side-encode
+// read-after-write race (staging + fallback path).
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hpres::resilience {
+namespace {
+
+using hpres::testing::FiveNodeClusterTest;
+using hpres::testing::run_sim;
+
+class DeleteTest : public FiveNodeClusterTest,
+                   public ::testing::WithParamInterface<Design> {};
+
+TEST_P(DeleteTest, DeleteRemovesEverythingEverywhere) {
+  auto engine = make_engine(GetParam());
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, cluster::Cluster* cl) {
+      (void)co_await e->set("victim",
+                            make_shared_bytes(make_pattern(20'000, 1)));
+      // Quiesce (SE designs distribute in the background).
+      co_await cl->sim().delay(units::kMillisecond);
+      const Status del = co_await e->del("victim");
+      EXPECT_TRUE(del.ok()) << del;
+      std::size_t items = 0;
+      for (std::size_t s = 0; s < 5; ++s) {
+        items += cl->server(s).store().items();
+      }
+      EXPECT_EQ(items, 0u);
+      const Result<Bytes> got = co_await e->get("victim");
+      EXPECT_FALSE(got.ok());
+      EXPECT_EQ(e->stats().dels, 1u);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), &cluster_);
+}
+
+TEST_P(DeleteTest, DeleteMissingKeyIsNotFound) {
+  auto engine = make_engine(GetParam());
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e) {
+      EXPECT_EQ((co_await e->del("ghost")).code(), StatusCode::kNotFound);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DeleteTest,
+    ::testing::Values(Design::kNoRep, Design::kSyncRep, Design::kAsyncRep,
+                      Design::kEraCeCd, Design::kEraSeSd, Design::kEraSeCd),
+    [](const ::testing::TestParamInfo<Design>& param_info) {
+      std::string name{to_string(param_info.param)};
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// --- Server-side encode read-after-write -------------------------------------
+
+class SeRaceTest : public FiveNodeClusterTest,
+                   public ::testing::WithParamInterface<Design> {};
+
+TEST_P(SeRaceTest, ImmediateReadAfterSeSetIsByteCorrect) {
+  // The SE ack covers ingest only; fragments may still be in flight when
+  // the very next read arrives. The stager + fallback must make the read
+  // byte-correct anyway — for both decode sides.
+  auto engine = make_engine(GetParam());
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e) {
+      const Bytes original = make_pattern(800'000, 42);  // long in-flight
+      const Status s =
+          co_await e->set("race", make_shared_bytes(Bytes(original)));
+      EXPECT_TRUE(s.ok());
+      // No quiesce: read immediately.
+      const Result<Bytes> got = co_await e->get("race");
+      EXPECT_TRUE(got.ok()) << got.status();
+      if (got.ok()) { EXPECT_EQ(*got, original); }
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeDesigns, SeRaceTest,
+    ::testing::Values(Design::kEraSeSd, Design::kEraSeCd),
+    [](const ::testing::TestParamInfo<Design>& param_info) {
+      std::string name{to_string(param_info.param)};
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+class SeFallbackTest : public FiveNodeClusterTest {};
+
+TEST_F(SeFallbackTest, RacyCdReadFallsBackThenFragmentsTakeOver) {
+  auto engine = make_engine(Design::kEraSeCd);
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, cluster::Cluster* cl) {
+      const Bytes original = make_pattern(900'000, 7);
+      (void)co_await e->set("racy", make_shared_bytes(Bytes(original)));
+      const Result<Bytes> got = co_await e->get("racy");
+      EXPECT_TRUE(got.ok());
+      if (got.ok()) { EXPECT_EQ(*got, original); }
+      // The immediate read raced the distribution and took the fallback.
+      EXPECT_GE(e->stats().fallback_gets, 1u);
+      const std::uint64_t fallbacks = e->stats().fallback_gets;
+      // Once distribution settles, reads use fragments directly again.
+      co_await cl->sim().delay(10 * units::kMillisecond);
+      const Result<Bytes> later = co_await e->get("racy");
+      EXPECT_TRUE(later.ok());
+      if (later.ok()) { EXPECT_EQ(*later, original); }
+      EXPECT_EQ(e->stats().fallback_gets, fallbacks);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), &cluster_);
+}
+
+TEST_F(SeFallbackTest, StagingIsDroppedAfterDistribution) {
+  auto engine = make_engine(Design::kEraSeCd);
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, cluster::Cluster* cl) {
+      (void)co_await e->set("staged",
+                            make_shared_bytes(make_pattern(50'000, 9)));
+      co_await cl->sim().delay(units::kMillisecond);
+      // Exactly one fragment per server, no lingering full copy.
+      for (std::size_t s = 0; s < 5; ++s) {
+        EXPECT_EQ(cl->server(s).store().items(), 1u) << "server " << s;
+      }
+      const std::size_t primary = cl->ring().slot_index("staged", 0);
+      EXPECT_FALSE(cl->server(primary).store().get("staged").ok());
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), &cluster_);
+}
+
+}  // namespace
+}  // namespace hpres::resilience

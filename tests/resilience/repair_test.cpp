@@ -1,0 +1,179 @@
+// Repair coordinator: discovery via scan, fragment rebuild onto recovered
+// servers, and restoration of full fault tolerance.
+#include "resilience/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hpres::resilience {
+namespace {
+
+using hpres::testing::FiveNodeClusterTest;
+using hpres::testing::run_sim;
+
+class RepairTest : public FiveNodeClusterTest {
+ protected:
+  std::unique_ptr<RepairCoordinator> make_coordinator() {
+    EngineContext ctx;
+    ctx.sim = &cluster_.sim();
+    ctx.client = &cluster_.client(0);
+    ctx.ring = &cluster_.ring();
+    ctx.membership = &cluster_.membership();
+    ctx.server_nodes = &cluster_.server_nodes();
+    ctx.materialize = true;
+    return std::make_unique<RepairCoordinator>(ctx, codec_, cost_);
+  }
+};
+
+TEST_F(RepairTest, DiscoverListsBaseKeysOfFragments) {
+  auto engine = make_engine(Design::kEraCeCd);
+  auto repair = make_coordinator();
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, RepairCoordinator* rc) {
+      (void)co_await e->set("alpha", make_shared_bytes(make_pattern(9000, 1)));
+      (void)co_await e->set("beta", make_shared_bytes(make_pattern(9000, 2)));
+      const auto keys = co_await rc->discover(0);
+      EXPECT_TRUE(keys.ok());
+      if (keys.ok()) {
+        // Every server holds one fragment of each key (5 = k+m servers).
+        EXPECT_EQ(keys->size(), 2u);
+        EXPECT_NE(std::find(keys->begin(), keys->end(), "alpha"),
+                  keys->end());
+        EXPECT_NE(std::find(keys->begin(), keys->end(), "beta"),
+                  keys->end());
+      }
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), repair.get());
+}
+
+TEST_F(RepairTest, DiscoverFromDeadServerFails) {
+  auto repair = make_coordinator();
+  cluster_.fail_server(2);
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(RepairCoordinator* rc) {
+      const auto keys = co_await rc->discover(2);
+      EXPECT_EQ(keys.status().code(), StatusCode::kUnavailable);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, repair.get());
+}
+
+TEST_F(RepairTest, RebuildsFragmentsOntoRecoveredServer) {
+  auto engine = make_engine(Design::kEraCeCd);
+  auto repair = make_coordinator();
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, RepairCoordinator* rc,
+                               cluster::Cluster* cl) {
+      const Bytes original = make_pattern(60'000, 3);
+      (void)co_await e->set("obj", make_shared_bytes(Bytes(original)));
+
+      // Server dies, loses its fragment, and comes back empty.
+      const std::size_t victim = cl->ring().slot_index("obj", 0);
+      cl->fail_server(victim);
+      // Simulate total state loss on the dead node.
+      while (!cl->server(victim).store().keys().empty()) {
+        cl->server(victim).store().erase(
+            cl->server(victim).store().keys().front());
+      }
+      cl->recover_server(victim);
+      EXPECT_EQ(cl->server(victim).store().items(), 0u);
+
+      const Status s = co_await rc->repair_key("obj");
+      EXPECT_TRUE(s.ok()) << s;
+      EXPECT_EQ(rc->stats().fragments_rebuilt, 1u);
+      EXPECT_EQ(cl->server(victim).store().items(), 1u);
+
+      // The rebuilt fragment is byte-identical: kill two OTHER servers and
+      // reconstruct through the rebuilt one.
+      cl->fail_server(cl->ring().slot_index("obj", 1));
+      cl->fail_server(cl->ring().slot_index("obj", 2));
+      const Result<Bytes> got = co_await e->get("obj");
+      EXPECT_TRUE(got.ok()) << got.status();
+      if (got.ok()) { EXPECT_EQ(*got, original); }
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), repair.get(), &cluster_);
+}
+
+TEST_F(RepairTest, IntactKeyIsNoOp) {
+  auto engine = make_engine(Design::kEraCeCd);
+  auto repair = make_coordinator();
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, RepairCoordinator* rc) {
+      (void)co_await e->set("fine", make_shared_bytes(make_pattern(5000, 4)));
+      const Status s = co_await rc->repair_key("fine");
+      EXPECT_TRUE(s.ok());
+      EXPECT_EQ(rc->stats().fragments_rebuilt, 0u);
+      EXPECT_EQ(rc->stats().keys_repaired, 0u);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), repair.get());
+}
+
+TEST_F(RepairTest, UnrepairableBeyondTolerance) {
+  auto engine = make_engine(Design::kEraCeCd);
+  auto repair = make_coordinator();
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, RepairCoordinator* rc,
+                               cluster::Cluster* cl) {
+      (void)co_await e->set("doomed",
+                            make_shared_bytes(make_pattern(5000, 5)));
+      // Wipe three fragments (owners stay up, data gone): only 2 < k left.
+      for (std::size_t slot = 0; slot < 3; ++slot) {
+        const std::size_t owner = cl->ring().slot_index("doomed", slot);
+        cl->server(owner).store().erase(kv::chunk_key("doomed", slot));
+      }
+      const Status s = co_await rc->repair_key("doomed");
+      EXPECT_EQ(s.code(), StatusCode::kTooManyFailures);
+      EXPECT_EQ(rc->stats().unrepairable_keys, 1u);
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), repair.get(), &cluster_);
+}
+
+TEST_F(RepairTest, RepairAllCoversEveryAffectedKey) {
+  auto engine = make_engine(Design::kEraCeCd);
+  auto repair = make_coordinator();
+  cluster_.start();
+  struct Body {
+    static sim::Task<void> run(Engine* e, RepairCoordinator* rc,
+                               cluster::Cluster* cl) {
+      for (int i = 0; i < 10; ++i) {
+        (void)co_await e->set("key" + std::to_string(i),
+                              make_shared_bytes(make_pattern(4000, static_cast<std::uint64_t>(i))));
+      }
+      // Node 0 loses everything, then rejoins empty.
+      cl->fail_server(0);
+      while (!cl->server(0).store().keys().empty()) {
+        cl->server(0).store().erase(cl->server(0).store().keys().front());
+      }
+      cl->recover_server(0);
+
+      const Status s = co_await rc->repair_all();
+      EXPECT_TRUE(s.ok()) << s;
+      // Every key had a fragment on server 0 (5 servers, 5 fragments).
+      EXPECT_EQ(rc->stats().fragments_rebuilt, 10u);
+      EXPECT_EQ(cl->server(0).store().items(), 10u);
+      // Degraded-free reads everywhere afterwards.
+      for (int i = 0; i < 10; ++i) {
+        const Result<Bytes> got =
+            co_await e->get("key" + std::to_string(i));
+        EXPECT_TRUE(got.ok());
+        if (got.ok()) {
+          EXPECT_EQ(*got, make_pattern(4000, static_cast<std::uint64_t>(i)));
+        }
+      }
+    }
+  };
+  run_sim(cluster_.sim(), Body::run, engine.get(), repair.get(), &cluster_);
+}
+
+}  // namespace
+}  // namespace hpres::resilience

@@ -1,0 +1,89 @@
+// Promise/Future completion semantics (the iset/iget handle machinery).
+#include "sim/future.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpres::sim {
+namespace {
+
+Task<void> fulfill_after(Simulator* sim, Promise<int> promise, SimDur d,
+                         int value) {
+  co_await sim->delay(d);
+  promise.set_value(value);
+}
+
+Task<void> await_future(Simulator* sim, Future<int> future,
+                        std::vector<std::pair<int, SimTime>>* log) {
+  const int v = co_await future.wait();
+  log->push_back({v, sim->now()});
+}
+
+TEST(Future, DeliversValueAtFulfillmentTime) {
+  Simulator sim;
+  Promise<int> p(sim);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(await_future(&sim, p.get_future(), &log));
+  sim.spawn(fulfill_after(&sim, p, 250, 7));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 7);
+  EXPECT_EQ(log[0].second, 250);
+}
+
+TEST(Future, MultipleWaitersAllReceive) {
+  Simulator sim;
+  Promise<int> p(sim);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(await_future(&sim, p.get_future(), &log));
+  sim.spawn(await_future(&sim, p.get_future(), &log));
+  sim.spawn(fulfill_after(&sim, p, 10, 5));
+  sim.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Future, WaitAfterFulfillmentIsImmediate) {
+  Simulator sim;
+  Promise<int> p(sim);
+  p.set_value(3);
+  std::vector<std::pair<int, SimTime>> log;
+  sim.spawn(await_future(&sim, p.get_future(), &log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, 0);
+}
+
+TEST(Future, TryGetPollsWithoutSuspending) {
+  Simulator sim;
+  Promise<int> p(sim);
+  Future<int> f = p.get_future();
+  EXPECT_FALSE(f.ready());
+  EXPECT_EQ(f.try_get(), nullptr);
+  p.set_value(9);
+  EXPECT_TRUE(f.ready());
+  ASSERT_NE(f.try_get(), nullptr);
+  EXPECT_EQ(*f.try_get(), 9);
+}
+
+TEST(Future, OutlivesPromise) {
+  Simulator sim;
+  Future<int> f;
+  {
+    Promise<int> p(sim);
+    f = p.get_future();
+    p.set_value(11);
+  }  // promise destroyed
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(*f.try_get(), 11);
+}
+
+TEST(Future, DefaultConstructedIsInvalid) {
+  const Future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+}  // namespace
+}  // namespace hpres::sim

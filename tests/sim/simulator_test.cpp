@@ -1,0 +1,160 @@
+// Event-loop semantics: virtual time, ordering, determinism, task lifetime.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hpres::sim {
+namespace {
+
+Task<void> record_at(Simulator* sim, SimDur delay, std::vector<SimTime>* log) {
+  co_await sim->delay(delay);
+  log->push_back(sim->now());
+}
+
+TEST(Simulator, StartsAtTimeZero) {
+  const Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, DelayAdvancesVirtualTime) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(record_at(&sim, 1000, &log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(record_at(&sim, 500, &log));
+  sim.spawn(record_at(&sim, 100, &log));
+  sim.spawn(record_at(&sim, 300, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 300, 500}));
+}
+
+Task<void> record_label(Simulator* sim, SimDur delay, std::string label,
+                        std::vector<std::string>* log) {
+  co_await sim->delay(delay);
+  log->push_back(std::move(label));
+}
+
+TEST(Simulator, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn(record_label(&sim, 100, "first", &log));
+  sim.spawn(record_label(&sim, 100, "second", &log));
+  sim.spawn(record_label(&sim, 100, "third", &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+Task<void> nested_child(Simulator* sim, std::vector<std::string>* log) {
+  log->push_back("child-start");
+  co_await sim->delay(10);
+  log->push_back("child-end");
+}
+
+Task<void> nested_parent(Simulator* sim, std::vector<std::string>* log) {
+  log->push_back("parent-start");
+  co_await nested_child(sim, log);
+  log->push_back("parent-end");
+}
+
+TEST(Simulator, AwaitingSubTaskRunsInline) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn(nested_parent(&sim, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-end"}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+Task<int> produce_value(Simulator* sim) {
+  co_await sim->delay(5);
+  co_return 41 + 1;
+}
+
+Task<void> consume_value(Simulator* sim, int* out) {
+  *out = co_await produce_value(sim);
+}
+
+TEST(Simulator, TaskReturnsValue) {
+  Simulator sim;
+  int result = 0;
+  sim.spawn(consume_value(&sim, &result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+Task<void> spawner(Simulator* sim, std::vector<SimTime>* log) {
+  co_await sim->delay(50);
+  // Spawn from inside a running process; child starts at current time.
+  sim->spawn(record_at(sim, 25, log));
+}
+
+TEST(Simulator, SpawnFromInsideProcess) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(spawner(&sim, &log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 75);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(record_at(&sim, 100, &log));
+  sim.spawn(record_at(&sim, 10'000, &log));
+  sim.run_until(5'000);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(sim.now(), 5'000);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(record_at(&sim, -50, &log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  sim.spawn(record_at(&sim, 1, &log));
+  sim.spawn(record_at(&sim, 2, &log));
+  sim.run();
+  EXPECT_GE(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<SimTime> log;
+    for (int i = 0; i < 100; ++i) {
+      sim.spawn(record_at(&sim, (i * 37) % 11, &log));
+    }
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hpres::sim

@@ -1,0 +1,246 @@
+// Channel / Event / Semaphore / Latch / WorkerPool semantics.
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpres::sim {
+namespace {
+
+// --- Event -------------------------------------------------------------------
+
+Task<void> wait_and_log(Simulator* sim, Event* ev, std::string label,
+                        std::vector<std::string>* log) {
+  co_await ev->wait();
+  log->push_back(label + "@" + std::to_string(sim->now()));
+}
+
+Task<void> set_after(Simulator* sim, Event* ev, SimDur d) {
+  co_await sim->delay(d);
+  ev->set();
+}
+
+TEST(Event, BroadcastWakesAllWaiters) {
+  Simulator sim;
+  Event ev(sim);
+  std::vector<std::string> log;
+  sim.spawn(wait_and_log(&sim, &ev, "a", &log));
+  sim.spawn(wait_and_log(&sim, &ev, "b", &log));
+  sim.spawn(set_after(&sim, &ev, 100));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a@100", "b@100"}));
+}
+
+TEST(Event, WaitOnSetEventCompletesImmediately) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  std::vector<std::string> log;
+  sim.spawn(wait_and_log(&sim, &ev, "x", &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"x@0"}));
+}
+
+TEST(Event, DoubleSetIsIdempotent) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+}
+
+// --- Channel -----------------------------------------------------------------
+
+Task<void> drain(Channel<int>* ch, std::vector<int>* out) {
+  for (;;) {
+    const std::optional<int> v = co_await ch->recv();
+    if (!v) break;
+    out->push_back(*v);
+  }
+}
+
+Task<void> feed(Simulator* sim, Channel<int>* ch, int count, SimDur gap) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim->delay(gap);
+    ch->send(i);
+  }
+  ch->close();
+}
+
+TEST(Channel, FifoDelivery) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  sim.spawn(drain(&ch, &out));
+  sim.spawn(feed(&sim, &ch, 5, 10));
+  sim.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, BufferedItemsSurviveUntilReceived) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.send(7);
+  ch.send(8);
+  ch.close();
+  std::vector<int> out;
+  sim.spawn(drain(&ch, &out));
+  sim.run();
+  EXPECT_EQ(out, (std::vector<int>{7, 8}));
+}
+
+TEST(Channel, CloseReleasesBlockedReceiver) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  bool finished = false;
+  struct Helper {
+    static Task<void> run(Channel<int>* c, std::vector<int>* o, bool* done) {
+      const auto v = co_await c->recv();
+      EXPECT_FALSE(v.has_value());
+      (void)o;
+      *done = true;
+    }
+  };
+  sim.spawn(Helper::run(&ch, &out, &finished));
+  struct Closer {
+    static Task<void> run(Simulator* s, Channel<int>* c) {
+      co_await s->delay(100);
+      c->close();
+    }
+  };
+  sim.spawn(Closer::run(&sim, &ch));
+  sim.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(Channel, SendAfterCloseIsDropped) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.close();
+  ch.send(1);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, TryRecvDoesNotSuspend) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(3);
+  const auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(Channel, MultipleConsumersShareItems) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> out_a;
+  std::vector<int> out_b;
+  sim.spawn(drain(&ch, &out_a));
+  sim.spawn(drain(&ch, &out_b));
+  sim.spawn(feed(&sim, &ch, 10, 1));
+  sim.run();
+  EXPECT_EQ(out_a.size() + out_b.size(), 10u);
+}
+
+// --- Semaphore ---------------------------------------------------------------
+
+Task<void> hold_permit(Simulator* sim, Semaphore* sem, SimDur hold,
+                       std::vector<SimTime>* acquired) {
+  co_await sem->acquire();
+  acquired->push_back(sim->now());
+  co_await sim->delay(hold);
+  sem->release();
+}
+
+TEST(Semaphore, SerializesBeyondPermits) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  std::vector<SimTime> acquired;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(hold_permit(&sim, &sem, 100, &acquired));
+  }
+  sim.run();
+  // Two run at t=0, the next two at t=100.
+  EXPECT_EQ(acquired, (std::vector<SimTime>{0, 0, 100, 100}));
+}
+
+TEST(Semaphore, TryAcquireNonBlocking) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+// --- Latch -------------------------------------------------------------------
+
+Task<void> latch_waiter(Simulator* sim, Latch* latch, SimTime* completed_at) {
+  co_await latch->wait();
+  *completed_at = sim->now();
+}
+
+Task<void> latch_worker(Simulator* sim, Latch* latch, SimDur d) {
+  co_await sim->delay(d);
+  latch->count_down();
+}
+
+TEST(Latch, WaitsForAllParties) {
+  Simulator sim;
+  Latch latch(sim, 3);
+  SimTime completed_at = -1;
+  sim.spawn(latch_waiter(&sim, &latch, &completed_at));
+  sim.spawn(latch_worker(&sim, &latch, 10));
+  sim.spawn(latch_worker(&sim, &latch, 200));
+  sim.spawn(latch_worker(&sim, &latch, 50));
+  sim.run();
+  EXPECT_EQ(completed_at, 200);  // slowest party gates completion
+}
+
+TEST(Latch, ZeroCountIsImmediatelyOpen) {
+  Simulator sim;
+  Latch latch(sim, 0);
+  SimTime completed_at = -1;
+  sim.spawn(latch_waiter(&sim, &latch, &completed_at));
+  sim.run();
+  EXPECT_EQ(completed_at, 0);
+}
+
+// --- WorkerPool ---------------------------------------------------------------
+
+Task<void> submit_job(Simulator* sim, WorkerPool* pool, SimDur d,
+                      std::vector<SimTime>* done) {
+  co_await pool->execute(d);
+  done->push_back(sim->now());
+}
+
+TEST(WorkerPool, ParallelismBoundedByWorkerCount) {
+  Simulator sim;
+  WorkerPool pool(sim, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(submit_job(&sim, &pool, 100, &done));
+  }
+  sim.run();
+  // 4 jobs x 100ns on 2 workers: finish at 100,100,200,200.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100, 200, 200}));
+  EXPECT_EQ(pool.busy_time(), 400);
+}
+
+TEST(WorkerPool, SingleWorkerSerializesFifo) {
+  Simulator sim;
+  WorkerPool pool(sim, 1);
+  std::vector<SimTime> done;
+  sim.spawn(submit_job(&sim, &pool, 10, &done));
+  sim.spawn(submit_job(&sim, &pool, 20, &done));
+  sim.spawn(submit_job(&sim, &pool, 30, &done));
+  sim.run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 30, 60}));
+}
+
+}  // namespace
+}  // namespace hpres::sim

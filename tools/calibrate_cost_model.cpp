@@ -1,0 +1,49 @@
+// Calibration tool: measures this host's real codec performance and prints
+// (a) a table comparing the measured affine fit against the built-in
+// CostModel defaults, and (b) the constants to paste into
+// ec::CostModel::defaults if you want the simulation's compute costs to
+// mirror this machine rather than the paper's Westmere reference.
+//
+//   $ ./tools/calibrate_cost_model [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ec/chunker.h"
+#include "ec/cost_model.h"
+
+using namespace hpres;      // NOLINT(google-build-using-namespace)
+using namespace hpres::ec;  // NOLINT(google-build-using-namespace)
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 20;
+  constexpr std::size_t kK = 3;
+  constexpr std::size_t kM = 2;
+  constexpr std::size_t kSmall = 16 * 1024;
+  constexpr std::size_t kLarge = 1024 * 1024;
+
+  std::printf("Calibrating RS(%zu,%zu) codecs, %d iterations, probes %zu B"
+              " and %zu B\n\n",
+              kK, kM, iterations, kSmall, kLarge);
+  std::printf("%-8s %14s %14s %14s %14s\n", "scheme", "enc 64K (us)",
+              "enc 1M (us)", "dec1 1M (us)", "model enc 1M");
+
+  for (const Scheme scheme :
+       {Scheme::kRsVandermonde, Scheme::kCauchyRs, Scheme::kRaid6}) {
+    const auto codec = make_codec(scheme, kK, kM);
+    const CostModel measured =
+        CostModel::calibrate(*codec, kSmall, kLarge, iterations);
+    const CostModel builtin = CostModel::defaults(scheme, kK, kM);
+    std::printf("%-8s %14.1f %14.1f %14.1f %14.1f\n",
+                std::string(to_string(scheme)).c_str(),
+                units::to_us(measured.encode_ns(64 * 1024)),
+                units::to_us(measured.encode_ns(kLarge)),
+                units::to_us(measured.decode_ns(kLarge, 1)),
+                units::to_us(builtin.encode_ns(kLarge)));
+  }
+
+  std::printf("\nTo re-base the simulation on this host, replace the"
+              " constants in src/ec/cost_model.cpp (CostModel::defaults)"
+              " with the measured fits above, or construct engines with"
+              " CostModel::calibrate(...) directly.\n");
+  return 0;
+}

@@ -28,15 +28,15 @@ double set_latency_us(const cluster::Testbed& bed, resilience::Design design,
   cfg.operations = scaled(400);
   cfg.value_size = value_size;
   workload::OhbResult result;
-  bench.sim().spawn(
-      run_sets(&bench.sim(), &bench.engine(), cfg, &result));
+  bench.spawn(run_sets(&bench.sim(), &bench.engine(), cfg, &result));
   bench.sim().run();
   return result.avg_latency_us();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   std::printf("ABL2 — rendezvous-threshold sweep, RI-QDR, blocking sets\n");
   print_header("Set latency (us): era-ce-cd vs async-rep per threshold",
                {"threshold", "value", "era-ce-cd", "async-rep", "rep/era"});
@@ -63,5 +63,5 @@ int main() {
       end_row();
     }
   }
-  return 0;
+  return obs_finalize();
 }

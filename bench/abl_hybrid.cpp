@@ -56,7 +56,8 @@ Point run_engine(resilience::Engine* engine, cluster::Cluster* cluster,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   const std::uint64_t ops = scaled(300);
   std::printf("ABL4 — hybrid threshold sweep: 50/50 mix of 2 KB and 256 KB"
               " values, %llu ops, RS(3,2) / Rep=3, RI-QDR\n",
@@ -104,5 +105,5 @@ int main() {
     print_cell(p.mem_mib);
     end_row();
   }
-  return 0;
+  return obs_finalize();
 }

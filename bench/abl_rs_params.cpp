@@ -21,7 +21,8 @@ sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   constexpr std::size_t kValue = 256 * 1024;
   std::printf("ABL3 — RS(K,M) sweep, Era-CE-CD on 12 servers, 256 KB"
               " values\n");
@@ -40,8 +41,8 @@ int main() {
     cfg.value_size = kValue;
     workload::OhbResult set_result;
     workload::OhbResult get_result;
-    bench.sim().spawn(run_point(&bench.sim(), &bench.engine(), cfg,
-                                &set_result, &get_result));
+    bench.spawn(run_point(&bench.sim(), &bench.engine(), cfg, &set_result,
+                          &get_result));
     bench.sim().run();
     print_cell("RS(" + std::to_string(shape.k) + "," +
                std::to_string(shape.m) + ")");
@@ -52,5 +53,5 @@ int main() {
     print_cell(get_result.avg_latency_us());
     end_row();
   }
-  return 0;
+  return obs_finalize();
 }

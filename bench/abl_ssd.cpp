@@ -54,7 +54,7 @@ Point run_point(resilience::Design design, bool with_ssd,
   {
     sim::Latch done(bench.sim(), kClients);
     for (std::size_t c = 0; c < kClients; ++c) {
-      bench.sim().spawn(writer(&bench.engine(c), c, pairs, &done));
+      bench.spawn(writer(&bench.engine(c), c, pairs, &done));
     }
     bench.sim().run();
   }
@@ -67,8 +67,8 @@ Point run_point(resilience::Design design, bool with_ssd,
     std::vector<RunningStats> lat(kClients);
     std::vector<std::uint64_t> failures(kClients, 0);
     for (std::size_t c = 0; c < kClients; ++c) {
-      bench.sim().spawn(reader(&bench.sim(), &bench.engine(c), c, pairs,
-                               &done, &lat[c], &failures[c]));
+      bench.spawn(reader(&bench.sim(), &bench.engine(c), c, pairs, &done,
+                         &lat[c], &failures[c]));
     }
     bench.sim().run();
     RunningStats all;
@@ -85,7 +85,8 @@ Point run_point(resilience::Design design, bool with_ssd,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   const std::uint64_t pairs = scaled(1'000);
   std::printf("ABL5 — SSD-assisted tier at the Fig 10 overload point"
               " (40 clients x %llu x 1 MB, 5 x 20 GB servers)\n",
@@ -111,5 +112,5 @@ int main() {
   std::printf("Replication overflows memory: without the SSD it loses data;"
               " with it, reads of demoted items pay device latency. Erasure"
               " coding simply fits.\n");
-  return 0;
+  return obs_finalize();
 }

@@ -23,7 +23,8 @@ sim::Task<void> pipelined_sets(resilience::Engine* engine, std::uint64_t ops,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   const std::uint64_t ops = scaled(500);
   constexpr std::size_t kValue = 64 * 1024;
   std::printf("ABL1 — ARPE window sweep, Era-CE-CD, RI-QDR, %llu x 64 KB"
@@ -37,7 +38,7 @@ int main() {
     arpe.buffers = 256;
     Testbench bench(cluster::ri_qdr(), 5, 1, resilience::Design::kEraCeCd, 3,
                     2, 3, arpe);
-    bench.sim().spawn(pipelined_sets(&bench.engine(), ops, kValue));
+    bench.spawn(pipelined_sets(&bench.engine(), ops, kValue));
     const SimTime makespan = bench.sim().run();
     const double mib =
         static_cast<double>(ops * kValue) / (1024.0 * 1024.0);
@@ -48,5 +49,5 @@ int main() {
     print_cell(std::to_string(bench.engine().arpe().stats().window_waits));
     end_row();
   }
-  return 0;
+  return obs_finalize();
 }

@@ -8,14 +8,20 @@
 // absolute microseconds — are the reproduction target (EXPERIMENTS.md).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/testbeds.h"
 #include "ec/rs_vandermonde.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "resilience/factory.h"
 
 namespace hpres::bench {
@@ -34,18 +40,124 @@ inline std::uint64_t scaled(std::uint64_t ops) {
   return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
 }
 
+// --- Observability session ----------------------------------------------------
+//
+// One per process: holds the span tracer and metrics registry every
+// Testbench registers into. Enabled by harness flags:
+//   --trace-out=FILE          Chrome trace_event JSON (Perfetto-loadable)
+//   --metrics-out=FILE        metrics snapshot JSON
+//   --sample-interval-us=N    periodic gauge sampling (0 disables; defaults
+//                             to 100 us when tracing is on)
+// With no flags everything is off and benchmarks run exactly as before —
+// observation never touches simulation state, so results are identical
+// either way.
+class ObsSession {
+ public:
+  static ObsSession& instance() {
+    static ObsSession session;
+    return session;
+  }
+
+  /// Parses the observability flags; unknown arguments are ignored.
+  void init(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.starts_with("--metrics-out=")) {
+        metrics_out_ = std::string(arg.substr(14));
+      } else if (arg.starts_with("--trace-out=")) {
+        trace_out_ = std::string(arg.substr(12));
+      } else if (arg.starts_with("--sample-interval-us=")) {
+        const std::string value(arg.substr(21));
+        try {
+          sample_interval_ns_ = std::stoll(value) * 1'000;
+        } catch (const std::exception&) {
+          std::fprintf(stderr,
+                       "error: --sample-interval-us expects an integer,"
+                       " got \"%s\"\n",
+                       value.c_str());
+          std::exit(2);
+        }
+      }
+    }
+    tracer_.set_enabled(!trace_out_.empty());
+    if (sample_interval_ns_ < 0) sample_interval_ns_ = 0;
+    if (sample_interval_ns_ == 0 && tracer_.enabled()) {
+      sample_interval_ns_ = 100'000;  // default 100 us when tracing
+    }
+  }
+
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return !metrics_out_.empty();
+  }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] SimDur sample_interval_ns() const noexcept {
+    return sample_interval_ns_;
+  }
+
+  [[nodiscard]] std::string next_point_label() {
+    return "pt" + std::to_string(point_seq_++);
+  }
+
+  /// Writes the requested output files; returns a process exit code.
+  [[nodiscard]] int finalize() {
+    int rc = 0;
+    if (!metrics_out_.empty()) {
+      registry_.capture();
+      if (!registry_.write_json(metrics_out_)) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_out_.c_str());
+        rc = 1;
+      }
+    }
+    if (!trace_out_.empty() && !tracer_.write_json(trace_out_)) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out_.c_str());
+      rc = 1;
+    }
+    return rc;
+  }
+
+ private:
+  ObsSession() = default;
+
+  obs::Tracer tracer_;
+  obs::MetricsRegistry registry_;
+  std::string metrics_out_;
+  std::string trace_out_;
+  SimDur sample_interval_ns_ = 0;
+  std::uint64_t point_seq_ = 0;
+};
+
+inline void obs_init(int argc, char** argv) {
+  ObsSession::instance().init(argc, argv);
+}
+[[nodiscard]] inline int obs_finalize() {
+  return ObsSession::instance().finalize();
+}
+
 /// A cluster plus one resilience engine per client, all sharing one codec
 /// and cost model. Rebuilt per experiment point for isolation.
+///
+/// Every Testbench registers itself with the process ObsSession: it becomes
+/// one trace process (pid) named `point_label`, its stats structs bind into
+/// the metrics registry under that op label, and — when sampling is on — a
+/// periodic gauge sampler starts with the first spawn() and stops when the
+/// last spawned workload completes. The destructor freezes bound metrics
+/// (registry capture) so snapshots survive per-point teardown.
 class Testbench {
  public:
   Testbench(const cluster::Testbed& bed, std::size_t servers,
             std::size_t clients, resilience::Design design, std::size_t k = 3,
             std::size_t m = 2, std::uint32_t rep_factor = 3,
-            resilience::ArpeParams arpe = {})
+            resilience::ArpeParams arpe = {}, std::string point_label = {})
       : codec_(k, m),
         cost_(ec::CostModel::defaults(ec::Scheme::kRsVandermonde, k, m,
                                       bed.cpu_factor)),
         cluster_(cluster::make_config(bed, servers, clients)) {
+    ObsSession& obs = ObsSession::instance();
+    label_ = point_label.empty() ? obs.next_point_label()
+                                 : std::move(point_label);
+    trace_pid_ = obs.tracer().declare_process(label_);
+    cluster_.set_tracer(&obs.tracer(), trace_pid_);
     cluster_.enable_server_ec(codec_, cost_, /*materialize=*/false);
     engines_.reserve(clients);
     for (std::size_t i = 0; i < clients; ++i) {
@@ -56,10 +168,28 @@ class Testbench {
       ctx.membership = &cluster_.membership();
       ctx.server_nodes = &cluster_.server_nodes();
       ctx.materialize = false;
+      ctx.tracer = &obs.tracer();
+      ctx.trace_pid = trace_pid_;
       engines_.push_back(resilience::make_engine(design, ctx, rep_factor,
                                                  &codec_, cost_, arpe));
     }
     cluster_.start();
+    if (obs.metrics_enabled()) {
+      cluster_.register_metrics(obs.registry(), label_);
+      for (std::size_t i = 0; i < engines_.size(); ++i) {
+        const std::string node = "client" + std::to_string(i);
+        engines_[i]->stats().register_with(obs.registry(), node, label_);
+        engines_[i]->arpe().stats().register_with(obs.registry(), node,
+                                                  label_);
+        engines_[i]->arpe().buffer_stats().register_with(obs.registry(), node,
+                                                         label_);
+      }
+    }
+  }
+
+  ~Testbench() {
+    ObsSession& obs = ObsSession::instance();
+    if (obs.metrics_enabled()) obs.registry().capture();
   }
 
   [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
@@ -70,12 +200,67 @@ class Testbench {
   [[nodiscard]] std::size_t num_engines() const noexcept {
     return engines_.size();
   }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::uint32_t trace_pid() const noexcept { return trace_pid_; }
+
+  /// Spawns a workload task, tracking it so the gauge sampler (when
+  /// enabled) stops once every spawned task has completed — otherwise the
+  /// sampler's periodic ticks would keep sim().run() from draining.
+  void spawn(sim::Task<void> task) {
+    maybe_start_sampler();
+    ++outstanding_;
+    sim().spawn(tracked(this, std::move(task)));
+  }
 
  private:
+  static sim::Task<void> tracked(Testbench* self, sim::Task<void> inner) {
+    co_await std::move(inner);
+    if (--self->outstanding_ == 0 && self->sampler_ != nullptr) {
+      self->sampler_->request_stop();
+    }
+  }
+
+  void maybe_start_sampler() {
+    ObsSession& obs = ObsSession::instance();
+    if (sampler_ != nullptr || !obs.tracer().enabled() ||
+        obs.sample_interval_ns() <= 0) {
+      return;
+    }
+    sampler_ = std::make_unique<obs::Sampler>(sim(), obs.tracer(), trace_pid_,
+                                              obs.sample_interval_ns());
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      resilience::Engine* engine = engines_[i].get();
+      const std::string node = "client" + std::to_string(i);
+      sampler_->add_gauge(node + "/arpe.in_flight", [engine] {
+        return static_cast<std::int64_t>(engine->arpe().in_flight());
+      });
+      sampler_->add_gauge(node + "/bufpool.in_use", [engine] {
+        return static_cast<std::int64_t>(engine->arpe().buffers_in_use());
+      });
+    }
+    cluster::Cluster* cl = &cluster_;
+    sampler_->add_gauge("fabric/in_flight_bytes", [cl] {
+      return static_cast<std::int64_t>(cl->fabric().in_flight_bytes());
+    });
+    for (std::size_t i = 0; i < cluster_.num_servers(); ++i) {
+      const net::NodeId node = cluster_.server_nodes()[i];
+      sampler_->add_gauge("server" + std::to_string(i) + "/inbox_depth",
+                          [cl, node] {
+                            return static_cast<std::int64_t>(
+                                cl->fabric().inbox(node).size());
+                          });
+    }
+    sampler_->start();
+  }
+
   ec::RsVandermondeCodec codec_;
   ec::CostModel cost_;
   cluster::Cluster cluster_;
   std::vector<std::unique_ptr<resilience::Engine>> engines_;
+  std::string label_;
+  std::uint32_t trace_pid_ = 0;
+  std::uint64_t outstanding_ = 0;
+  std::unique_ptr<obs::Sampler> sampler_;  // declared last: destroyed first
 };
 
 // --- Table printing -----------------------------------------------------------

@@ -68,6 +68,9 @@ Point run_code(const ec::Codec& codec, std::uint64_t keys,
   const auto cost = ec::CostModel::defaults(ec::Scheme::kRsVandermonde,
                                             codec.k(), codec.m());
   cl.enable_server_ec(codec, cost, false);
+  obs::Tracer& tracer = ObsSession::instance().tracer();
+  const std::uint32_t pid = tracer.declare_process(std::string(codec.name()));
+  cl.set_tracer(&tracer, pid);
   resilience::EngineContext ctx;
   ctx.sim = &cl.sim();
   ctx.client = &cl.client(0);
@@ -75,6 +78,8 @@ Point run_code(const ec::Codec& codec, std::uint64_t keys,
   ctx.membership = &cl.membership();
   ctx.server_nodes = &cl.server_nodes();
   ctx.materialize = false;
+  ctx.tracer = &tracer;
+  ctx.trace_pid = pid;
   const auto engine = resilience::make_engine(resilience::Design::kEraCeCd,
                                               ctx, 3, &codec, cost);
   resilience::RepairCoordinator repair(ctx, codec, cost);
@@ -90,7 +95,8 @@ Point run_code(const ec::Codec& codec, std::uint64_t keys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   const std::uint64_t keys = scaled(150);
   constexpr std::size_t kValue = 256 * 1024;
   std::printf("EXT2 — repair locality, node rejoin with %llu x 256 KB keys,"
@@ -118,5 +124,5 @@ int main() {
   std::printf("LRC buys its repair savings with storage overhead"
               " (10/6 vs 9/6) — the trade the paper's future work"
               " anticipates.\n");
-  return 0;
+  return obs_finalize();
 }

@@ -65,7 +65,8 @@ sim::Task<void> scenario(sim::Simulator* sim, resilience::Engine* engine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   const std::uint64_t keys = scaled(200);
   std::printf("EXT1 — recovery overhead: node rejoins empty, RS(3,2),"
               " RI-QDR, %llu keys per point\n",
@@ -84,13 +85,15 @@ int main() {
     ctx.membership = &bench.cluster().membership();
     ctx.server_nodes = &bench.cluster().server_nodes();
     ctx.materialize = false;
+    ctx.tracer = &ObsSession::instance().tracer();
+    ctx.trace_pid = bench.trace_pid();
     ec::RsVandermondeCodec codec(3, 2);
     resilience::RepairCoordinator repair(
         ctx, codec,
         ec::CostModel::defaults(ec::Scheme::kRsVandermonde, 3, 2));
     Point point;
-    bench.sim().spawn(scenario(&bench.sim(), &bench.engine(), &repair,
-                               &bench.cluster(), keys, size, &point));
+    bench.spawn(scenario(&bench.sim(), &bench.engine(), &repair,
+                         &bench.cluster(), keys, size, &point));
     bench.sim().run();
     print_cell(size_label(size));
     print_cell(point.repair_ms);
@@ -100,5 +103,5 @@ int main() {
     print_cell(point.degraded_get_us / point.healthy_get_us);
     end_row();
   }
-  return 0;
+  return obs_finalize();
 }

@@ -65,8 +65,8 @@ void run_table(const char* title, Exp exp) {
       cfg.operations = scaled(1'000);
       cfg.value_size = size;
       workload::OhbResult result;
-      bench.sim().spawn(run_point(&bench.sim(), &bench.engine(),
-                                  &bench.cluster(), cfg, exp, &result));
+      bench.spawn(run_point(&bench.sim(), &bench.engine(), &bench.cluster(),
+                            cfg, exp, &result));
       bench.sim().run();
       print_cell(result.avg_latency_us());
     }
@@ -76,12 +76,13 @@ void run_table(const char* title, Exp exp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   std::printf("FIG8 (paper Fig 8) — OHB Set/Get latency, RI-QDR, 5 servers,"
               " RS(3,2) / Rep=3, avg us per op\n");
   run_table("Fig 8(a): Set latency (us)", Exp::kSet);
   run_table("Fig 8(b): Get latency, no failures (us)", Exp::kGet);
   run_table("Fig 8(c): Get latency, two node failures (us)",
             Exp::kGetTwoFailures);
-  return 0;
+  return obs_finalize();
 }

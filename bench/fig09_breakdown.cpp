@@ -5,10 +5,18 @@
 // phases. Set on a healthy cluster (Fig 9a); Get under two node failures
 // (Fig 9b), where the wait time dominates due to the skewed survivor load.
 //
+// The printed phases are sourced from the span tracer (per-point deltas of
+// the "set"/"get", "*/request" and "set/encode"/"get/decode" span totals),
+// not from the legacy PhaseBreakdown accumulators; the harness cross-checks
+// the two against each other per point and exits nonzero if they diverge by
+// more than 1%.
+//
 // Expected shape (paper): for Sets, the request phase dominates small
 // values and T_encode grows dominant (and overlapped) at large values for
 // CE designs; SE designs show only request/wait at the client. For Gets
 // under failures, wait dominates; only CD designs show client decode time.
+#include <algorithm>
+
 #include "bench_util.h"
 #include "workload/ohb.h"
 
@@ -21,13 +29,47 @@ constexpr std::size_t kSizes[] = {64 * 1024, 256 * 1024, 1024 * 1024};
 constexpr resilience::Design kDesigns[] = {resilience::Design::kAsyncRep,
                                            resilience::Design::kEraCeCd,
                                            resilience::Design::kEraSeSd,
-                                           resilience::Design::kEraSeCd};
+                                           resilience::Design::kEraSeCd,
+                                           resilience::Design::kEraCeSd};
+
+/// Phase totals derived from tracer span totals for one (pid, op kind).
+struct SpanPhaseTotals {
+  SimDur total_ns = 0;
+  SimDur request_ns = 0;
+  SimDur compute_ns = 0;
+};
+
+SpanPhaseTotals snapshot_spans(const obs::Tracer& tracer, std::uint32_t pid,
+                               bool get_side) {
+  if (get_side) {
+    return {tracer.total_ns(pid, "get"), tracer.total_ns(pid, "get/request"),
+            tracer.total_ns(pid, "get/decode")};
+  }
+  return {tracer.total_ns(pid, "set"), tracer.total_ns(pid, "set/request"),
+          tracer.total_ns(pid, "set/encode")};
+}
+
+/// Measured-pass phase sums derived from the tracer (populate-pass spans
+/// subtracted out via a before/after snapshot).
+struct TracedPhases {
+  SimDur request_ns = 0;
+  SimDur compute_ns = 0;
+  SimDur wait_ns = 0;
+
+  [[nodiscard]] SimDur total() const noexcept {
+    return request_ns + compute_ns + wait_ns;
+  }
+};
 
 sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
                           cluster::Cluster* cluster, workload::OhbConfig cfg,
-                          bool get_with_failures, workload::OhbResult* result) {
+                          bool get_with_failures, const obs::Tracer* tracer,
+                          std::uint32_t pid, workload::OhbResult* result,
+                          TracedPhases* traced) {
   workload::OhbResult ignore;
   co_await workload::ohb_set_workload(sim, engine, cfg, &ignore);
+  const SpanPhaseTotals before =
+      snapshot_spans(*tracer, pid, get_with_failures);
   if (!get_with_failures) {
     workload::OhbConfig cfg2 = cfg;
     cfg2.seed = cfg.seed + 1;
@@ -37,40 +79,106 @@ sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
     cluster->fail_server(1);
     co_await workload::ohb_get_workload(sim, engine, cfg, result);
   }
+  const SpanPhaseTotals after =
+      snapshot_spans(*tracer, pid, get_with_failures);
+  traced->request_ns = after.request_ns - before.request_ns;
+  traced->compute_ns = after.compute_ns - before.compute_ns;
+  traced->wait_ns = (after.total_ns - before.total_ns) - traced->request_ns -
+                    traced->compute_ns;
 }
 
-void run_table(const char* title, bool get_with_failures) {
+bool within_one_percent(SimDur traced, SimDur legacy) {
+  const SimDur diff = traced > legacy ? traced - legacy : legacy - traced;
+  const SimDur tol = std::max<SimDur>(std::max(traced, legacy) / 100, 1);
+  return diff <= tol;
+}
+
+int cross_check(const std::string& label, const char* phase, SimDur traced,
+                SimDur legacy) {
+  if (within_one_percent(traced, legacy)) return 0;
+  std::fprintf(stderr,
+               "fig09: %s %s diverges: tracer %lld ns vs breakdown %lld ns\n",
+               label.c_str(), phase, static_cast<long long>(traced),
+               static_cast<long long>(legacy));
+  return 1;
+}
+
+int run_table(const char* title, bool get_with_failures) {
+  int rc = 0;
   print_header(title, {"design", "value", "request_us", "compute_us",
                        "wait_us", "total_us"});
   for (const auto design : kDesigns) {
     for (const std::size_t size : kSizes) {
-      Testbench bench(cluster::ri_qdr(), 5, 1, design);
+      const std::string label = std::string(to_string(design)) + "/" +
+                                size_label(size) +
+                                (get_with_failures ? "/get" : "/set");
+      Testbench bench(cluster::ri_qdr(), 5, 1, design, 3, 2, 3, {}, label);
       workload::OhbConfig cfg;
       cfg.operations = scaled(500);
       cfg.value_size = size;
       workload::OhbResult result;
-      bench.sim().spawn(run_point(&bench.sim(), &bench.engine(),
-                                  &bench.cluster(), cfg, get_with_failures,
-                                  &result));
+      TracedPhases traced;
+      ObsSession& obs = ObsSession::instance();
+      bench.spawn(run_point(&bench.sim(), &bench.engine(), &bench.cluster(),
+                            cfg, get_with_failures, &obs.tracer(),
+                            bench.trace_pid(), &result, &traced));
       bench.sim().run();
+
+      // The span-derived phases must agree with the legacy PhaseBreakdown
+      // accumulators (they are computed from the same charged costs).
+      rc |= cross_check(label, "request", traced.request_ns,
+                        result.phases.request_ns);
+      rc |= cross_check(label, "compute", traced.compute_ns,
+                        result.phases.compute_ns);
+      rc |= cross_check(label, "wait", traced.wait_ns, result.phases.wait_ns);
+
+      if (obs.metrics_enabled()) {
+        // Full-run span totals (populate + measured pass) land in the
+        // snapshot next to the bound engine.{set,get}_phase.* counters they
+        // must match.
+        const SpanPhaseTotals totals =
+            snapshot_spans(obs.tracer(), bench.trace_pid(),
+                           get_with_failures);
+        const char* prefix = get_with_failures ? "get" : "set";
+        const obs::MetricLabels labels{"fig09", "trace", label};
+        obs.registry()
+            .counter(std::string("trace.") + prefix + ".request_ns", labels)
+            .set(static_cast<std::uint64_t>(totals.request_ns));
+        obs.registry()
+            .counter(std::string("trace.") + prefix + ".compute_ns", labels)
+            .set(static_cast<std::uint64_t>(totals.compute_ns));
+        obs.registry()
+            .counter(std::string("trace.") + prefix + ".wait_ns", labels)
+            .set(static_cast<std::uint64_t>(totals.total_ns -
+                                            totals.request_ns -
+                                            totals.compute_ns));
+      }
+
       const auto ops = static_cast<double>(result.operations);
       print_cell(std::string(to_string(design)));
       print_cell(size_label(size));
-      print_cell(units::to_us(result.phases.request_ns) / ops);
-      print_cell(units::to_us(result.phases.compute_ns) / ops);
-      print_cell(units::to_us(result.phases.wait_ns) / ops);
-      print_cell(units::to_us(result.phases.total()) / ops);
+      print_cell(units::to_us(traced.request_ns) / ops);
+      print_cell(units::to_us(traced.compute_ns) / ops);
+      print_cell(units::to_us(traced.wait_ns) / ops);
+      print_cell(units::to_us(traced.total()) / ops);
       end_row();
     }
   }
+  return rc;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
+  // Phase numbers come from the span tracer, so it is always on here
+  // (recording is passive — simulated results are identical either way).
+  ObsSession::instance().tracer().set_enabled(true);
   std::printf("FIG9 (paper Fig 9) — client-side phase breakdown per op,"
               " RI-QDR, 5 servers\n");
-  run_table("Fig 9(a): Set phases, healthy cluster", false);
-  run_table("Fig 9(b): Get phases, two node failures", true);
-  return 0;
+  int rc = 0;
+  rc |= run_table("Fig 9(a): Set phases, healthy cluster", false);
+  rc |= run_table("Fig 9(b): Get phases, two node failures", true);
+  rc |= obs_finalize();
+  return rc;
 }

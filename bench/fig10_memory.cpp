@@ -37,8 +37,8 @@ Point run_point(resilience::Design design, std::size_t clients,
   Testbench bench(cluster::ri_qdr(), /*servers=*/5, clients, design);
   sim::Latch done(bench.sim(), static_cast<std::uint32_t>(clients));
   for (std::size_t c = 0; c < clients; ++c) {
-    bench.sim().spawn(writer(&bench.engine(c), c, pairs_per_client,
-                             1024 * 1024, &done));
+    bench.spawn(writer(&bench.engine(c), c, pairs_per_client,
+                       1024 * 1024, &done));
   }
   bench.sim().run();
   Point p;
@@ -52,7 +52,8 @@ Point run_point(resilience::Design design, std::size_t clients,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   const std::uint64_t pairs = scaled(1'000);
   std::printf("FIG10 (paper Fig 10) — memory efficiency, 5 servers x 20 GB"
               " (100 GB aggregate), %llu x 1 MB pairs per client\n",
@@ -70,5 +71,5 @@ int main() {
     print_cell(era.lost_gib);
     end_row();
   }
-  return 0;
+  return obs_finalize();
 }

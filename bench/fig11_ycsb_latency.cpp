@@ -51,10 +51,11 @@ void run_cluster(const cluster::Testbed& bed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   std::printf("FIG11 (paper Fig 11) — YCSB read/write latency, 150 clients,"
               " 5 servers, RS(3,2) / Rep=3\n");
   run_cluster(cluster::sdsc_comet(), {1024, 4096, 16 * 1024, 32 * 1024});
   run_cluster(cluster::ri2_edr(), {16 * 1024, 32 * 1024});
-  return 0;
+  return obs_finalize();
 }

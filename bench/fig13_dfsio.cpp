@@ -73,10 +73,10 @@ BoldioOutcome run_boldio(resilience::Design design, std::uint64_t data_bytes) {
     // The job completes when every map finishes; the asynchronous Lustre
     // flush keeps draining afterwards and must not count against the
     // TestDFSIO makespan.
-    bench.sim().spawn(StopWatch::run(&bench.sim(), &done, &finished_at));
+    bench.spawn(StopWatch::run(&bench.sim(), &done, &finished_at));
     for (std::size_t m = 0; m < maps; ++m) {
       const std::size_t host = m % kHosts;
-      bench.sim().spawn(dfsio_boldio_map(
+      bench.spawn(dfsio_boldio_map(
           clients[host].get(), "dfsio/part-" + std::to_string(m), file_bytes,
           write, &done, &failures));
     }
@@ -112,7 +112,8 @@ BoldioOutcome run_direct(std::uint64_t data_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs_init(argc, argv);
   std::printf("FIG13 (paper Fig 13) — TestDFSIO throughput, Boldio"
               " (8 hosts x 4 maps, 5 x 24 GB servers) vs Lustre-Direct"
               " (12 hosts x 4 maps)\n");
@@ -146,5 +147,5 @@ int main() {
   }
   std::printf("(*) data column names the paper's job size; the simulated"
               " volume is scaled by HPRES_BENCH_SCALE/8 (see header).\n");
-  return 0;
+  return obs_finalize();
 }

@@ -74,8 +74,8 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
         done.count_down();
         continue;
       }
-      bench.sim().spawn(detail::loader_proc(&bench.sim(), &bench.engine(l),
-                                            cfg, first, last, &done));
+      bench.spawn(detail::loader_proc(&bench.sim(), &bench.engine(l),
+                                      cfg, first, last, &done));
     }
     bench.sim().run();
   }
@@ -87,9 +87,9 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
   {
     sim::Latch done(bench.sim(), static_cast<std::uint32_t>(clients));
     for (std::size_t c = 0; c < clients; ++c) {
-      bench.sim().spawn(detail::client_proc(&bench.sim(), &bench.engine(c),
-                                            cfg, cfg.seed + 1000 + c,
-                                            &results[c], &done));
+      bench.spawn(detail::client_proc(&bench.sim(), &bench.engine(c),
+                                      cfg, cfg.seed + 1000 + c,
+                                      &results[c], &done));
     }
     bench.sim().run();
   }

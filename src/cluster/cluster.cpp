@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <cassert>
+#include <string>
 
 namespace hpres::cluster {
 
@@ -37,6 +38,19 @@ void Cluster::enable_server_ec(const ec::Codec& codec, ec::CostModel cost,
     ctx.my_index = i;
     ctx.materialize = materialize;
     servers_[i]->enable_ec(std::move(ctx));
+  }
+}
+
+void Cluster::register_metrics(obs::MetricsRegistry& reg,
+                               const std::string& op_label) const {
+  fabric_.stats().register_with(reg, "fabric", op_label);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->store().stats().register_with(
+        reg, "server" + std::to_string(i), op_label);
+  }
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->stats().register_with(reg, "client" + std::to_string(i),
+                                       op_label);
   }
 }
 

@@ -12,6 +12,8 @@
 #include "kv/hash_ring.h"
 #include "kv/membership.h"
 #include "kv/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hpres::cluster {
 
@@ -65,6 +67,18 @@ class Cluster {
   /// membership broadcasts the death. Only between operations (DESIGN.md).
   void fail_server(std::size_t index);
   void recover_server(std::size_t index);
+
+  /// Attaches a span tracer to the fabric (NIC occupancy spans) under
+  /// process `pid`. Engines attach themselves through EngineContext.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) {
+    fabric_.set_tracer(tracer, pid);
+  }
+
+  /// Registers the fabric, every server store, and every client's stats
+  /// into `reg`, labelled server0..N / client0..N / "fabric" with the given
+  /// op label (the experiment point, e.g. "era-ce-cd/64K").
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& op_label) const;
 
   /// Starts every node's dispatch loop. Call once, before running.
   void start();

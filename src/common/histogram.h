@@ -70,7 +70,9 @@ class LatencyHistogram {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       seen += counts_[i];
-      if (seen > rank) return std::clamp(bucket_midpoint(i), min_, max_);
+      if (seen > rank) {
+        return std::clamp(saturating_midpoint(i), min_, max_);
+      }
     }
     return max_;
   }
@@ -79,11 +81,23 @@ class LatencyHistogram {
   [[nodiscard]] std::int64_t p95() const noexcept { return quantile(0.95); }
   [[nodiscard]] std::int64_t p99() const noexcept { return quantile(0.99); }
 
- private:
-  // Exact region [0, 64) plus 58 octaves (exponents 6..63) of 64 sub-buckets.
+  // --- Bucket introspection (metric export, property tests) ---------------
+
+  /// Exact region [0, 64) plus 58 octaves (exponents 6..63) of 64
+  /// sub-buckets.
   static constexpr std::size_t kBucketCount =
       kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
 
+  [[nodiscard]] static constexpr std::size_t bucket_count() noexcept {
+    return kBucketCount;
+  }
+
+  /// Samples recorded into bucket `index`.
+  [[nodiscard]] std::uint64_t count_at(std::size_t index) const noexcept {
+    return counts_[index];
+  }
+
+  /// Bucket holding value `v`.
   static std::size_t bucket_index(std::uint64_t v) noexcept {
     if (v < kSubBuckets) return static_cast<std::size_t>(v);
     const int exp = 63 - std::countl_zero(v);  // >= kSubBucketBits
@@ -93,17 +107,30 @@ class LatencyHistogram {
            static_cast<std::size_t>(exp - kSubBucketBits) * kSubBuckets + sub;
   }
 
-  static std::int64_t bucket_midpoint(std::size_t index) noexcept {
-    if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  /// Exact representative (midpoint) value of bucket `index`. Unsigned:
+  /// top-octave (exponent 63) midpoints exceed int64 range — callers that
+  /// need a recordable value use saturating_midpoint().
+  static std::uint64_t bucket_midpoint(std::size_t index) noexcept {
+    if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
     const std::size_t rel = index - kSubBuckets;
     const int exp = static_cast<int>(rel / kSubBuckets) + kSubBucketBits;
     const std::uint64_t sub = rel % kSubBuckets;
     const std::uint64_t low =
         (std::uint64_t{1} << exp) | (sub << (exp - kSubBucketBits));
     const std::uint64_t width = std::uint64_t{1} << (exp - kSubBucketBits);
-    return static_cast<std::int64_t>(low + width / 2);
+    return low + width / 2;
   }
 
+  /// Midpoint clamped into int64 range (recordable-value domain).
+  static std::int64_t saturating_midpoint(std::size_t index) noexcept {
+    const std::uint64_t mid = bucket_midpoint(index);
+    constexpr auto kMax =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    return mid > kMax ? std::numeric_limits<std::int64_t>::max()
+                      : static_cast<std::int64_t>(mid);
+  }
+
+ private:
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   std::int64_t sum_ = 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "kv/rpc.h"
+#include "obs/metrics.h"
 #include "sim/sync.h"
 
 namespace hpres::kv {
@@ -18,6 +19,15 @@ struct ClientStats {
   std::uint64_t requests = 0;
   std::uint64_t responses = 0;
   std::uint64_t unavailable = 0;
+
+  /// Registers every field into `reg` under component "client".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"client", std::move(node), std::move(op)};
+    reg.bind_counter("client.requests", labels, &requests);
+    reg.bind_counter("client.responses", labels, &responses);
+    reg.bind_counter("client.unavailable", labels, &unavailable);
+  }
 };
 
 class Client final : public RpcNode {

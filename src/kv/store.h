@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "kv/protocol.h"
+#include "obs/metrics.h"
 
 namespace hpres::kv {
 
@@ -29,6 +30,23 @@ struct StoreStats {
   std::uint64_t demoted_bytes = 0;
   std::uint64_t promotions = 0;      ///< SSD hits moved back to memory
   std::uint64_t ssd_hits = 0;
+
+  /// Registers every field into `reg` under component "store".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"store", std::move(node), std::move(op)};
+    reg.bind_counter("store.set_ops", labels, &set_ops);
+    reg.bind_counter("store.get_ops", labels, &get_ops);
+    reg.bind_counter("store.hits", labels, &hits);
+    reg.bind_counter("store.misses", labels, &misses);
+    reg.bind_counter("store.evictions", labels, &evictions);
+    reg.bind_counter("store.evicted_bytes", labels, &evicted_bytes);
+    reg.bind_counter("store.rejected_sets", labels, &rejected_sets);
+    reg.bind_counter("store.demotions", labels, &demotions);
+    reg.bind_counter("store.demoted_bytes", labels, &demoted_bytes);
+    reg.bind_counter("store.promotions", labels, &promotions);
+    reg.bind_counter("store.ssd_hits", labels, &ssd_hits);
+  }
 };
 
 /// Capacity of the optional SSD tier backing the in-memory store — the

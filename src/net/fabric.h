@@ -20,6 +20,8 @@
 
 #include "common/units.h"
 #include "net/params.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 
@@ -36,12 +38,35 @@ struct Envelope {
   Body body;
 };
 
-/// Aggregate transfer statistics (per fabric).
+/// Aggregate transfer statistics (per fabric), both directions. Send and
+/// receive sides are tracked independently so send/recv asymmetry under
+/// injected failures is visible (messages_sent - messages_delivered -
+/// messages_dropped = in flight).
 struct FabricStats {
   std::uint64_t messages_sent = 0;
-  std::uint64_t messages_dropped = 0;  ///< sent to a failed node
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_dropped = 0;  ///< total drops (sum of causes below)
+  std::uint64_t drops_dst_down = 0;    ///< destination HCA was down
+  std::uint64_t drops_src_down = 0;    ///< sender itself was marked down
+  std::uint64_t bytes_sent = 0;        ///< payload bytes accepted for send
   std::uint64_t rendezvous_handshakes = 0;
+  std::uint64_t messages_delivered = 0;  ///< landed in a destination inbox
+  std::uint64_t bytes_delivered = 0;     ///< payload bytes delivered
+
+  /// Registers every field into `reg` under component "fabric".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"fabric", std::move(node), std::move(op)};
+    reg.bind_counter("fabric.messages_sent", labels, &messages_sent);
+    reg.bind_counter("fabric.messages_dropped", labels, &messages_dropped);
+    reg.bind_counter("fabric.drops_dst_down", labels, &drops_dst_down);
+    reg.bind_counter("fabric.drops_src_down", labels, &drops_src_down);
+    reg.bind_counter("fabric.bytes_sent", labels, &bytes_sent);
+    reg.bind_counter("fabric.rendezvous_handshakes", labels,
+                     &rendezvous_handshakes);
+    reg.bind_counter("fabric.messages_delivered", labels,
+                     &messages_delivered);
+    reg.bind_counter("fabric.bytes_delivered", labels, &bytes_delivered);
+  }
 };
 
 template <typename Body>
@@ -60,6 +85,23 @@ class Fabric {
   }
   [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+
+  /// Wire bytes sent but not yet delivered (time-series gauge for the
+  /// periodic sampler).
+  [[nodiscard]] std::uint64_t in_flight_bytes() const noexcept {
+    return in_flight_bytes_;
+  }
+  [[nodiscard]] std::uint64_t in_flight_messages() const noexcept {
+    return in_flight_messages_;
+  }
+
+  /// Attaches a span tracer: NIC occupancy spans ("fabric/send" on the
+  /// sender's NIC track, "fabric/recv" on the receiver's) are emitted under
+  /// process `pid`. Pass nullptr to detach. Purely observational.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) noexcept {
+    tracer_ = tracer;
+    trace_pid_ = pid;
+  }
 
   /// The receive queue for a node; server/client processes loop on
   /// `co_await fabric.inbox(id).recv()`.
@@ -90,6 +132,11 @@ class Fabric {
     stats_.bytes_sent += payload_bytes;
     if (!nics_[dst].up || !nics_[src].up) {
       ++stats_.messages_dropped;
+      if (!nics_[dst].up) {
+        ++stats_.drops_dst_down;
+      } else {
+        ++stats_.drops_src_down;
+      }
       return;
     }
     const SimTime now = sim_->now();
@@ -131,6 +178,13 @@ class Fabric {
     const SimTime rx_end = rx_start + ser;
     dst_nic.rx_busy_until = rx_end;
 
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + src,
+                        "fabric/send", "fabric", tx_start, ser);
+      tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + dst,
+                        "fabric/recv", "fabric", rx_start, ser);
+    }
+
     env.delivered_at = rx_end;
     deliver_at(rx_end, std::move(env));
   }
@@ -146,17 +200,22 @@ class Fabric {
 
   void deliver_at(SimTime when, Envelope<Body> env) {
     const SimDur delay = when - sim_->now();
-    sim_->spawn(deliver_coro(sim_, inboxes_[env.dst].get(), delay,
-                             std::move(env)));
+    in_flight_bytes_ += env.wire_bytes;
+    ++in_flight_messages_;
+    sim_->spawn(deliver_coro(this, delay, std::move(env)));
   }
 
-  // Free coroutine per CP.51/CP.53: parameters by value / raw pointers that
-  // outlive the fabric's messages.
-  static sim::Task<void> deliver_coro(sim::Simulator* sim,
-                                      sim::Channel<Envelope<Body>>* inbox,
-                                      SimDur delay, Envelope<Body> env) {
-    co_await sim->delay(delay);
-    inbox->send(std::move(env));
+  // Free coroutine per CP.51/CP.53: parameters by value / a raw pointer to
+  // the fabric, which owns the inboxes and must outlive every in-flight
+  // message (it does: the cluster drains the simulator before teardown).
+  static sim::Task<void> deliver_coro(Fabric* self, SimDur delay,
+                                      Envelope<Body> env) {
+    co_await self->sim_->delay(delay);
+    self->in_flight_bytes_ -= env.wire_bytes;
+    --self->in_flight_messages_;
+    ++self->stats_.messages_delivered;
+    self->stats_.bytes_delivered += env.wire_bytes - self->params_.header_bytes;
+    self->inboxes_[env.dst]->send(std::move(env));
   }
 
   sim::Simulator* sim_;
@@ -164,6 +223,10 @@ class Fabric {
   std::vector<NicState> nics_;
   std::vector<std::unique_ptr<sim::Channel<Envelope<Body>>>> inboxes_;
   FabricStats stats_;
+  std::uint64_t in_flight_bytes_ = 0;
+  std::uint64_t in_flight_messages_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
 };
 
 }  // namespace hpres::net

@@ -1,0 +1,72 @@
+// Minimal deterministic JSON emission helpers for the observability layer.
+//
+// Everything here appends to a caller-owned std::string; output depends only
+// on the argument values (no locales, no pointer formatting, fixed decimal
+// widths), which is what lets metrics snapshots and trace files be compared
+// byte-for-byte across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace hpres::obs::json {
+
+/// Appends `s` as a quoted, escaped JSON string.
+inline void append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+inline void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+/// Appends a double with a fixed number of decimals (deterministic within
+/// one binary; never scientific notation).
+inline void append_fixed(std::string& out, double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  out += buf;
+}
+
+/// Appends a nanosecond timestamp as fractional microseconds ("12.345"),
+/// the unit Chrome trace_event JSON expects for ts/dur fields.
+inline void append_time_us(std::string& out, SimTime ns) {
+  if (ns < 0) {
+    out.push_back('-');
+    ns = -ns;
+  }
+  out += std::to_string(ns / 1000);
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  char buf[8];
+  std::snprintf(buf, sizeof buf, ".%03u", frac);
+  out += buf;
+}
+
+}  // namespace hpres::obs::json

@@ -1,0 +1,32 @@
+#include "obs/sampler.h"
+
+namespace hpres::obs {
+
+void Sampler::start() {
+  if (started_ || !tracer_->enabled() || series_.empty() || interval_ <= 0) {
+    return;
+  }
+  started_ = true;
+  sim_->spawn(run(this));
+}
+
+void Sampler::sample_once() {
+  const SimTime now = sim_->now();
+  for (Series& s : series_) {
+    const std::int64_t v = s.read();
+    s.stats.record(static_cast<double>(v));
+    tracer_->counter(pid_, s.name, now, v);
+  }
+  ++samples_;
+}
+
+sim::Task<void> Sampler::run(Sampler* self) {
+  self->sample_once();
+  for (;;) {
+    co_await self->sim_->delay(self->interval_);
+    if (self->stop_) co_return;
+    self->sample_once();
+  }
+}
+
+}  // namespace hpres::obs

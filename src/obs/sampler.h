@@ -1,0 +1,74 @@
+// Periodic gauge sampler: a spawned simulator process that reads a set of
+// registered gauges (ARPE window occupancy, buffer-pool usage, fabric
+// in-flight bytes, server queue depth, ...) at a fixed simulated interval
+// and emits them as Chrome trace_event counter samples ("C" events), giving
+// a time-series view alongside the spans.
+//
+// Lifecycle: the harness wraps its workload so that request_stop() runs
+// when the workload completes; the sampler then exits at its next tick and
+// the event queue drains normally. Sampling is read-only — it adds events
+// to the queue but never perturbs workload timing, so enabling it changes
+// no benchmark result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace hpres::obs {
+
+class Sampler {
+ public:
+  Sampler(sim::Simulator& sim, Tracer& tracer, std::uint32_t pid,
+          SimDur interval_ns)
+      : sim_(&sim), tracer_(&tracer), pid_(pid), interval_(interval_ns) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Registers one gauge; `read` must stay valid until the sampler stops.
+  void add_gauge(std::string name, std::function<std::int64_t()> read) {
+    series_.push_back(Series{std::move(name), std::move(read), {}});
+  }
+
+  /// Spawns the sampling process (samples once immediately, then every
+  /// interval). No-op when the tracer is disabled or nothing is registered.
+  void start();
+
+  /// Makes the sampling process exit at its next tick.
+  void request_stop() noexcept { stop_ = true; }
+
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t num_gauges() const noexcept {
+    return series_.size();
+  }
+  /// Running min/mean/max of series `i` over all samples taken.
+  [[nodiscard]] const RunningStats& series_stats(std::size_t i) const {
+    return series_.at(i).stats;
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    std::function<std::int64_t()> read;
+    RunningStats stats;
+  };
+
+  static sim::Task<void> run(Sampler* self);
+  void sample_once();
+
+  sim::Simulator* sim_;
+  Tracer* tracer_;
+  std::uint32_t pid_;
+  SimDur interval_;
+  std::vector<Series> series_;
+  std::uint64_t samples_ = 0;
+  bool stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace hpres::obs

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace hpres::obs {
+
+std::uint32_t Tracer::declare_process(std::string name) {
+  const std::uint32_t pid = next_pid_++;
+  if (enabled_) {
+    events_.push_back(Event{'M', pid, 0, 0, 0, 0, std::move(name), {}});
+  }
+  return pid;
+}
+
+void Tracer::complete(std::uint32_t pid, std::uint64_t tid,
+                      std::string_view name, std::string_view cat,
+                      SimTime begin_ns, SimDur dur_ns) {
+  if (!enabled_) return;
+  events_.push_back(Event{'X', pid, tid, begin_ns, dur_ns, 0,
+                          std::string(name), std::string(cat)});
+  add_total(pid, name, dur_ns);
+}
+
+void Tracer::async_span(std::uint32_t pid, std::uint64_t id,
+                        std::string_view name, std::string_view cat,
+                        SimTime begin_ns, SimDur dur_ns) {
+  if (!enabled_) return;
+  events_.push_back(Event{'b', pid, id, begin_ns, 0, 0, std::string(name),
+                          std::string(cat)});
+  events_.push_back(Event{'e', pid, id, begin_ns + dur_ns, 0, 0,
+                          std::string(name), std::string(cat)});
+  add_total(pid, name, dur_ns);
+}
+
+void Tracer::instant(std::uint32_t pid, std::uint64_t tid,
+                     std::string_view name, std::string_view cat,
+                     SimTime ts_ns) {
+  if (!enabled_) return;
+  events_.push_back(
+      Event{'i', pid, tid, ts_ns, 0, 0, std::string(name), std::string(cat)});
+}
+
+void Tracer::counter(std::uint32_t pid, std::string_view name, SimTime ts_ns,
+                     std::int64_t value) {
+  if (!enabled_) return;
+  events_.push_back(
+      Event{'C', pid, 0, ts_ns, 0, value, std::string(name), {}});
+}
+
+void Tracer::add_total(std::uint32_t pid, std::string_view name,
+                       SimDur dur_ns) {
+  auto& total = totals_[{pid, std::string(name)}];
+  ++total.count;
+  total.total_ns += dur_ns;
+}
+
+SimDur Tracer::total_ns(std::uint32_t pid, std::string_view name) const {
+  const auto it = totals_.find({pid, std::string(name)});
+  return it == totals_.end() ? 0 : it->second.total_ns;
+}
+
+std::uint64_t Tracer::span_count(std::uint32_t pid,
+                                 std::string_view name) const {
+  const auto it = totals_.find({pid, std::string(name)});
+  return it == totals_.end() ? 0 : it->second.count;
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    switch (e.ph) {
+      case 'M':
+        // Process-name metadata: the event's name field holds the label.
+        out += "{\"ph\":\"M\",\"pid\":";
+        json::append_u64(out, e.pid);
+        out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+        json::append_string(out, e.name);
+        out += "}}";
+        break;
+      case 'X':
+        out += "{\"ph\":\"X\",\"pid\":";
+        json::append_u64(out, e.pid);
+        out += ",\"tid\":";
+        json::append_u64(out, e.tid);
+        out += ",\"ts\":";
+        json::append_time_us(out, e.ts);
+        out += ",\"dur\":";
+        json::append_time_us(out, e.dur);
+        out += ",\"name\":";
+        json::append_string(out, e.name);
+        out += ",\"cat\":";
+        json::append_string(out, e.cat);
+        out += "}";
+        break;
+      case 'b':
+      case 'e':
+        out += "{\"ph\":\"";
+        out.push_back(e.ph);
+        out += "\",\"pid\":";
+        json::append_u64(out, e.pid);
+        out += ",\"tid\":0,\"id\":\"";
+        out += std::to_string(e.tid);
+        out += "\",\"ts\":";
+        json::append_time_us(out, e.ts);
+        out += ",\"name\":";
+        json::append_string(out, e.name);
+        out += ",\"cat\":";
+        json::append_string(out, e.cat);
+        out += "}";
+        break;
+      case 'i':
+        out += "{\"ph\":\"i\",\"pid\":";
+        json::append_u64(out, e.pid);
+        out += ",\"tid\":";
+        json::append_u64(out, e.tid);
+        out += ",\"ts\":";
+        json::append_time_us(out, e.ts);
+        out += ",\"s\":\"t\",\"name\":";
+        json::append_string(out, e.name);
+        out += ",\"cat\":";
+        json::append_string(out, e.cat);
+        out += "}";
+        break;
+      case 'C':
+        out += "{\"ph\":\"C\",\"pid\":";
+        json::append_u64(out, e.pid);
+        out += ",\"tid\":0,\"ts\":";
+        json::append_time_us(out, e.ts);
+        out += ",\"name\":";
+        json::append_string(out, e.name);
+        out += ",\"args\":{\"value\":";
+        json::append_i64(out, e.value);
+        out += "}}";
+        break;
+      default:
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string body = to_json();
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return f.good();
+}
+
+}  // namespace hpres::obs

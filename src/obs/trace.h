@@ -1,0 +1,113 @@
+// Span tracer on the simulator clock.
+//
+// Records begin/end spans, async spans, instants and counter samples against
+// simulated time and serializes them as Chrome trace_event JSON (loadable in
+// Perfetto / chrome://tracing). Alongside the raw events the tracer keeps
+// per-(process, span-name) duration totals so harnesses can derive phase
+// breakdowns (paper Figure 9) directly from the spans.
+//
+// Zero overhead when disabled: every recording call starts with a single
+// branch on `enabled_` and returns immediately, and recording never touches
+// the simulation (no delays, no RNG) — enabling tracing cannot change any
+// simulated result.
+//
+// Track conventions (Perfetto renders one lane per (pid, tid)):
+//   pid — one experiment point (a Testbench); declare_process names it.
+//   tid — a lane inside the point: engine op lanes (node * kLanesPerNode +
+//         slot) or NIC lanes (kNicTidBase + node). Complete spans on one tid
+//         must nest; concurrent activities use distinct lanes or async spans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hpres::obs {
+
+/// Aggregate of every completed span with one name within one process.
+struct SpanTotal {
+  std::uint64_t count = 0;
+  SimDur total_ns = 0;
+};
+
+class Tracer {
+ public:
+  /// Lanes reserved per node for concurrent in-flight operations.
+  static constexpr std::uint64_t kLanesPerNode = 1024;
+  /// Base tid for per-node NIC tracks (fabric send/recv serialization).
+  static constexpr std::uint64_t kNicTidBase = 1'000'000;
+
+  Tracer() = default;
+  explicit Tracer(bool enabled) : enabled_(enabled) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool e) noexcept { enabled_ = e; }
+
+  /// Allocates a process id (one per experiment point) and, when enabled,
+  /// emits the process_name metadata event Perfetto uses as the group label.
+  std::uint32_t declare_process(std::string name);
+
+  /// Complete span ("X") with an explicit interval. `begin_ns` may lie in
+  /// the simulated future (e.g. a NIC slot reserved ahead of time).
+  void complete(std::uint32_t pid, std::uint64_t tid, std::string_view name,
+                std::string_view cat, SimTime begin_ns, SimDur dur_ns);
+
+  /// Async span ("b"/"e" pair keyed by `id`): overlap-safe, used for spans
+  /// that interleave freely on one logical track (e.g. ARPE window waits).
+  void async_span(std::uint32_t pid, std::uint64_t id, std::string_view name,
+                  std::string_view cat, SimTime begin_ns, SimDur dur_ns);
+
+  /// Instant event ("i").
+  void instant(std::uint32_t pid, std::uint64_t tid, std::string_view name,
+               std::string_view cat, SimTime ts_ns);
+
+  /// Counter sample ("C"): one named time-series value per process.
+  void counter(std::uint32_t pid, std::string_view name, SimTime ts_ns,
+               std::int64_t value);
+
+  /// Total recorded duration / span count for (pid, name); 0 if none.
+  [[nodiscard]] SimDur total_ns(std::uint32_t pid,
+                                std::string_view name) const;
+  [[nodiscard]] std::uint64_t span_count(std::uint32_t pid,
+                                         std::string_view name) const;
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+
+  /// Serializes every recorded event as Chrome trace_event JSON. Output is
+  /// a pure function of the recorded events (byte-identical across
+  /// same-seed runs).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;            // 'X', 'b', 'e', 'i', 'C', 'M'
+    std::uint32_t pid;
+    std::uint64_t tid;  // lane, or async id for 'b'/'e'
+    SimTime ts;
+    SimDur dur;           // 'X' only
+    std::int64_t value;   // 'C' only
+    std::string name;
+    std::string cat;
+  };
+
+  void add_total(std::uint32_t pid, std::string_view name, SimDur dur_ns);
+
+  std::vector<Event> events_;
+  std::map<std::pair<std::uint32_t, std::string>, SpanTotal> totals_;
+  std::uint32_t next_pid_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace hpres::obs

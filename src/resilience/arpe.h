@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/buffer_pool.h"
 #include "sim/sync.h"
 
@@ -24,12 +27,22 @@ struct ArpeStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
   std::uint64_t window_waits = 0;  ///< admissions that queued on the window
+
+  /// Registers every field into `reg` under component "arpe".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"arpe", std::move(node), std::move(op)};
+    reg.bind_counter("arpe.submitted", labels, &submitted);
+    reg.bind_counter("arpe.admitted", labels, &admitted);
+    reg.bind_counter("arpe.window_waits", labels, &window_waits);
+  }
 };
 
 class Arpe {
  public:
   Arpe(sim::Simulator& sim, ArpeParams params)
-      : window_(sim, params.window),
+      : sim_(&sim),
+        window_(sim, params.window),
         buffers_(sim, params.buffers),
         idle_(sim),
         params_(params) {}
@@ -39,9 +52,21 @@ class Arpe {
   [[nodiscard]] std::uint32_t in_flight() const noexcept { return in_flight_; }
   /// Ops submitted (queued or in flight) and not yet completed.
   [[nodiscard]] std::uint32_t pending() const noexcept { return pending_; }
+  /// Pre-registered buffers currently held (time-series gauge).
+  [[nodiscard]] std::uint32_t buffers_in_use() const noexcept {
+    return buffers_.in_use();
+  }
   [[nodiscard]] const ArpeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const BufferPoolStats& buffer_stats() const noexcept {
     return buffers_.stats();
+  }
+
+  /// Attaches a span tracer: admissions that actually queue emit async
+  /// "arpe/window_wait" / "arpe/buffer_wait" spans (they overlap freely, so
+  /// they use b/e async events rather than complete events). Observational.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) noexcept {
+    tracer_ = tracer;
+    trace_pid_ = pid;
   }
 
   /// Records a submission into the request queue. Called synchronously at
@@ -54,12 +79,18 @@ class Arpe {
 
   /// Admits one submitted operation: waits for a window slot and a buffer.
   sim::Task<void> admit() {
-    ++stats_.admitted;
+    const std::uint64_t seq = stats_.admitted++;
     if (!window_.try_acquire()) {
       ++stats_.window_waits;
+      const SimTime t0 = sim_->now();
       co_await window_.acquire();
+      trace_wait(2 * seq, "arpe/window_wait", t0);
     }
-    co_await buffers_.acquire();
+    {
+      const SimTime t0 = sim_->now();
+      co_await buffers_.acquire();
+      trace_wait(2 * seq + 1, "arpe/buffer_wait", t0);
+    }
     ++in_flight_;
   }
 
@@ -78,6 +109,14 @@ class Arpe {
   }
 
  private:
+  void trace_wait(std::uint64_t id, const char* name, SimTime t0) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    const SimDur dur = sim_->now() - t0;
+    if (dur <= 0) return;
+    tracer_->async_span(trace_pid_, id, name, "arpe", t0, dur);
+  }
+
+  sim::Simulator* sim_;
   sim::Semaphore window_;
   BufferPool buffers_;
   sim::Condition idle_;
@@ -85,6 +124,8 @@ class Arpe {
   std::uint32_t in_flight_ = 0;
   std::uint32_t pending_ = 0;
   ArpeStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
 };
 
 }  // namespace hpres::resilience

@@ -4,8 +4,11 @@
 // than failing, and the pool records how often that happened.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 
+#include "obs/metrics.h"
 #include "sim/sync.h"
 
 namespace hpres::resilience {
@@ -14,6 +17,16 @@ struct BufferPoolStats {
   std::uint64_t acquisitions = 0;
   std::uint64_t backpressure_waits = 0;  ///< acquire had to queue
   std::uint32_t high_water = 0;          ///< max buffers simultaneously held
+
+  /// Registers every field into `reg` under component "bufpool".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"bufpool", std::move(node), std::move(op)};
+    reg.bind_counter("bufpool.acquisitions", labels, &acquisitions);
+    reg.bind_counter("bufpool.backpressure_waits", labels,
+                     &backpressure_waits);
+    reg.bind_counter("bufpool.high_water", labels, &high_water);
+  }
 };
 
 class BufferPool {

@@ -1,13 +1,43 @@
 #include "resilience/engine.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace hpres::resilience {
+
+std::uint32_t Engine::acquire_lane() {
+  if (!free_lanes_.empty()) {
+    std::pop_heap(free_lanes_.begin(), free_lanes_.end(),
+                  std::greater<std::uint32_t>{});
+    const std::uint32_t lane = free_lanes_.back();
+    free_lanes_.pop_back();
+    return lane;
+  }
+  return next_lane_++;
+}
+
+void Engine::release_lane(std::uint32_t lane) {
+  free_lanes_.push_back(lane);
+  std::push_heap(free_lanes_.begin(), free_lanes_.end(),
+                 std::greater<std::uint32_t>{});
+}
 
 sim::Task<Status> Engine::set(kv::Key key, SharedBytes value) {
   const SimTime t0 = sim().now();
   OpPhases phases;
+  obs::Tracer* const tr = tracer();
+  std::uint32_t lane = 0;
+  if (tr != nullptr) {
+    lane = acquire_lane();
+    phases.trace_tid = lane_tid(lane);
+  }
   const Status status = co_await do_set(std::move(key), std::move(value),
                                         &phases);
   const SimDur total = sim().now() - t0;
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases.trace_tid, "set", "engine", t0, total);
+    release_lane(lane);
+  }
   ++stats_.sets;
   if (!status.ok()) ++stats_.set_failures;
   stats_.set_latency.record(total);
@@ -21,8 +51,18 @@ sim::Task<Status> Engine::set(kv::Key key, SharedBytes value) {
 sim::Task<Result<Bytes>> Engine::get(kv::Key key) {
   const SimTime t0 = sim().now();
   OpPhases phases;
+  obs::Tracer* const tr = tracer();
+  std::uint32_t lane = 0;
+  if (tr != nullptr) {
+    lane = acquire_lane();
+    phases.trace_tid = lane_tid(lane);
+  }
   Result<Bytes> result = co_await do_get(std::move(key), &phases);
   const SimDur total = sim().now() - t0;
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases.trace_tid, "get", "engine", t0, total);
+    release_lane(lane);
+  }
   ++stats_.gets;
   if (!result.ok()) ++stats_.get_failures;
   stats_.get_latency.record(total);

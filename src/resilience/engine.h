@@ -12,6 +12,8 @@
 #include "kv/client.h"
 #include "kv/hash_ring.h"
 #include "kv/membership.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/arpe.h"
 
 namespace hpres::resilience {
@@ -41,6 +43,31 @@ struct EngineStats {
   std::uint64_t get_failures = 0;
   std::uint64_t degraded_gets = 0;  ///< gets that needed failure handling
   std::uint64_t fallback_gets = 0;  ///< CD gets retried via the server path
+
+  /// Registers every field into `reg` under component "engine".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"engine", std::move(node), std::move(op)};
+    reg.bind_counter("engine.sets", labels, &sets);
+    reg.bind_counter("engine.gets", labels, &gets);
+    reg.bind_counter("engine.dels", labels, &dels);
+    reg.bind_counter("engine.set_failures", labels, &set_failures);
+    reg.bind_counter("engine.get_failures", labels, &get_failures);
+    reg.bind_counter("engine.degraded_gets", labels, &degraded_gets);
+    reg.bind_counter("engine.fallback_gets", labels, &fallback_gets);
+    reg.bind_counter("engine.set_phase.request_ns", labels,
+                     &set_phases.request_ns);
+    reg.bind_counter("engine.set_phase.compute_ns", labels,
+                     &set_phases.compute_ns);
+    reg.bind_counter("engine.set_phase.wait_ns", labels, &set_phases.wait_ns);
+    reg.bind_counter("engine.get_phase.request_ns", labels,
+                     &get_phases.request_ns);
+    reg.bind_counter("engine.get_phase.compute_ns", labels,
+                     &get_phases.compute_ns);
+    reg.bind_counter("engine.get_phase.wait_ns", labels, &get_phases.wait_ns);
+    reg.bind_histogram("engine.set_latency_ns", labels, &set_latency);
+    reg.bind_histogram("engine.get_latency_ns", labels, &get_latency);
+  }
 };
 
 /// Everything a client-side engine needs from its host. All referenced
@@ -53,12 +80,18 @@ struct EngineContext {
   const std::vector<net::NodeId>* server_nodes = nullptr;
   /// False = size-only payloads (benchmark mode, costs still charged).
   bool materialize = true;
+  /// Optional span tracer (may be null / disabled). Purely observational:
+  /// never consulted for timing decisions.
+  obs::Tracer* tracer = nullptr;
+  std::uint32_t trace_pid = 0;
 };
 
 class Engine {
  public:
   Engine(EngineContext ctx, ArpeParams arpe_params)
-      : ctx_(ctx), arpe_(*ctx.sim, arpe_params) {}
+      : ctx_(ctx), arpe_(*ctx.sim, arpe_params) {
+    arpe_.set_tracer(ctx_.tracer, ctx_.trace_pid);
+  }
   virtual ~Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -100,9 +133,12 @@ class Engine {
 
  protected:
   /// Phase accounting filled by implementations during one operation.
+  /// `trace_tid` is the Perfetto lane this op's spans go on (0 when tracing
+  /// is off); concurrent ops get distinct lanes so complete events nest.
   struct OpPhases {
     SimDur request_ns = 0;
     SimDur compute_ns = 0;
+    std::uint64_t trace_tid = 0;
   };
 
   virtual sim::Task<Status> do_set(kv::Key key, SharedBytes value,
@@ -131,6 +167,16 @@ class Engine {
                                static_cast<double>(payload));
   }
 
+  /// The attached tracer when it is live, nullptr otherwise — one branch on
+  /// the hot path when observability is off.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept {
+    return (ctx_.tracer != nullptr && ctx_.tracer->enabled()) ? ctx_.tracer
+                                                              : nullptr;
+  }
+  [[nodiscard]] std::uint32_t trace_pid() const noexcept {
+    return ctx_.trace_pid;
+  }
+
  private:
   static sim::Task<void> iset_coro(Engine* self, kv::Key key,
                                    SharedBytes value,
@@ -138,9 +184,22 @@ class Engine {
   static sim::Task<void> iget_coro(Engine* self, kv::Key key,
                                    sim::Promise<Result<Bytes>> out);
 
+  /// Lane pool for per-op trace tids (tid = node * kLanesPerNode + lane).
+  /// Free lanes are reused lowest-first so same-seed runs allocate
+  /// identically and concurrent ops land on distinct Perfetto tracks.
+  [[nodiscard]] std::uint32_t acquire_lane();
+  void release_lane(std::uint32_t lane);
+  [[nodiscard]] std::uint64_t lane_tid(std::uint32_t lane) const noexcept {
+    return static_cast<std::uint64_t>(client().id()) *
+               obs::Tracer::kLanesPerNode +
+           lane;
+  }
+
   EngineContext ctx_;
   Arpe arpe_;
   EngineStats stats_;
+  std::vector<std::uint32_t> free_lanes_;  // min-heap of released lanes
+  std::uint32_t next_lane_ = 0;
 };
 
 }  // namespace hpres::resilience

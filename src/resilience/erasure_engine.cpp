@@ -1,5 +1,6 @@
 #include "resilience/erasure_engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace hpres::resilience {
@@ -96,6 +97,15 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
   co_await client().cpu().execute(encode_ns + post_ns);
   phases->compute_ns += encode_ns;
   phases->request_ns += post_ns;
+  obs::Tracer* const tr = tracer();
+  if (tr != nullptr) {
+    // Span durations equal the charged phase costs exactly, so the
+    // tracer-derived breakdown matches the PhaseBreakdown accumulators.
+    tr->complete(trace_pid(), phases->trace_tid, "set/encode", "engine",
+                 sim().now() - encode_ns - post_ns, encode_ns);
+    tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine",
+                 sim().now() - post_ns, post_ns);
+  }
 
   std::vector<SharedBytes> fragments;
   fragments.reserve(n);
@@ -134,6 +144,7 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
 
   StatusCode worst = StatusCode::kOk;
   std::size_t stored = 0;
+  const SimTime fanout_t0 = sim().now();
   for (const auto& f : pending) {
     const kv::Response resp = co_await f.wait();
     if (resp.code == StatusCode::kOk) {
@@ -141,6 +152,10 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
     } else {
       worst = resp.code;
     }
+  }
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
+                 fanout_t0, sim().now() - fanout_t0);
   }
   // Durability requires at least k fragments (any k reconstruct the value).
   if (stored < k) {
@@ -161,9 +176,18 @@ sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
   req.verb = kv::Verb::kSetEncode;
   req.key = std::move(key);
   req.value = std::move(value);
-  phases->request_ns += issue_cost(req.value ? req.value->size() : 0);
+  const SimDur issue_ns = issue_cost(req.value ? req.value->size() : 0);
+  phases->request_ns += issue_ns;
+  const SimTime t0 = sim().now();
   const kv::Response resp =
       co_await client().invoke(target, std::move(req));
+  if (obs::Tracer* const tr = tracer(); tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine", t0,
+                 issue_ns);
+    tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
+                 t0 + issue_ns,
+                 std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+  }
   co_return Status{resp.code};
 }
 
@@ -199,6 +223,11 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       static_cast<SimDur>(k) * issue_cost(key.size() + 2);
   co_await client().cpu().execute(post_ns);
   phases->request_ns += post_ns;
+  obs::Tracer* const tr = tracer();
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine",
+                 sim().now() - post_ns, post_ns);
+  }
   std::vector<sim::Future<kv::Response>> pending;
   pending.reserve(k);
   for (const std::size_t slot : chosen) {
@@ -212,12 +241,17 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
   std::vector<SharedBytes> values(k);
   std::optional<kv::ChunkInfo> meta;
   std::size_t fetched = 0;
+  const SimTime fetch_t0 = sim().now();
   for (std::size_t i = 0; i < k; ++i) {
     kv::Response resp = co_await pending[i].wait();
     if (resp.code != StatusCode::kOk) continue;
     values[i] = std::move(resp.value);
     if (resp.chunk) meta = resp.chunk;
     ++fetched;
+  }
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
+                 fetch_t0, sim().now() - fetch_t0);
   }
   if (fetched < k || !meta) {
     if (!client_encodes(mode_)) {
@@ -242,6 +276,10 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
         cost_.decode_ns(value_size, static_cast<unsigned>(missing_data));
     co_await client().cpu().execute(decode_ns);
     phases->compute_ns += decode_ns;
+    if (tr != nullptr) {
+      tr->complete(trace_pid(), phases->trace_tid, "get/decode", "engine",
+                   sim().now() - decode_ns, decode_ns);
+    }
   }
 
   const ec::ChunkLayout layout =
@@ -277,8 +315,17 @@ sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
   kv::Request req;
   req.verb = kv::Verb::kGetDecode;
   req.key = std::move(key);
-  phases->request_ns += issue_cost(req.key.size());
+  const SimDur issue_ns = issue_cost(req.key.size());
+  phases->request_ns += issue_ns;
+  const SimTime t0 = sim().now();
   kv::Response resp = co_await client().invoke(target, std::move(req));
+  if (obs::Tracer* const tr = tracer(); tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine", t0,
+                 issue_ns);
+    tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
+                 t0 + issue_ns,
+                 std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+  }
   if (resp.code != StatusCode::kOk) co_return Status{resp.code};
   co_return resp.value ? Bytes(*resp.value) : Bytes{};
 }

@@ -22,11 +22,13 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   ++stats_.keys_scanned;
   const std::size_t k = codec_->k();
   const std::size_t n = codec_->n();
+  obs::Tracer* const tr = tracer();
 
   // Phase 1 — presence probe: head-only Gets, no fragment payloads move.
   std::vector<bool> owner_alive(n, false);
   std::vector<bool> present(n, false);
   std::optional<kv::ChunkInfo> meta;
+  const SimTime probe_t0 = ctx_.sim->now();
   {
     std::vector<sim::Future<kv::Response>> pending(n);
     for (std::size_t slot = 0; slot < n; ++slot) {
@@ -47,6 +49,10 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
       present[slot] = true;
       if (resp.chunk) meta = resp.chunk;
     }
+  }
+  if (tr != nullptr) {
+    tr->complete(ctx_.trace_pid, trace_tid(), "repair/probe", "repair",
+                 probe_t0, ctx_.sim->now() - probe_t0);
   }
   const auto present_count = static_cast<std::size_t>(
       std::count(present.begin(), present.end(), true));
@@ -82,6 +88,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   }
 
   std::vector<SharedBytes> fetched(n);
+  const SimTime fetch_t0 = ctx_.sim->now();
   {
     std::vector<sim::Future<kv::Response>> pending;
     pending.reserve(fetch.size());
@@ -104,12 +111,21 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
     stats_.fragments_read += fetch.size();
     stats_.bytes_read += fetch.size() * layout.fragment_size;
   }
+  if (tr != nullptr) {
+    tr->complete(ctx_.trace_pid, trace_tid(), "repair/fetch", "repair",
+                 fetch_t0, ctx_.sim->now() - fetch_t0);
+  }
 
   // Phase 3 — rebuild. Compute cost scales with the bytes actually read
   // (the locality saving the paper's future work is after).
-  co_await ctx_.client->cpu().execute(cost_.decode_ns(
+  const SimDur reconstruct_ns = cost_.decode_ns(
       fetch.size() * layout.fragment_size,
-      static_cast<unsigned>(rebuild.size())));
+      static_cast<unsigned>(rebuild.size()));
+  co_await ctx_.client->cpu().execute(reconstruct_ns);
+  if (tr != nullptr) {
+    tr->complete(ctx_.trace_pid, trace_tid(), "repair/reconstruct", "repair",
+                 ctx_.sim->now() - reconstruct_ns, reconstruct_ns);
+  }
 
   std::vector<SharedBytes> rebuilt(n);
   if (ctx_.materialize) {
@@ -145,6 +161,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   }
 
   // Phase 4 — re-place rebuilt fragments on their designated owners.
+  const SimTime replace_t0 = ctx_.sim->now();
   std::vector<sim::Future<kv::Response>> writes;
   writes.reserve(rebuild.size());
   for (const std::size_t slot : rebuild) {
@@ -163,6 +180,10 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   for (const auto& f : writes) {
     const kv::Response resp = co_await f.wait();
     if (resp.code != StatusCode::kOk) worst = resp.code;
+  }
+  if (tr != nullptr) {
+    tr->complete(ctx_.trace_pid, trace_tid(), "repair/replace", "repair",
+                 replace_t0, ctx_.sim->now() - replace_t0);
   }
   if (worst == StatusCode::kOk) {
     ++stats_.keys_repaired;

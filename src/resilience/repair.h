@@ -26,6 +26,20 @@ struct RepairStats {
   std::uint64_t bytes_read = 0;         ///< repair network traffic
   std::uint64_t local_repairs = 0;      ///< used the codec's repair locality
   std::uint64_t unrepairable_keys = 0;  ///< fewer than k fragments survive
+
+  /// Registers every field into `reg` under component "repair".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"repair", std::move(node), std::move(op)};
+    reg.bind_counter("repair.keys_scanned", labels, &keys_scanned);
+    reg.bind_counter("repair.keys_repaired", labels, &keys_repaired);
+    reg.bind_counter("repair.fragments_rebuilt", labels, &fragments_rebuilt);
+    reg.bind_counter("repair.bytes_rebuilt", labels, &bytes_rebuilt);
+    reg.bind_counter("repair.fragments_read", labels, &fragments_read);
+    reg.bind_counter("repair.bytes_read", labels, &bytes_read);
+    reg.bind_counter("repair.local_repairs", labels, &local_repairs);
+    reg.bind_counter("repair.unrepairable_keys", labels, &unrepairable_keys);
+  }
 };
 
 class RepairCoordinator {
@@ -55,6 +69,21 @@ class RepairCoordinator {
   sim::Task<Status> repair_all();
 
  private:
+  /// The attached tracer when live (repair spans: probe, fetch,
+  /// reconstruct, replace), nullptr otherwise.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept {
+    return (ctx_.tracer != nullptr && ctx_.tracer->enabled()) ? ctx_.tracer
+                                                              : nullptr;
+  }
+  /// Repairs run sequentially, so one reserved lane per coordinator node
+  /// suffices (the top lane, unreachable by engine op allocation under any
+  /// realistic ARPE window).
+  [[nodiscard]] std::uint64_t trace_tid() const noexcept {
+    return static_cast<std::uint64_t>(ctx_.client->id()) *
+               obs::Tracer::kLanesPerNode +
+           (obs::Tracer::kLanesPerNode - 1);
+  }
+
   EngineContext ctx_;
   const ec::Codec* codec_;
   ec::CostModel cost_;

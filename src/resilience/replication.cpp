@@ -1,5 +1,6 @@
 #include "resilience/replication.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace hpres::resilience {
@@ -55,9 +56,18 @@ sim::Task<Result<Bytes>> ReplicationBase::do_get(kv::Key key,
     co_return Status{StatusCode::kUnavailable, "all replicas down"};
   }
   const net::NodeId server = node_of(ring().slot_index(key, *slot));
-  phases->request_ns += issue_cost(key.size());
+  const SimDur issue_ns = issue_cost(key.size());
+  phases->request_ns += issue_ns;
+  const SimTime t0 = sim().now();
   const kv::Response resp =
       co_await client().invoke(server, get_request(std::move(key)));
+  if (obs::Tracer* const tr = tracer(); tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine", t0,
+                 issue_ns);
+    tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
+                 t0 + issue_ns,
+                 std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+  }
   if (resp.code != StatusCode::kOk) co_return Status{resp.code};
   co_return resp.value ? Bytes(*resp.value) : Bytes{};
 }
@@ -88,12 +98,22 @@ sim::Task<Status> SyncReplicationEngine::do_set(kv::Key key,
   // the F * (L + D/B) cost of Equation 2.
   StatusCode worst = StatusCode::kOk;
   std::size_t stored = 0;
+  obs::Tracer* const tr = tracer();
   for (std::size_t slot = 0; slot < factor_; ++slot) {
     const std::size_t owner = ring().slot_index(key, slot);
     if (!membership().up(owner)) continue;
-    phases->request_ns += issue_cost(value ? value->size() : 0);
+    const SimDur issue_ns = issue_cost(value ? value->size() : 0);
+    phases->request_ns += issue_ns;
+    const SimTime t0 = sim().now();
     const kv::Response resp =
         co_await client().invoke(node_of(owner), set_request(key, value));
+    if (tr != nullptr) {
+      tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine",
+                   t0, issue_ns);
+      tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
+                   t0 + issue_ns,
+                   std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+    }
     if (resp.code == StatusCode::kOk) {
       ++stored;
     } else {
@@ -111,13 +131,16 @@ sim::Task<Status> AsyncReplicationEngine::do_set(kv::Key key,
   // response waits overlap — Equation 6's max over replicas.
   std::vector<sim::Future<kv::Response>> pending;
   pending.reserve(factor_);
+  const SimTime t0 = sim().now();
+  SimDur request_ns = 0;
   for (std::size_t slot = 0; slot < factor_; ++slot) {
     const std::size_t owner = ring().slot_index(key, slot);
     if (!membership().up(owner)) continue;
-    phases->request_ns += issue_cost(value ? value->size() : 0);
+    request_ns += issue_cost(value ? value->size() : 0);
     pending.push_back(
         client().call_async(node_of(owner), set_request(key, value)));
   }
+  phases->request_ns += request_ns;
   if (pending.empty()) {
     co_return Status{StatusCode::kUnavailable, "no replica stored"};
   }
@@ -130,6 +153,15 @@ sim::Task<Status> AsyncReplicationEngine::do_set(kv::Key key,
     } else {
       worst = resp.code;
     }
+  }
+  if (obs::Tracer* const tr = tracer(); tr != nullptr) {
+    // The issue slices serialize on the client CPU inside call_async; one
+    // combined request span keeps the tracer totals equal to the phase sum.
+    tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine", t0,
+                 request_ns);
+    tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
+                 t0 + request_ns,
+                 std::max<SimDur>(0, sim().now() - t0 - request_ns));
   }
   if (stored == 0) co_return Status{StatusCode::kUnavailable, "no replica stored"};
   co_return Status{worst};

@@ -84,6 +84,129 @@ TEST(LatencyHistogram, HugeValuesDoNotOverflowBuckets) {
   EXPECT_GT(h.quantile(0.5), 0);
 }
 
+// --- Bucket-introspection properties (metric export correctness) -----------
+
+TEST(LatencyHistogram, BucketMidpointRoundTripsThroughBucketIndex) {
+  // Every bucket's representative value must land back in that bucket —
+  // across the exact region and all 58 octaves, including the top octave
+  // whose midpoints exceed int64 range.
+  for (std::size_t i = 0; i < LatencyHistogram::bucket_count(); ++i) {
+    const std::uint64_t mid = LatencyHistogram::bucket_midpoint(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(mid), i) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, BucketMidpointsStrictlyIncrease) {
+  for (std::size_t i = 1; i < LatencyHistogram::bucket_count(); ++i) {
+    EXPECT_LT(LatencyHistogram::bucket_midpoint(i - 1),
+              LatencyHistogram::bucket_midpoint(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, BucketIndexCoversFullUint64Domain) {
+  // Octave boundaries and their neighbours map to valid, ordered buckets.
+  std::vector<std::uint64_t> probes;
+  for (int exp = 0; exp < 64; ++exp) {
+    const std::uint64_t lo = std::uint64_t{1} << exp;
+    probes.insert(probes.end(), {lo - 1, lo, lo + 1});
+  }
+  std::sort(probes.begin(), probes.end());
+  std::size_t prev = 0;
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::bucket_count()) << "v=" << v;
+    EXPECT_GE(idx, prev) << "v=" << v;
+    prev = std::max(prev, idx);
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_index(
+                std::numeric_limits<std::uint64_t>::max()),
+            LatencyHistogram::bucket_count() - 1);
+}
+
+TEST(LatencyHistogram, SaturatingMidpointStaysRecordable) {
+  constexpr auto kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  for (std::size_t i = 0; i < LatencyHistogram::bucket_count(); ++i) {
+    const std::int64_t mid = LatencyHistogram::saturating_midpoint(i);
+    EXPECT_GE(mid, 0) << "bucket " << i;
+    if (LatencyHistogram::bucket_midpoint(i) <= kMax) {
+      // Below the clamp point the saturating midpoint round-trips exactly.
+      EXPECT_EQ(
+          LatencyHistogram::bucket_index(static_cast<std::uint64_t>(mid)), i)
+          << "bucket " << i;
+    } else {
+      // Past it, everything pins to the largest recordable value.
+      EXPECT_EQ(mid, std::numeric_limits<std::int64_t>::max())
+          << "bucket " << i;
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantileIsMonotoneInQ) {
+  LatencyHistogram h;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    // Long-tailed population spanning many octaves.
+    const int shift = static_cast<int>(rng.next_below(40));
+    h.record(static_cast<std::int64_t>(rng.next_below(
+        (std::uint64_t{1} << shift) + 1)));
+  }
+  std::int64_t prev = h.quantile(0.0);
+  for (int step = 1; step <= 100; ++step) {
+    const std::int64_t q = h.quantile(static_cast<double>(step) / 100.0);
+    EXPECT_GE(q, prev) << "step " << step;
+    // Every quantile is clamped into the observed range.
+    EXPECT_GE(q, h.min()) << "step " << step;
+    EXPECT_LE(q, h.max()) << "step " << step;
+    prev = q;
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingTheUnion) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram u;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto v = static_cast<std::int64_t>(
+        rng.next_below(std::uint64_t{1} << (1 + rng.next_below(62))));
+    if (i % 3 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    u.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), u.count());
+  EXPECT_EQ(a.sum(), u.sum());
+  EXPECT_EQ(a.min(), u.min());
+  EXPECT_EQ(a.max(), u.max());
+  for (std::size_t i = 0; i < LatencyHistogram::bucket_count(); ++i) {
+    ASSERT_EQ(a.count_at(i), u.count_at(i)) << "bucket " << i;
+  }
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile(q), u.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyPreservesEverything) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.record(42);
+  b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 1'000'000);
+  // Merging an empty histogram is the identity.
+  const std::int64_t p50_before = a.p50();
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.p50(), p50_before);
+}
+
 TEST(RunningStats, TracksMoments) {
   RunningStats s;
   s.record(1.0);

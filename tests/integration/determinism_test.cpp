@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "cluster/testbeds.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testing/fixtures.h"
 #include "workload/ycsb.h"
 
@@ -82,6 +84,100 @@ TEST(Determinism, DifferentSeedsDiverge) {
   const RunOutcome a = run_small_ycsb(111);
   const RunOutcome b = run_small_ycsb(222);
   EXPECT_NE(a.read_latency_sum, b.read_latency_sum);
+}
+
+// --- Observability export determinism --------------------------------------
+
+struct ObsOutcome {
+  std::string trace_json;
+  std::string metrics_json;
+  SimTime makespan = 0;
+};
+
+/// Same small YCSB run as above, but fully instrumented: span tracer wired
+/// through the engine and the fabric, every stats struct registered, and
+/// both exports serialized. The artifacts themselves must be bit-identical
+/// across same-seed runs — that is what makes the trace/metrics files a
+/// trustworthy record of an experiment.
+ObsOutcome run_instrumented_ycsb(std::uint64_t seed) {
+  obs::Tracer tracer(true);
+  obs::MetricsRegistry registry;
+  const std::uint32_t pid = tracer.declare_process("determinism-pt");
+
+  ec::RsVandermondeCodec codec(3, 2);
+  const auto cost = ec::CostModel::defaults(ec::Scheme::kRsVandermonde, 3, 2);
+  cluster::Cluster cl(
+      cluster::ClusterConfig{.num_servers = 5, .num_clients = 2});
+  cl.enable_server_ec(codec, cost, false);
+  cl.set_tracer(&tracer, pid);
+  std::vector<std::unique_ptr<resilience::Engine>> engines;
+  for (std::size_t c = 0; c < 2; ++c) {
+    resilience::EngineContext ctx;
+    ctx.sim = &cl.sim();
+    ctx.client = &cl.client(c);
+    ctx.ring = &cl.ring();
+    ctx.membership = &cl.membership();
+    ctx.server_nodes = &cl.server_nodes();
+    ctx.materialize = false;
+    ctx.tracer = &tracer;
+    ctx.trace_pid = pid;
+    engines.push_back(resilience::make_engine(resilience::Design::kEraCeCd,
+                                              ctx, 3, &codec, cost));
+  }
+  cl.start();
+  cl.register_metrics(registry, "ycsb");
+  for (std::size_t c = 0; c < 2; ++c) {
+    engines[c]->stats().register_with(registry, "client" + std::to_string(c),
+                                      "ycsb");
+  }
+
+  workload::YcsbConfig cfg;
+  cfg.record_count = 100;
+  cfg.ops_per_client = 60;
+  cfg.value_size = 8192;
+  cfg.seed = seed;
+  std::vector<workload::YcsbResult> results(2);
+  struct Proc {
+    static sim::Task<void> run(sim::Simulator* sim, resilience::Engine* e,
+                               workload::YcsbConfig c, std::uint64_t s,
+                               workload::YcsbResult* r, bool load) {
+      if (load) co_await workload::ycsb_load(sim, e, c, 0, c.record_count);
+      co_await workload::ycsb_client(sim, e, c, s, r);
+    }
+  };
+  for (std::size_t c = 0; c < 2; ++c) {
+    cl.sim().spawn(Proc::run(&cl.sim(), engines[c].get(), cfg, seed + 13 * c,
+                             &results[c], c == 0));
+  }
+  ObsOutcome out;
+  out.makespan = cl.run();
+  registry.capture();
+  out.trace_json = tracer.to_json();
+  out.metrics_json = registry.to_json();
+  return out;
+}
+
+TEST(Determinism, ObservabilityExportsAreByteIdentical) {
+  const ObsOutcome a = run_instrumented_ycsb(77);
+  const ObsOutcome b = run_instrumented_ycsb(77);
+  EXPECT_EQ(a.makespan, b.makespan);
+  // Byte-for-byte: same spans, same order, same counter samples, same
+  // histogram percentiles.
+  ASSERT_EQ(a.trace_json, b.trace_json);
+  ASSERT_EQ(a.metrics_json, b.metrics_json);
+  // And the artifacts are non-trivial (spans + metrics actually recorded).
+  EXPECT_NE(a.trace_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"fabric/send\""), std::string::npos);
+  EXPECT_NE(a.metrics_json.find("\"engine.sets\""), std::string::npos);
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheSimulation) {
+  // The instrumented run and the plain run share seeds; tracing must not
+  // change a single simulated timestamp.
+  const ObsOutcome traced = run_instrumented_ycsb(111);
+  EXPECT_GT(traced.makespan, 0);
+  const ObsOutcome again = run_instrumented_ycsb(111);
+  EXPECT_EQ(traced.makespan, again.makespan);
 }
 
 TEST(Testbeds, GenerationsAreOrdered) {

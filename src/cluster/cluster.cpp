@@ -51,7 +51,18 @@ void Cluster::register_metrics(obs::MetricsRegistry& reg,
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->stats().register_with(reg, "client" + std::to_string(i),
                                        op_label);
+    clients_[i]->rpc_stats().register_with(reg, "client" + std::to_string(i),
+                                           op_label);
   }
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->rpc_stats().register_with(reg, "server" + std::to_string(i),
+                                           op_label);
+  }
+}
+
+void Cluster::set_rpc_policy(const kv::RpcPolicy& policy) {
+  for (const auto& s : servers_) s->set_policy(policy);
+  for (const auto& c : clients_) c->set_policy(policy);
 }
 
 void Cluster::fail_server(std::size_t index) {

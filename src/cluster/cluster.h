@@ -64,14 +64,24 @@ class Cluster {
                         bool materialize);
 
   /// Controlled failure: server stops serving, fabric drops its traffic,
-  /// membership broadcasts the death. Only between operations (DESIGN.md).
+  /// membership broadcasts the death — all atomically. Safe between
+  /// operations; for mid-workload crashes with detection lag, use
+  /// FaultSchedule instead.
   void fail_server(std::size_t index);
   void recover_server(std::size_t index);
 
-  /// Attaches a span tracer to the fabric (NIC occupancy spans) under
-  /// process `pid`. Engines attach themselves through EngineContext.
+  /// Arms RPC deadlines/retries on every client and server. With a policy
+  /// set, calls to dead or lossy nodes resolve kTimeout instead of
+  /// parking forever — required for mid-workload fault injection.
+  void set_rpc_policy(const kv::RpcPolicy& policy);
+
+  /// Attaches a span tracer to the fabric (NIC occupancy spans) and to
+  /// every node's RPC layer (rpc/timeout spans) under process `pid`.
+  /// Engines attach themselves through EngineContext.
   void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) {
     fabric_.set_tracer(tracer, pid);
+    for (const auto& s : servers_) s->set_rpc_tracer(tracer, pid);
+    for (const auto& c : clients_) c->set_rpc_tracer(tracer, pid);
   }
 
   /// Registers the fabric, every server store, and every client's stats

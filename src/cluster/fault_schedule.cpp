@@ -1,0 +1,69 @@
+#include "cluster/fault_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpres::cluster {
+
+void FaultSchedule::add_crash(SimTime at_ns, std::size_t server_index,
+                              bool wipe_store) {
+  assert(!armed_ && "schedule is frozen once armed");
+  assert(server_index < cluster_->num_servers());
+  events_.push_back(FaultEvent{at_ns, server_index, false, wipe_store});
+}
+
+void FaultSchedule::add_restart(SimTime at_ns, std::size_t server_index) {
+  assert(!armed_ && "schedule is frozen once armed");
+  assert(server_index < cluster_->num_servers());
+  events_.push_back(FaultEvent{at_ns, server_index, true, false});
+}
+
+void FaultSchedule::arm() {
+  assert(!armed_ && "FaultSchedule::arm called twice");
+  armed_ = true;
+  // Stable sort: same-instant events apply in insertion order, keeping the
+  // schedule deterministic.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_ns < b.at_ns;
+                   });
+  cluster_->sim().spawn(driver(this));
+}
+
+void FaultSchedule::apply(const FaultEvent& ev) {
+  kv::Server& server = cluster_->server(ev.server);
+  if (ev.restart) {
+    // The node is reachable again immediately; the membership oracle
+    // re-admits it only after the detection lag.
+    server.recover();
+  } else {
+    // Fabric and server die now: queued deliveries to the node are
+    // dropped, in-flight callers resolve via their RPC deadlines.
+    server.fail();
+    if (ev.wipe) server.store().clear();
+  }
+  ++fired_;
+  if (detection_lag_ns_ <= 0) {
+    cluster_->membership().set_up(ev.server, ev.restart);
+  } else {
+    cluster_->sim().spawn(detect_coro(this, ev.server, ev.restart));
+  }
+}
+
+sim::Task<void> FaultSchedule::driver(FaultSchedule* self) {
+  for (const FaultEvent& ev : self->events_) {
+    const SimTime now = self->cluster_->sim().now();
+    if (ev.at_ns > now) {
+      co_await self->cluster_->sim().delay(ev.at_ns - now);
+    }
+    self->apply(ev);
+  }
+}
+
+sim::Task<void> FaultSchedule::detect_coro(FaultSchedule* self,
+                                           std::size_t server, bool up) {
+  co_await self->cluster_->sim().delay(self->detection_lag_ns_);
+  self->cluster_->membership().set_up(server, up);
+}
+
+}  // namespace hpres::cluster

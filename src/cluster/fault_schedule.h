@@ -1,0 +1,66 @@
+// Deterministic mid-workload fault injection.
+//
+// A FaultSchedule crashes and restarts servers at fixed simulated times
+// while a workload is running, reproducing the online failure model the
+// controlled fail_server/recover_server pair cannot: a crash flips the
+// fabric at the crash instant (in-flight requests to the node are dropped
+// and resolve via RPC deadlines; new sends fail fast) but the membership
+// oracle only learns of it after a configurable detection lag, during
+// which clients still route to the dead server. Everything is driven by
+// simulated time, so the same schedule on the same seed replays
+// bit-identically.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace hpres::cluster {
+
+class FaultSchedule {
+ public:
+  /// `detection_lag_ns` is the delay between a crash/restart taking
+  /// effect in the fabric and the membership oracle observing it.
+  explicit FaultSchedule(Cluster& cluster, SimDur detection_lag_ns = 0)
+      : cluster_(&cluster), detection_lag_ns_(detection_lag_ns) {}
+  FaultSchedule(const FaultSchedule&) = delete;
+  FaultSchedule& operator=(const FaultSchedule&) = delete;
+
+  /// Schedules a crash of `server_index` at simulated time `at_ns`.
+  /// `wipe_store` additionally discards the server's contents, modelling a
+  /// replacement node taking over the id (repair must rebuild everything).
+  void add_crash(SimTime at_ns, std::size_t server_index,
+                 bool wipe_store = false);
+
+  /// Schedules a restart of `server_index` at simulated time `at_ns`.
+  void add_restart(SimTime at_ns, std::size_t server_index);
+
+  /// Spawns the driver coroutine. Call exactly once, before running the
+  /// simulation; the schedule must outlive the simulation.
+  void arm();
+
+  /// Number of crash/restart events applied so far.
+  [[nodiscard]] std::size_t fired() const noexcept { return fired_; }
+
+ private:
+  struct FaultEvent {
+    SimTime at_ns = 0;
+    std::size_t server = 0;
+    bool restart = false;
+    bool wipe = false;
+  };
+
+  static sim::Task<void> driver(FaultSchedule* self);
+  static sim::Task<void> detect_coro(FaultSchedule* self, std::size_t server,
+                                     bool up);
+
+  void apply(const FaultEvent& ev);
+
+  Cluster* cluster_;
+  SimDur detection_lag_ns_;
+  std::vector<FaultEvent> events_;
+  std::size_t fired_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace hpres::cluster

@@ -22,10 +22,10 @@ sim::Task<void> Client::issue_coro(Client* self, NodeId dst, Request req,
       static_cast<SimDur>(self->params_.issue_ns_per_byte *
                           static_cast<double>(payload_bytes(req)));
   co_await self->cpu_.execute(issue);
-  const sim::Future<Response> f = self->call(dst, std::move(req));
-  Response resp = co_await f.wait();
+  Response resp = co_await self->call_guarded(dst, std::move(req));
   ++self->stats_.responses;
   if (resp.code == StatusCode::kUnavailable) ++self->stats_.unavailable;
+  if (resp.code == StatusCode::kTimeout) ++self->stats_.timeouts;
   out.set_value(std::move(resp));
 }
 

@@ -19,6 +19,7 @@ struct ClientStats {
   std::uint64_t requests = 0;
   std::uint64_t responses = 0;
   std::uint64_t unavailable = 0;
+  std::uint64_t timeouts = 0;  ///< calls resolved kTimeout (retry-exhausted)
 
   /// Registers every field into `reg` under component "client".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -27,6 +28,7 @@ struct ClientStats {
     reg.bind_counter("client.requests", labels, &requests);
     reg.bind_counter("client.responses", labels, &responses);
     reg.bind_counter("client.unavailable", labels, &unavailable);
+    reg.bind_counter("client.timeouts", labels, &timeouts);
   }
 };
 

@@ -1,11 +1,17 @@
 // Cluster membership view shared by clients and servers.
 //
-// Failure model (DESIGN.md): failures are announced through this oracle
-// rather than discovered via timeouts; consulting it when the primary is
-// down costs the paper's T_check server-selection overhead, charged by the
-// caller. This mirrors the paper's measurement setup, where nodes are
-// failed before the experiment and clients pay a "fixed server selection
-// overhead" (Equation 4).
+// Failure model (DESIGN.md): this oracle is the *detected* state of the
+// cluster, and it may lag reality. A crash flips the fabric immediately
+// (in-flight messages are dropped, new sends to the dead HCA fail fast)
+// but flips this view only after the FaultSchedule's configurable
+// detection lag — during the lag, callers still target the dead server
+// and resolve via RPC deadlines (kTimeout) or the fabric's fast-fail
+// (kUnavailable). Once the failure is visible here, placement decisions
+// route around it; consulting the oracle when the primary is down costs
+// the paper's T_check server-selection overhead (Equation 4), charged by
+// the caller. Controlled-failure experiments (fail_server between
+// operations) flip both views atomically, reproducing the paper's setup
+// where nodes are failed before the measurement.
 #pragma once
 
 #include <cassert>

@@ -1,11 +1,15 @@
 #include "kv/rpc.h"
 
+#include <optional>
+#include <utility>
+
 namespace hpres::kv {
 
 sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
   sim::Promise<Response> promise(*sim_);
   sim::Future<Response> future = promise.get_future();
   if (!fabric_->node_up(dst)) {
+    last_call_id_ = 0;
     Response failed;
     failed.rpc_id = req.rpc_id;
     failed.code = StatusCode::kUnavailable;
@@ -14,10 +18,56 @@ sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
   }
   req.rpc_id = next_rpc_++;
   req.reply_to = id_;
+  last_call_id_ = req.rpc_id;
   pending_.emplace(req.rpc_id, std::move(promise));
   const std::size_t bytes = payload_bytes(req);
   fabric_->send(id_, dst, WireBody{std::move(req)}, bytes);
   return future;
+}
+
+sim::Task<Response> RpcNode::call_guarded(NodeId dst, Request req) {
+  if (policy_.timeout_ns <= 0) {
+    const sim::Future<Response> f = call(dst, std::move(req));
+    co_return co_await f.wait();
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const sim::Future<Response> f = call(dst, req);  // keep req for retries
+    const std::uint64_t rpc_id = last_call_id_;
+    std::optional<Response> resp = co_await f.wait_for(policy_.timeout_ns);
+    if (resp) co_return std::move(*resp);
+
+    ++rpc_stats_.timeouts;
+    cancel(rpc_id);  // a late response is dropped as stale by dispatch
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + id_,
+                        "rpc/timeout", "rpc", sim_->now() - policy_.timeout_ns,
+                        policy_.timeout_ns);
+    }
+    if (attempt >= policy_.max_retries) {
+      ++rpc_stats_.expired_calls;
+      Response expired;
+      expired.rpc_id = rpc_id;
+      expired.code = StatusCode::kTimeout;
+      co_return expired;
+    }
+    ++rpc_stats_.retries;
+    if (policy_.backoff_ns > 0) {
+      co_await sim_->delay(policy_.backoff_ns << attempt);
+    }
+  }
+}
+
+sim::Future<Response> RpcNode::guarded_future(NodeId dst, Request req) {
+  if (policy_.timeout_ns <= 0) return call(dst, std::move(req));
+  sim::Promise<Response> promise(*sim_);
+  sim::Future<Response> future = promise.get_future();
+  sim_->spawn(guarded_coro(this, dst, std::move(req), std::move(promise)));
+  return future;
+}
+
+sim::Task<void> RpcNode::guarded_coro(RpcNode* self, NodeId dst, Request req,
+                                      sim::Promise<Response> out) {
+  out.set_value(co_await self->call_guarded(dst, std::move(req)));
 }
 
 sim::Task<void> RpcNode::dispatch_loop(RpcNode* self) {

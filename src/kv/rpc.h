@@ -6,15 +6,50 @@
 // Responses to pending calls by rpc id. Servers use the same machinery to
 // talk to their peers (the paper's server-embedded ARPE with Libmemcached
 // client, Section IV-A).
+//
+// Failure handling: `call()` alone can hang forever if the destination
+// crashes while the request or response is on the wire (the fabric drops
+// silently). `call_guarded()` layers RPC deadlines with bounded retry and
+// exponential backoff on top — the policy every node carries (RpcPolicy).
+// With the default policy (timeout 0) the guarded paths degrade to exactly
+// the unguarded ones: no timers, no extra events, bit-identical schedules.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 
 #include "kv/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/future.h"
 
 namespace hpres::kv {
+
+/// Deadline/retry policy for guarded calls. The default (timeout_ns == 0)
+/// means "wait forever" — the controlled-failure model of the paper, and
+/// the only safe default for determinism-sensitive experiments (a nonzero
+/// timeout spawns one timer event per call).
+struct RpcPolicy {
+  SimDur timeout_ns = 0;          ///< per-attempt deadline; 0 = no deadline
+  std::uint32_t max_retries = 0;  ///< re-sends after the first attempt
+  SimDur backoff_ns = 0;          ///< backoff before retry i: backoff << i
+};
+
+/// Per-node timeout/retry accounting.
+struct RpcStats {
+  std::uint64_t timeouts = 0;     ///< attempts that hit their deadline
+  std::uint64_t retries = 0;      ///< re-sends issued after a timeout
+  std::uint64_t expired_calls = 0;  ///< calls that exhausted every retry
+
+  /// Registers every field into `reg` under component "rpc".
+  void register_with(obs::MetricsRegistry& reg, std::string node,
+                     std::string op = {}) const {
+    const obs::MetricLabels labels{"rpc", std::move(node), std::move(op)};
+    reg.bind_counter("rpc.timeouts", labels, &timeouts);
+    reg.bind_counter("rpc.retries", labels, &retries);
+    reg.bind_counter("rpc.expired_calls", labels, &expired_calls);
+  }
+};
 
 class RpcNode {
  public:
@@ -32,11 +67,42 @@ class RpcNode {
   [[nodiscard]] sim::Simulator& sim() const noexcept { return *sim_; }
   [[nodiscard]] KvFabric& fabric() const noexcept { return *fabric_; }
 
+  void set_policy(RpcPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] const RpcPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const RpcStats& rpc_stats() const noexcept {
+    return rpc_stats_;
+  }
+
+  /// Attaches a span tracer for "rpc/timeout" spans (emitted on this
+  /// node's NIC track). Purely observational.
+  void set_rpc_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) noexcept {
+    tracer_ = tracer;
+    trace_pid_ = pid;
+  }
+
   /// Sends a request; the future resolves with the peer's response. A
   /// request to a node known-dead by the fabric resolves immediately with
-  /// kUnavailable (the HCA-level send fails fast; discovery via the
-  /// membership service is the caller's job and carries T_check).
+  /// kUnavailable (the HCA-level send fails fast); a crash AFTER the send
+  /// leaves the future unresolved forever — use call_guarded when that can
+  /// happen.
   sim::Future<Response> call(NodeId dst, Request req);
+
+  /// `call` under this node's RpcPolicy: each attempt races the response
+  /// against the deadline; a timed-out attempt is cancelled (a late
+  /// response is dropped as stale) and retried after exponential backoff,
+  /// until max_retries is exhausted — then resolves kTimeout. With the
+  /// default policy this is exactly call()+wait(). Retries re-send the same
+  /// request (values are shared buffers, so the copy is cheap).
+  sim::Task<Response> call_guarded(NodeId dst, Request req);
+
+  /// call_guarded wrapped into a Future so fan-out paths can overlap many
+  /// guarded calls. With the default policy no coroutine is spawned and
+  /// this is exactly call().
+  sim::Future<Response> guarded_future(NodeId dst, Request req);
+
+  /// Abandons a pending call: its future will never resolve through the
+  /// dispatch loop, and a late response is ignored as stale.
+  void cancel(std::uint64_t rpc_id) { pending_.erase(rpc_id); }
 
  protected:
   /// Handles one incoming request envelope. Implementations should spawn a
@@ -51,12 +117,19 @@ class RpcNode {
 
  private:
   static sim::Task<void> dispatch_loop(RpcNode* self);
+  static sim::Task<void> guarded_coro(RpcNode* self, NodeId dst, Request req,
+                                      sim::Promise<Response> out);
 
   sim::Simulator* sim_;
   KvFabric* fabric_;
   NodeId id_;
   std::uint64_t next_rpc_ = 1;
+  std::uint64_t last_call_id_ = 0;  ///< rpc id issued by the latest call()
   std::unordered_map<std::uint64_t, sim::Promise<Response>> pending_;
+  RpcPolicy policy_;
+  RpcStats rpc_stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
 };
 
 }  // namespace hpres::kv

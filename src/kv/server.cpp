@@ -194,7 +194,8 @@ sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
     peer.key = ckey;
     peer.value = fragments[slot];
     peer.chunk = info;
-    pending.push_back(self->call((*ec.server_nodes)[owner], std::move(peer)));
+    pending.push_back(
+        self->guarded_future((*ec.server_nodes)[owner], std::move(peer)));
   }
   for (auto& f : pending) {
     const Response r = co_await f.wait();
@@ -275,7 +276,8 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
     Request peer;
     peer.verb = Verb::kGet;
     peer.key = ckey;
-    fetches[i].future = self->call((*ec.server_nodes)[owner], std::move(peer));
+    fetches[i].future =
+        self->guarded_future((*ec.server_nodes)[owner], std::move(peer));
   }
   for (auto& f : fetches) {
     if (!f.future.valid()) continue;

@@ -61,8 +61,10 @@ class Server final : public RpcNode {
   [[nodiscard]] const ServerParams& params() const noexcept { return params_; }
 
   /// Marks this server failed: it stops serving (requests are dropped) and
-  /// the fabric refuses traffic to it. Callers must ensure no operation is
-  /// mid-flight to this node (controlled-failure experiments only).
+  /// the fabric refuses traffic to it. With no RpcPolicy armed, callers
+  /// must ensure no operation is mid-flight to this node
+  /// (controlled-failure experiments); under a FaultSchedule, in-flight
+  /// callers resolve via RPC deadlines instead.
   void fail();
   void recover();
   [[nodiscard]] bool failed() const noexcept { return failed_; }

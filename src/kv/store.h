@@ -99,6 +99,17 @@ class StorageEngine {
   /// Removes a key; returns whether it existed.
   bool erase(const Key& key);
 
+  /// Drops every item from both tiers without touching the op counters —
+  /// total state loss of a crashed node (FaultSchedule crash-with-wipe).
+  void clear() {
+    map_.clear();
+    lru_.clear();
+    used_ = 0;
+    ssd_map_.clear();
+    ssd_lru_.clear();
+    ssd_used_ = 0;
+  }
+
   /// Snapshot of every stored key, in LRU order (most recent first). Used
   /// by the scan verb for repair discovery; O(items).
   [[nodiscard]] std::vector<Key> keys() const {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "net/params.h"
 #include "obs/metrics.h"
@@ -40,14 +41,20 @@ struct Envelope {
 
 /// Aggregate transfer statistics (per fabric), both directions. Send and
 /// receive sides are tracked independently so send/recv asymmetry under
-/// injected failures is visible (messages_sent - messages_delivered -
-/// messages_dropped = in flight).
+/// injected failures is visible. Two conservation identities hold:
+///   messages_sent == messages_delivered + messages_dropped + in flight
+///   bytes_sent    == bytes_delivered + bytes_dropped + in-flight payload
+/// (in_flight_bytes() counts wire bytes, i.e. payload + header; with
+/// header_bytes == 0 the byte identity holds mid-flight too, and at
+/// quiescence it holds for any header size).
 struct FabricStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;  ///< total drops (sum of causes below)
   std::uint64_t drops_dst_down = 0;    ///< destination HCA was down
   std::uint64_t drops_src_down = 0;    ///< sender itself was marked down
+  std::uint64_t drops_injected = 0;    ///< seeded random loss (set_loss)
   std::uint64_t bytes_sent = 0;        ///< payload bytes accepted for send
+  std::uint64_t bytes_dropped = 0;     ///< payload bytes of dropped messages
   std::uint64_t rendezvous_handshakes = 0;
   std::uint64_t messages_delivered = 0;  ///< landed in a destination inbox
   std::uint64_t bytes_delivered = 0;     ///< payload bytes delivered
@@ -60,7 +67,9 @@ struct FabricStats {
     reg.bind_counter("fabric.messages_dropped", labels, &messages_dropped);
     reg.bind_counter("fabric.drops_dst_down", labels, &drops_dst_down);
     reg.bind_counter("fabric.drops_src_down", labels, &drops_src_down);
+    reg.bind_counter("fabric.drops_injected", labels, &drops_injected);
     reg.bind_counter("fabric.bytes_sent", labels, &bytes_sent);
+    reg.bind_counter("fabric.bytes_dropped", labels, &bytes_dropped);
     reg.bind_counter("fabric.rendezvous_handshakes", labels,
                      &rendezvous_handshakes);
     reg.bind_counter("fabric.messages_delivered", labels,
@@ -110,9 +119,13 @@ class Fabric {
     return *inboxes_[id];
   }
 
-  /// Marks a node up/down. Messages to a down node are dropped (its HCA is
-  /// gone); senders discover failures through the membership service, not
-  /// through timeouts (see DESIGN.md failure model).
+  /// Marks a node up/down. Messages to or from a down node are dropped
+  /// silently (its HCA is gone) — exactly what a crashed peer looks like on
+  /// an RC transport. Senders survive this two ways (DESIGN.md failure
+  /// model): requests in flight at crash time resolve through RPC deadlines
+  /// (RpcPolicy timeouts), and later placement decisions consult the
+  /// membership oracle once it observes the failure after the configured
+  /// detection lag (FaultSchedule).
   void set_node_up(NodeId id, bool up) {
     assert(id < nics_.size());
     nics_[id].up = up;
@@ -120,6 +133,15 @@ class Fabric {
   [[nodiscard]] bool node_up(NodeId id) const {
     assert(id < nics_.size());
     return nics_[id].up;
+  }
+
+  /// Enables seeded random message loss: each send is independently dropped
+  /// with probability `probability` (counted under drops_injected). Models
+  /// a flaky link for timeout/retry experiments; deterministic per seed.
+  /// Pass 0 to disable (the default — no RNG draw on the send path).
+  void set_loss(double probability, std::uint64_t seed = 0x10553) {
+    loss_probability_ = probability;
+    loss_rng_ = Xoshiro256(seed);
   }
 
   /// Asynchronously transfers `body` with `payload_bytes` of payload.
@@ -132,11 +154,19 @@ class Fabric {
     stats_.bytes_sent += payload_bytes;
     if (!nics_[dst].up || !nics_[src].up) {
       ++stats_.messages_dropped;
+      stats_.bytes_dropped += payload_bytes;
       if (!nics_[dst].up) {
         ++stats_.drops_dst_down;
       } else {
         ++stats_.drops_src_down;
       }
+      return;
+    }
+    if (loss_probability_ > 0.0 &&
+        loss_rng_.next_double() < loss_probability_) {
+      ++stats_.messages_dropped;
+      ++stats_.drops_injected;
+      stats_.bytes_dropped += payload_bytes;
       return;
     }
     const SimTime now = sim_->now();
@@ -223,6 +253,8 @@ class Fabric {
   std::vector<NicState> nics_;
   std::vector<std::unique_ptr<sim::Channel<Envelope<Body>>>> inboxes_;
   FabricStats stats_;
+  double loss_probability_ = 0.0;
+  Xoshiro256 loss_rng_;
   std::uint64_t in_flight_bytes_ = 0;
   std::uint64_t in_flight_messages_ = 0;
   obs::Tracer* tracer_ = nullptr;

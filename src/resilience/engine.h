@@ -41,8 +41,11 @@ struct EngineStats {
   std::uint64_t dels = 0;
   std::uint64_t set_failures = 0;
   std::uint64_t get_failures = 0;
-  std::uint64_t degraded_gets = 0;  ///< gets that needed failure handling
-  std::uint64_t fallback_gets = 0;  ///< CD gets retried via the server path
+  std::uint64_t degraded_gets = 0;   ///< gets that needed failure handling
+  std::uint64_t degraded_sets = 0;   ///< sets that worked around a dead owner
+  std::uint64_t fallback_gets = 0;   ///< CD gets retried via the server path
+  std::uint64_t failover_fetches = 0;  ///< alternate-fragment fetches after a
+                                       ///< chosen fragment failed or timed out
 
   /// Registers every field into `reg` under component "engine".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -54,7 +57,9 @@ struct EngineStats {
     reg.bind_counter("engine.set_failures", labels, &set_failures);
     reg.bind_counter("engine.get_failures", labels, &get_failures);
     reg.bind_counter("engine.degraded_gets", labels, &degraded_gets);
+    reg.bind_counter("engine.degraded_sets", labels, &degraded_sets);
     reg.bind_counter("engine.fallback_gets", labels, &fallback_gets);
+    reg.bind_counter("engine.failover_fetches", labels, &failover_fetches);
     reg.bind_counter("engine.set_phase.request_ns", labels,
                      &set_phases.request_ns);
     reg.bind_counter("engine.set_phase.compute_ns", labels,

@@ -32,6 +32,7 @@ sim::Task<Result<Bytes>> ErasureEngine::do_get(kv::Key key,
 sim::Task<Status> ErasureEngine::do_del(kv::Key key) {
   std::vector<sim::Future<kv::Response>> pending;
   pending.reserve(codec_->n() + 1);
+  bool staged_sent = false;
   for (std::size_t slot = 0; slot < codec_->n(); ++slot) {
     const std::size_t owner = ring().slot_index(key, slot);
     if (!membership().up(owner)) continue;
@@ -39,8 +40,12 @@ sim::Task<Status> ErasureEngine::do_del(kv::Key key) {
     frag.verb = kv::Verb::kDelete;
     frag.key = kv::chunk_key(key, slot);
     pending.push_back(client().call_async(node_of(owner), std::move(frag)));
-    if (slot == 0) {
-      // Also clear any staged full copy left by a server-side encode.
+    if (!staged_sent) {
+      // Clear any staged full copy left by a server-side encode. The
+      // stager is the first owner that was live at Set time, so routing
+      // this through the first live slot (not unconditionally slot 0)
+      // reaches it even when slot 0's owner is down now.
+      staged_sent = true;
       kv::Request staged;
       staged.verb = kv::Verb::kDelete;
       staged.key = key;
@@ -53,25 +58,23 @@ sim::Task<Status> ErasureEngine::do_del(kv::Key key) {
     const kv::Response resp = co_await f.wait();
     if (resp.code == StatusCode::kOk) ++deleted;
   }
+  // Fragments on currently-down owners are out of reach; they become
+  // orphans that the RepairCoordinator counts and purges.
   co_return deleted > 0 ? Status::Ok() : Status{StatusCode::kNotFound};
 }
 
-sim::Task<std::optional<std::size_t>> ErasureEngine::pick_live_slot(
+sim::Task<ErasureEngine::LiveSlot> ErasureEngine::pick_live_slot(
     kv::Key key) {
-  bool checked = false;
-  std::optional<std::size_t> live;
+  LiveSlot result;
   for (std::size_t slot = 0; slot < codec_->n(); ++slot) {
     if (membership().up(ring().slot_index(key, slot))) {
-      live = slot;
+      result.slot = slot;
       break;
     }
-    checked = true;
+    result.degraded = true;
   }
-  if (checked) {
-    ++stats().degraded_gets;
-    co_await sim().delay(membership().check_cost_ns());
-  }
-  co_return live;
+  if (result.degraded) co_await sim().delay(membership().check_cost_ns());
+  co_return result;
 }
 
 sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
@@ -139,7 +142,7 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
     req.chunk = kv::ChunkInfo{value_size, static_cast<std::uint32_t>(slot),
                               static_cast<std::uint16_t>(k),
                               static_cast<std::uint16_t>(codec_->m())};
-    pending.push_back(client().call(node_of(owner), std::move(req)));
+    pending.push_back(client().guarded_future(node_of(owner), std::move(req)));
   }
 
   StatusCode worst = StatusCode::kOk;
@@ -168,9 +171,10 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
 sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
                                                    SharedBytes value,
                                                    OpPhases* phases) {
-  const std::optional<std::size_t> slot = co_await pick_live_slot(key);
-  if (!slot) co_return Status{StatusCode::kUnavailable, "no live server"};
-  const net::NodeId target = node_of(ring().slot_index(key, *slot));
+  const LiveSlot ls = co_await pick_live_slot(key);
+  if (ls.degraded) ++stats().degraded_sets;
+  if (!ls.slot) co_return Status{StatusCode::kUnavailable, "no live server"};
+  const net::NodeId target = node_of(ring().slot_index(key, *ls.slot));
 
   kv::Request req;
   req.verb = kv::Verb::kSetEncode;
@@ -212,10 +216,10 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
     ++stats().degraded_gets;
     co_await sim().delay(membership().check_cost_ns());
   }
-  const Result<std::vector<std::size_t>> selected =
+  Result<std::vector<std::size_t>> selected =
       codec_->select_read_set(available);
   if (!selected.ok()) co_return selected.status();
-  const std::vector<std::size_t>& chosen = *selected;
+  std::vector<std::size_t> chosen = *selected;
 
   // K non-blocking fragment fetches posted back-to-back from one CPU
   // slice; the responses overlap (Equation 8).
@@ -228,32 +232,70 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
     tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine",
                  sim().now() - post_ns, post_ns);
   }
-  std::vector<sim::Future<kv::Response>> pending;
-  pending.reserve(k);
-  for (const std::size_t slot : chosen) {
-    kv::Request req;
-    req.verb = kv::Verb::kGet;
-    req.key = kv::chunk_key(key, slot);
-    pending.push_back(client().call(
-        node_of(ring().slot_index(key, slot)), std::move(req)));
-  }
 
-  std::vector<SharedBytes> values(k);
+  // Failover fetch loop. Fragments are cached per slot across rounds: a
+  // chosen fragment that fails (dead owner, RPC timeout, or a miss on a
+  // live server) marks its slot unavailable, the read set is re-selected
+  // over the survivors, and only the replacement fragments are fetched.
+  // The Get therefore succeeds whenever any k live fragments exist,
+  // regardless of which initially-chosen fragment failed.
+  std::vector<SharedBytes> frag(n);
+  std::vector<bool> have(n, false);
   std::optional<kv::ChunkInfo> meta;
-  std::size_t fetched = 0;
+  StatusCode worst = StatusCode::kNotFound;
+  bool complete = false;
+  std::size_t round = 0;
   const SimTime fetch_t0 = sim().now();
-  for (std::size_t i = 0; i < k; ++i) {
-    kv::Response resp = co_await pending[i].wait();
-    if (resp.code != StatusCode::kOk) continue;
-    values[i] = std::move(resp.value);
-    if (resp.chunk) meta = resp.chunk;
-    ++fetched;
+  for (;;) {
+    std::vector<sim::Future<kv::Response>> pending;
+    std::vector<std::size_t> pending_slots;
+    pending.reserve(chosen.size());
+    for (const std::size_t slot : chosen) {
+      if (have[slot]) continue;
+      if (round > 0) ++stats().failover_fetches;
+      kv::Request req;
+      req.verb = kv::Verb::kGet;
+      req.key = kv::chunk_key(key, slot);
+      pending.push_back(client().guarded_future(
+          node_of(ring().slot_index(key, slot)), std::move(req)));
+      pending_slots.push_back(slot);
+    }
+    bool failure = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      kv::Response resp = co_await pending[i].wait();
+      const std::size_t slot = pending_slots[i];
+      if (resp.code == StatusCode::kOk) {
+        frag[slot] = std::move(resp.value);
+        have[slot] = true;
+        if (resp.chunk) meta = resp.chunk;
+      } else {
+        worst = resp.code;
+        available[slot] = false;
+        failure = true;
+      }
+    }
+    if (!failure) {
+      complete = true;
+      break;
+    }
+    // Working around the failure is a degraded read even when the
+    // membership oracle claimed every owner was up; re-selection pays
+    // one more T_check.
+    if (!degraded) {
+      degraded = true;
+      ++stats().degraded_gets;
+    }
+    co_await sim().delay(membership().check_cost_ns());
+    selected = codec_->select_read_set(available);
+    if (!selected.ok()) break;  // not enough survivors: fall back / fail
+    chosen = *selected;
+    ++round;
   }
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
                  fetch_t0, sim().now() - fetch_t0);
   }
-  if (fetched < k || !meta) {
+  if (!complete || !meta) {
     if (!client_encodes(mode_)) {
       // Server-side encode may still be distributing this key's fragments;
       // the stager holds the full value until every fragment is acked, so
@@ -261,7 +303,7 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       ++stats().fallback_gets;
       co_return co_await get_server_decode(std::move(key), phases);
     }
-    co_return Status{StatusCode::kNotFound, "missing fragments"};
+    co_return Status{worst, "missing fragments"};
   }
 
   const std::size_t value_size = meta->original_size;
@@ -289,10 +331,10 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
   // Rebuild missing data fragments for real, then reassemble.
   std::vector<Bytes> storage(n, Bytes(layout.fragment_size));
   std::vector<bool> present(n, false);
-  for (std::size_t i = 0; i < k; ++i) {
-    if (!values[i]) continue;
-    storage[chosen[i]] = *values[i];
-    present[chosen[i]] = true;
+  for (const std::size_t slot : chosen) {
+    if (!frag[slot]) continue;
+    storage[slot] = *frag[slot];
+    present[slot] = true;
   }
   std::vector<ByteSpan> spans(storage.begin(), storage.end());
   if (missing_data > 0) {
@@ -306,11 +348,12 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
 
 sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
                                                           OpPhases* phases) {
-  const std::optional<std::size_t> slot = co_await pick_live_slot(key);
-  if (!slot) {
+  const LiveSlot ls = co_await pick_live_slot(key);
+  if (ls.degraded) ++stats().degraded_gets;
+  if (!ls.slot) {
     co_return Status{StatusCode::kUnavailable, "no live server"};
   }
-  const net::NodeId target = node_of(ring().slot_index(key, *slot));
+  const net::NodeId target = node_of(ring().slot_index(key, *ls.slot));
 
   kv::Request req;
   req.verb = kv::Verb::kGetDecode;

@@ -72,8 +72,14 @@ class ErasureEngine final : public Engine {
   sim::Task<Result<Bytes>> get_server_decode(kv::Key key, OpPhases* phases);
 
   /// First live owner among the key's n slots (for SE/SD targets), paying
-  /// T_check when the designated one is down. Nullopt if all n are dead.
-  sim::Task<std::optional<std::size_t>> pick_live_slot(kv::Key key);
+  /// T_check when the designated one is down. `degraded` reports whether a
+  /// dead owner had to be skipped so the caller can bump the right
+  /// per-verb counter; nullopt slot if all n are dead.
+  struct LiveSlot {
+    std::optional<std::size_t> slot;
+    bool degraded = false;
+  };
+  sim::Task<LiveSlot> pick_live_slot(kv::Key key);
 
   const ec::Codec* codec_;
   ec::CostModel cost_;

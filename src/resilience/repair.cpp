@@ -58,6 +58,9 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
       std::count(present.begin(), present.end(), true));
   if (present_count < k || !meta) {
     ++stats_.unrepairable_keys;
+    if (purge_orphans_ && present_count > 0) {
+      co_await purge_orphan(std::move(key), std::move(present));
+    }
     co_return Status{StatusCode::kTooManyFailures,
                      "fewer than k fragments survive"};
   }
@@ -192,6 +195,41 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
     stats_.bytes_rebuilt += rebuild.size() * layout.fragment_size;
   }
   co_return Status{worst};
+}
+
+sim::Task<void> RepairCoordinator::purge_orphan(kv::Key key,
+                                                std::vector<bool> present) {
+  const std::size_t n = codec_->n();
+  // A staged full copy on any live owner means the key can still be
+  // re-distributed (server-side encode mid-flight): leave it alone.
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::size_t owner = ctx_.ring->slot_index(key, slot);
+    if (!ctx_.membership->up(owner)) continue;
+    kv::Request probe;
+    probe.verb = kv::Verb::kGet;
+    probe.key = key;
+    probe.head_only = true;
+    const kv::Response resp = co_await ctx_.client->invoke(
+        (*ctx_.server_nodes)[owner], std::move(probe));
+    if (resp.code == StatusCode::kOk) co_return;
+    break;  // one stager probe suffices; the stager is the first live owner
+  }
+  ++stats_.orphaned_keys;
+  std::vector<sim::Future<kv::Response>> deletes;
+  deletes.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (!present[slot]) continue;
+    kv::Request req;
+    req.verb = kv::Verb::kDelete;
+    req.key = kv::chunk_key(key, slot);
+    const std::size_t owner = ctx_.ring->slot_index(key, slot);
+    deletes.push_back(
+        ctx_.client->call_async((*ctx_.server_nodes)[owner], std::move(req)));
+  }
+  for (const auto& f : deletes) {
+    const kv::Response resp = co_await f.wait();
+    if (resp.code == StatusCode::kOk) ++stats_.orphan_fragments_purged;
+  }
 }
 
 sim::Task<Status> RepairCoordinator::repair_all() {

@@ -26,6 +26,8 @@ struct RepairStats {
   std::uint64_t bytes_read = 0;         ///< repair network traffic
   std::uint64_t local_repairs = 0;      ///< used the codec's repair locality
   std::uint64_t unrepairable_keys = 0;  ///< fewer than k fragments survive
+  std::uint64_t orphaned_keys = 0;      ///< unreconstructable leftovers found
+  std::uint64_t orphan_fragments_purged = 0;  ///< stray fragments deleted
 
   /// Registers every field into `reg` under component "repair".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -39,6 +41,9 @@ struct RepairStats {
     reg.bind_counter("repair.bytes_read", labels, &bytes_read);
     reg.bind_counter("repair.local_repairs", labels, &local_repairs);
     reg.bind_counter("repair.unrepairable_keys", labels, &unrepairable_keys);
+    reg.bind_counter("repair.orphaned_keys", labels, &orphaned_keys);
+    reg.bind_counter("repair.orphan_fragments_purged", labels,
+                     &orphan_fragments_purged);
   }
 };
 
@@ -53,6 +58,15 @@ class RepairCoordinator {
   RepairCoordinator& operator=(const RepairCoordinator&) = delete;
 
   [[nodiscard]] const RepairStats& stats() const noexcept { return stats_; }
+
+  /// When enabled, a key with fewer than k surviving fragments and no
+  /// staged full copy is treated as deleted: its leftover fragments are
+  /// purged instead of lingering forever. These orphans arise when a
+  /// Delete runs while a fragment owner is down and the owner later
+  /// restarts with its store intact. Off by default — purging is only
+  /// safe when no in-flight writes race the repair pass, and
+  /// unrepairable-key accounting should otherwise stay non-destructive.
+  void set_purge_orphans(bool on) noexcept { purge_orphans_ = on; }
 
   /// Enumerates the base keys whose fragments a live server holds
   /// (kScan). Repairing every key discovered through any single live
@@ -84,10 +98,16 @@ class RepairCoordinator {
            (obs::Tracer::kLanesPerNode - 1);
   }
 
+  /// Deletes the surviving fragments of an unreconstructable key (see
+  /// set_purge_orphans). Skips the purge when the stager still holds a
+  /// staged full copy of the key — that copy can re-create the fragments.
+  sim::Task<void> purge_orphan(kv::Key key, std::vector<bool> present);
+
   EngineContext ctx_;
   const ec::Codec* codec_;
   ec::CostModel cost_;
   RepairStats stats_;
+  bool purge_orphans_ = false;
 };
 
 }  // namespace hpres::resilience

@@ -63,6 +63,18 @@ class Future {
     co_return *state->value;
   }
 
+  /// Suspends until the promise is fulfilled or `timeout` simulated
+  /// nanoseconds pass; nullopt on timeout (the deadline primitive behind
+  /// RPC timeouts). The shared state stays valid, so a late fulfillment is
+  /// still observable through ready()/try_get().
+  Task<std::optional<T>> wait_for(SimDur timeout) const {
+    auto state = state_;  // keep alive across suspension
+    assert(state && "waiting on an invalid Future");
+    const bool fulfilled = co_await state->event.wait_for(timeout);
+    if (!fulfilled) co_return std::nullopt;
+    co_return *state->value;
+  }
+
   /// Non-suspending poll (memcached_test semantics).
   [[nodiscard]] const T* try_get() const noexcept {
     return ready() ? &*state_->value : nullptr;

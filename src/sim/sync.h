@@ -11,6 +11,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -29,6 +30,33 @@ struct ParkAwaiter {
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
     waiters->push_back(h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// One waiter with a deadline. Both the signalling primitive and a timer
+/// coroutine race to resume the parked handle; `fired` makes the wake-up
+/// one-shot so the loser becomes a no-op (no double resume).
+struct TimedWaiter {
+  std::coroutine_handle<> handle;
+  bool fired = false;     ///< the handle has been (re)scheduled
+  bool signaled = false;  ///< woken by the primitive, not the deadline
+};
+
+/// Parks a coroutine as a TimedWaiter on the owning primitive's list.
+/// Must stay trivially destructible (raw pointers only, like ParkAwaiter):
+/// g++-12 destroys a non-trivial awaiter temporary twice (once at the end
+/// of the co_await full-expression, once during frame cleanup), so an
+/// owning shared_ptr member here would be double-released. The deque takes
+/// its own reference inside await_suspend instead.
+struct TimedParkAwaiter {
+  std::deque<std::shared_ptr<TimedWaiter>>* waiters;
+  const std::shared_ptr<TimedWaiter>* waiter;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    (*waiter)->handle = h;
+    waiters->push_back(*waiter);
   }
   void await_resume() const noexcept {}
 };
@@ -52,16 +80,49 @@ class Event {
       sim_->schedule(waiters_.front(), 0);
       waiters_.pop_front();
     }
+    while (!timed_waiters_.empty()) {
+      const auto& waiter = timed_waiters_.front();
+      if (!waiter->fired) {  // timed-out waiters were already resumed
+        waiter->fired = true;
+        waiter->signaled = true;
+        sim_->schedule(waiter->handle, 0);
+      }
+      timed_waiters_.pop_front();
+    }
   }
 
   Task<void> wait() {
     while (!set_) co_await detail::ParkAwaiter{&waiters_};
   }
 
+  /// Suspends until `set()` or until `timeout` simulated nanoseconds pass,
+  /// whichever comes first. Returns true when the event fired, false on
+  /// timeout. An already-set event returns true without suspending. The
+  /// deadline is driven by a spawned timer coroutine, so a wait_for whose
+  /// event fires early still holds one queued timer event until the
+  /// deadline passes (harmless: it wakes nobody).
+  Task<bool> wait_for(SimDur timeout) {
+    if (set_) co_return true;
+    auto waiter = std::make_shared<detail::TimedWaiter>();
+    sim_->spawn(deadline_coro(sim_, waiter, timeout));
+    co_await detail::TimedParkAwaiter{&timed_waiters_, &waiter};
+    co_return waiter->signaled;
+  }
+
  private:
+  static Task<void> deadline_coro(Simulator* sim,
+                                  std::shared_ptr<detail::TimedWaiter> waiter,
+                                  SimDur timeout) {
+    co_await sim->delay(timeout);
+    if (waiter->fired) co_return;  // lost the race: set() already woke it
+    waiter->fired = true;
+    sim->schedule(waiter->handle, 0);
+  }
+
   Simulator* sim_;
   bool set_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<std::shared_ptr<detail::TimedWaiter>> timed_waiters_;
 };
 
 /// Unbounded FIFO channel. Multiple producers and consumers are supported;

@@ -10,6 +10,8 @@ void YcsbResult::merge(const YcsbResult& other) {
   reads += other.reads;
   writes += other.writes;
   failures += other.failures;
+  timeouts += other.timeouts;
+  unavailable += other.unavailable;
   duration_ns = std::max(duration_ns, other.duration_ns);
 }
 
@@ -60,16 +62,22 @@ sim::Task<void> ycsb_client(sim::Simulator* sim, resilience::Engine* engine,
     const std::string key = ycsb_key(id, config.key_size);
     const bool is_read = rng.next_double() < config.read_fraction;
     const SimTime op_start = sim->now();
+    StatusCode code = StatusCode::kOk;
     if (is_read) {
       const Result<Bytes> r = co_await engine->get(key);
       ++result->reads;
       result->read_latency.record(sim->now() - op_start);
-      if (!r.ok()) ++result->failures;
+      code = r.status().code();
     } else {
       const Status s = co_await engine->set(key, write_value);
       ++result->writes;
       result->write_latency.record(sim->now() - op_start);
-      if (!s.ok()) ++result->failures;
+      code = s.code();
+    }
+    if (code != StatusCode::kOk) {
+      ++result->failures;
+      if (code == StatusCode::kTimeout) ++result->timeouts;
+      if (code == StatusCode::kUnavailable) ++result->unavailable;
     }
   }
   result->duration_ns = sim->now() - begin;

@@ -37,6 +37,8 @@ struct YcsbResult {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t failures = 0;
+  std::uint64_t timeouts = 0;     ///< failures that resolved kTimeout
+  std::uint64_t unavailable = 0;  ///< failures that resolved kUnavailable
   SimDur duration_ns = 0;  ///< this client's first-op to last-completion
 
   void merge(const YcsbResult& other);

@@ -198,6 +198,59 @@ TEST(Fabric, StatsCountTraffic) {
   EXPECT_EQ(fabric.stats().bytes_sent, 300u);
 }
 
+TEST(Fabric, DroppedMessagesCountBytesAndConserve) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 3);
+  fabric.set_node_up(1, false);
+  fabric.send(0, 1, 1, 700);  // dst down: dropped
+  fabric.send(1, 2, 2, 300);  // src down: dropped
+  fabric.send(0, 2, 3, 100);
+  fabric.send(0, 2, 4, 150);
+  sim.run();
+  const FabricStats& s = fabric.stats();
+  EXPECT_EQ(s.messages_dropped, 2u);
+  EXPECT_EQ(s.drops_dst_down, 1u);
+  EXPECT_EQ(s.drops_src_down, 1u);
+  EXPECT_EQ(s.bytes_dropped, 1'000u);
+  EXPECT_EQ(fabric.inbox(2).size(), 2u);
+  // Conservation identities at quiescence (header_bytes == 0): everything
+  // sent was either delivered or accounted as dropped — nothing vanishes.
+  EXPECT_EQ(s.messages_sent, s.messages_delivered + s.messages_dropped);
+  EXPECT_EQ(s.bytes_sent, s.bytes_delivered + s.bytes_dropped);
+  EXPECT_EQ(fabric.in_flight_bytes(), 0u);
+}
+
+TEST(Fabric, SeededLossIsDeterministicAndConserves) {
+  auto run_lossy = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    TestFabric fabric(sim, flat_params(), 2);
+    fabric.set_loss(0.5, seed);
+    for (int i = 0; i < 200; ++i) fabric.send(0, 1, i, 64);
+    sim.run();
+    const FabricStats& s = fabric.stats();
+    EXPECT_GT(s.drops_injected, 0u);
+    EXPECT_LT(s.drops_injected, 200u);
+    EXPECT_EQ(s.messages_dropped, s.drops_injected);
+    EXPECT_EQ(s.bytes_dropped, 64u * s.drops_injected);
+    EXPECT_EQ(s.messages_sent, s.messages_delivered + s.messages_dropped);
+    EXPECT_EQ(s.bytes_sent, s.bytes_delivered + s.bytes_dropped);
+    return s.drops_injected;
+  };
+  EXPECT_EQ(run_lossy(42), run_lossy(42));       // same seed, same drops
+  EXPECT_NE(run_lossy(42), run_lossy(0xbeef));   // loss pattern is seeded
+}
+
+TEST(Fabric, FullLossDropsEverything) {
+  sim::Simulator sim;
+  TestFabric fabric(sim, flat_params(), 2);
+  fabric.set_loss(1.0);
+  for (int i = 0; i < 10; ++i) fabric.send(0, 1, i, 32);
+  sim.run();
+  EXPECT_EQ(fabric.stats().drops_injected, 10u);
+  EXPECT_EQ(fabric.stats().messages_delivered, 0u);
+  EXPECT_EQ(fabric.inbox(1).size(), 0u);
+}
+
 TEST(FabricParams, PresetsAreOrderedByGeneration) {
   const auto qdr = FabricParams::rdma_qdr();
   const auto fdr = FabricParams::rdma_fdr();

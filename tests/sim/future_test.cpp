@@ -85,5 +85,79 @@ TEST(Future, DefaultConstructedIsInvalid) {
   EXPECT_FALSE(f.ready());
 }
 
+// --- Future::wait_for (RPC deadline primitive) -------------------------------
+
+Task<void> timed_await(Simulator* sim, Future<int> future, SimDur timeout,
+                       std::vector<std::pair<std::optional<int>, SimTime>>* log) {
+  std::optional<int> v = co_await future.wait_for(timeout);
+  log->push_back({std::move(v), sim->now()});
+}
+
+TEST(FutureWaitFor, DeliversValueBeforeDeadline) {
+  Simulator sim;
+  Promise<int> p(sim);
+  std::vector<std::pair<std::optional<int>, SimTime>> log;
+  sim.spawn(timed_await(&sim, p.get_future(), 1'000, &log));
+  sim.spawn(fulfill_after(&sim, p, 250, 7));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_TRUE(log[0].first.has_value());
+  EXPECT_EQ(*log[0].first, 7);
+  EXPECT_EQ(log[0].second, 250);
+}
+
+TEST(FutureWaitFor, NulloptAtExactDeadline) {
+  Simulator sim;
+  Promise<int> p(sim);
+  std::vector<std::pair<std::optional<int>, SimTime>> log;
+  sim.spawn(timed_await(&sim, p.get_future(), 1'000, &log));
+  sim.spawn(fulfill_after(&sim, p, 5'000, 7));  // too late
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].first.has_value());
+  EXPECT_EQ(log[0].second, 1'000);
+}
+
+TEST(FutureWaitFor, LateFulfillmentStillObservable) {
+  Simulator sim;
+  Promise<int> p(sim);
+  Future<int> f = p.get_future();
+  std::vector<std::pair<std::optional<int>, SimTime>> log;
+  sim.spawn(timed_await(&sim, f, 100, &log));
+  sim.spawn(fulfill_after(&sim, p, 700, 42));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].first.has_value());
+  ASSERT_TRUE(f.ready());  // the shared state caught the late value
+  EXPECT_EQ(*f.try_get(), 42);
+}
+
+TEST(FutureWaitFor, ManyRacingWaitersStress) {
+  // Dense race coverage around the deadline: fulfillment lands before, at,
+  // and after each waiter's deadline, all at close-packed timestamps.
+  Simulator sim;
+  std::vector<std::pair<std::optional<int>, SimTime>> log;
+  std::vector<Promise<int>> promises;
+  promises.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    promises.emplace_back(sim);
+    const SimDur timeout = 10 + (i % 7);
+    const SimDur fulfill = 8 + (i % 9);
+    sim.spawn(timed_await(&sim, promises[static_cast<std::size_t>(i)]
+                                    .get_future(),
+                          timeout, &log));
+    sim.spawn(fulfill_after(&sim, promises[static_cast<std::size_t>(i)],
+                            fulfill, i));
+  }
+  sim.run();
+  EXPECT_EQ(log.size(), 64u);
+  for (const auto& [value, at] : log) {
+    if (value.has_value()) {
+      const int i = *value;
+      EXPECT_LE(8 + (i % 9), 10 + (i % 7)) << "value delivered past deadline";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hpres::sim

@@ -8,14 +8,23 @@
 // encode and decode; decode with 2 failures costs more than 1 failure.
 // Absolute numbers depend on this host; the simulation benches use the
 // fitted CostModel instead (see EXPERIMENTS.md).
+//
+// Throughput is reported by google-benchmark as bytes_per_second (value
+// bytes, not fragment bytes). Every series runs on the dispatched GF kernel
+// variant — printed up front and recorded in the benchmark context/labels,
+// because scalar vs SSSE3 vs AVX2 shifts these curves by roughly an order
+// of magnitude (bench/micro_gf_kernels.cpp isolates the kernels).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "ec/chunker.h"
 #include "ec/codec.h"
+#include "ec/gf_kernels.h"
 
 namespace {
 
@@ -65,7 +74,8 @@ void BM_Encode(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(1));
-  state.SetLabel(std::string(wb.codec->name()));
+  state.SetLabel(std::string(wb.codec->name()) + "/" +
+                 std::string(to_string(active_variant())));
 }
 
 void BM_Decode(benchmark::State& state) {
@@ -83,7 +93,8 @@ void BM_Decode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(1));
   state.SetLabel(std::string(wb.codec->name()) + "/fail" +
-                 std::to_string(failures));
+                 std::to_string(failures) + "/" +
+                 std::string(to_string(active_variant())));
 }
 
 void SizeSweep(benchmark::internal::Benchmark* b, bool with_failures) {
@@ -108,4 +119,13 @@ BENCHMARK(BM_Decode)
     ->Apply([](benchmark::internal::Benchmark* b) { SizeSweep(b, true); })
     ->MinTime(0.02);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string kernel{to_string(active_variant())};
+  std::printf("fig04: GF region kernels dispatched to '%s'\n", kernel.c_str());
+  benchmark::AddCustomContext("gf_kernel", kernel);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,7 +15,9 @@ const GF256& gf() { return GF256::instance(); }
 }  // namespace
 
 MatrixCodec::MatrixCodec(std::size_t k, std::size_t m, GfMatrix generator)
-    : Codec(k, m), generator_(std::move(generator)) {
+    : Codec(k, m),
+      generator_(std::move(generator)),
+      parity_coder_(m, k) {
   assert(generator_.rows() == k + m && generator_.cols() == k);
 #ifndef NDEBUG
   // The generator must be systematic: top k x k block == identity.
@@ -25,24 +27,19 @@ MatrixCodec::MatrixCodec(std::size_t k, std::size_t m, GfMatrix generator)
     }
   }
 #endif
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t c = 0; c < k; ++c) {
+      parity_coder_.set(p, c, generator_.at(k + p, c));
+    }
+  }
 }
 
 void MatrixCodec::encode(std::span<const ConstByteSpan> data,
                          std::span<ByteSpan> parity) const {
   assert(data.size() == k() && parity.size() == m());
-  for (std::size_t p = 0; p < m(); ++p) {
-    assert(parity[p].size() == data[0].size());
-    bool first = true;
-    for (std::size_t c = 0; c < k(); ++c) {
-      const std::uint8_t coeff = generator_.at(k() + p, c);
-      if (first) {
-        gf().mul_region(coeff, data[c], parity[p]);
-        first = false;
-      } else {
-        gf().mul_region_acc(coeff, data[c], parity[p]);
-      }
-    }
-  }
+  // Single fused pass: every data tile is read once while it accumulates
+  // into all m parity outputs (ec/gf_kernels.h).
+  parity_coder_.apply(data, parity);
 }
 
 void MatrixCodec::encode_parity_row(std::size_t parity_index,
@@ -119,6 +116,11 @@ Result<MatrixCodec::RecoveryPlan> MatrixCodec::plan_recovery(
   if (!inv.ok() && candidates.size() > k()) {
     plan.survivors.clear();
     GfMatrix echelon(k(), k());  // row-reduced rows accepted so far
+    // Pivot column of each accepted echelon row, recorded as rows are
+    // accepted — without it every candidate would re-scan every accepted
+    // row for its pivot, turning the greedy pass O(k^3) with repivoting.
+    std::vector<std::size_t> pivot_cols;
+    pivot_cols.reserve(k());
     std::size_t rank = 0;
     for (const std::size_t idx : candidates) {
       if (rank == k()) break;
@@ -126,20 +128,20 @@ Result<MatrixCodec::RecoveryPlan> MatrixCodec::plan_recovery(
       std::vector<std::uint8_t> row(k());
       for (std::size_t c = 0; c < k(); ++c) row[c] = generator_.at(idx, c);
       for (std::size_t r = 0; r < rank; ++r) {
-        // Find pivot column of echelon row r.
-        std::size_t pivot = 0;
-        while (pivot < k() && echelon.at(r, pivot) == 0) ++pivot;
-        if (pivot == k() || row[pivot] == 0) continue;
+        const std::size_t pivot = pivot_cols[r];
+        if (row[pivot] == 0) continue;
         const std::uint8_t factor =
             gf().div(row[pivot], echelon.at(r, pivot));
         for (std::size_t c = 0; c < k(); ++c) {
           row[c] ^= gf().mul(factor, echelon.at(r, c));
         }
       }
-      bool nonzero = false;
-      for (const std::uint8_t v : row) nonzero |= (v != 0);
-      if (!nonzero) continue;  // dependent on rows already accepted
+      // The reduced row's first nonzero column becomes its pivot.
+      std::size_t pivot = 0;
+      while (pivot < k() && row[pivot] == 0) ++pivot;
+      if (pivot == k()) continue;  // dependent on rows already accepted
       for (std::size_t c = 0; c < k(); ++c) echelon.at(rank, c) = row[c];
+      pivot_cols.push_back(pivot);
       ++rank;
       plan.survivors.push_back(idx);
     }
@@ -175,19 +177,24 @@ Status MatrixCodec::solve_erased(std::span<ByteSpan> fragments,
   Result<RecoveryPlan> plan = plan_recovery(present);
   if (!plan.ok()) return plan.status();
 
-  for (std::size_t j = 0; j < plan->erased_data.size(); ++j) {
-    ByteSpan out = fragments[plan->erased_data[j]];
-    bool first = true;
-    for (std::size_t i = 0; i < k(); ++i) {
-      const std::uint8_t coeff = plan->coeffs.at(j, i);
-      const ConstByteSpan src = fragments[plan->survivors[i]];
-      if (first) {
-        gf().mul_region(coeff, src, out);
-        first = false;
-      } else {
-        gf().mul_region_acc(coeff, src, out);
+  if (!plan->erased_data.empty()) {
+    // Fused pass over the survivors: each survivor tile is read once while
+    // it accumulates into every erased-data output.
+    StripeCoder recover(plan->erased_data.size(), k());
+    for (std::size_t j = 0; j < plan->erased_data.size(); ++j) {
+      for (std::size_t i = 0; i < k(); ++i) {
+        recover.set(j, i, plan->coeffs.at(j, i));
       }
     }
+    std::vector<ConstByteSpan> sources;
+    sources.reserve(k());
+    for (const std::size_t s : plan->survivors) sources.push_back(fragments[s]);
+    std::vector<ByteSpan> outputs;
+    outputs.reserve(plan->erased_data.size());
+    for (const std::size_t d : plan->erased_data) {
+      outputs.push_back(fragments[d]);
+    }
+    recover.apply(sources, outputs);
   }
 
   if (!data_only) {

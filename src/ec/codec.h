@@ -16,6 +16,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "ec/gf_kernels.h"
 #include "ec/gf_matrix.h"
 
 namespace hpres::ec {
@@ -106,10 +107,11 @@ class Codec {
 };
 
 /// Codec driven by a systematic (k+m) x k generator matrix over GF(2^8).
-/// Encoding applies the parity rows with region multiply-accumulate;
-/// reconstruction inverts the survivor-row submatrix (the textbook RS
-/// decode). Concrete codecs differ only in generator construction and,
-/// optionally, a faster encode.
+/// Encoding applies the parity block with the fused single-pass stripe
+/// kernel (ec/gf_kernels.h) cached at construction; reconstruction inverts
+/// the survivor-row submatrix (the textbook RS decode) and runs the erased
+/// rows through the same fused kernel. Concrete codecs differ only in
+/// generator construction and, optionally, a faster encode.
 class MatrixCodec : public Codec {
  public:
   MatrixCodec(std::size_t k, std::size_t m, GfMatrix generator);
@@ -160,6 +162,7 @@ class MatrixCodec : public Codec {
                                     bool data_only) const;
 
   GfMatrix generator_;  // (k+m) x k, top block identity
+  StripeCoder parity_coder_;  // m x k parity block, cached for fused encode
 };
 
 /// Factory for the three schemes studied in the paper's Figure 4.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "ec/gf_kernels.h"
+
 namespace hpres::ec {
 
 const GF256& GF256::instance() {
@@ -57,52 +59,24 @@ std::uint8_t GF256::pow(std::uint8_t a, unsigned e) const noexcept {
 void GF256::mul_region(std::uint8_t c, ConstByteSpan src,
                        ByteSpan dst) const noexcept {
   assert(src.size() == dst.size());
-  if (c == 0) {
-    std::memset(dst.data(), 0, dst.size());
-    return;
-  }
-  if (c == 1) {
-    if (dst.data() != src.data()) {
-      std::memmove(dst.data(), src.data(), src.size());
-    }
-    return;
-  }
-  const std::uint8_t* row = &mul_table_[static_cast<std::size_t>(c) << 8];
-  const auto* s = reinterpret_cast<const std::uint8_t*>(src.data());
-  auto* d = reinterpret_cast<std::uint8_t*>(dst.data());
-  for (std::size_t i = 0; i < src.size(); ++i) d[i] = row[s[i]];
+  gf_mul_region(active_kernels(), c,
+                reinterpret_cast<const std::uint8_t*>(src.data()),
+                reinterpret_cast<std::uint8_t*>(dst.data()), src.size());
 }
 
 void GF256::mul_region_acc(std::uint8_t c, ConstByteSpan src,
                            ByteSpan dst) const noexcept {
   assert(src.size() == dst.size());
-  if (c == 0) return;
-  if (c == 1) {
-    xor_region(src, dst);
-    return;
-  }
-  const std::uint8_t* row = &mul_table_[static_cast<std::size_t>(c) << 8];
-  const auto* s = reinterpret_cast<const std::uint8_t*>(src.data());
-  auto* d = reinterpret_cast<std::uint8_t*>(dst.data());
-  for (std::size_t i = 0; i < src.size(); ++i) d[i] ^= row[s[i]];
+  gf_mul_region_acc(active_kernels(), c,
+                    reinterpret_cast<const std::uint8_t*>(src.data()),
+                    reinterpret_cast<std::uint8_t*>(dst.data()), src.size());
 }
 
 void GF256::xor_region(ConstByteSpan src, ByteSpan dst) noexcept {
   assert(src.size() == dst.size());
-  const auto* s = reinterpret_cast<const std::uint8_t*>(src.data());
-  auto* d = reinterpret_cast<std::uint8_t*>(dst.data());
-  std::size_t i = 0;
-  // Word-wide main loop; memcpy keeps this free of alignment UB and
-  // compiles to plain 8-byte loads/stores.
-  for (; i + 8 <= src.size(); i += 8) {
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, s + i, 8);
-    std::memcpy(&b, d + i, 8);
-    b ^= a;
-    std::memcpy(d + i, &b, 8);
-  }
-  for (; i < src.size(); ++i) d[i] ^= s[i];
+  active_kernels().xor_region(
+      reinterpret_cast<const std::uint8_t*>(src.data()),
+      reinterpret_cast<std::uint8_t*>(dst.data()), src.size());
 }
 
 }  // namespace hpres::ec

@@ -3,9 +3,11 @@
 //
 // Representation: polynomial basis modulo the primitive polynomial
 // x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by Jerasure, ISA-L and
-// Linux RAID-6. Multiplication is table-driven: a 64 KiB full product table
-// gives one-lookup-per-byte region operations, which is what makes "online"
-// encoding of KV-sized values practical on a general-purpose CPU.
+// Linux RAID-6. Scalar multiplication is table-driven (a 64 KiB full product
+// table, one lookup per byte); the region operations dispatch to the SIMD
+// kernel layer in ec/gf_kernels.h (SSSE3/AVX2 split-table nibble multiply
+// with the scalar loops as reference and fallback), which is what makes
+// "online" encoding of KV-sized values practical on a general-purpose CPU.
 #pragma once
 
 #include <array>
@@ -48,15 +50,22 @@ class GF256 {
   /// a^e by log/exp. pow(0, 0) == 1 by convention; pow(0, e>0) == 0.
   [[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned e) const noexcept;
 
+  /// Row of the full product table for a fixed first factor:
+  /// mul_row(c)[b] == mul(c, b). The scalar region kernels index it.
+  [[nodiscard]] const std::uint8_t* mul_row(std::uint8_t c) const noexcept {
+    return &mul_table_[static_cast<std::size_t>(c) << 8];
+  }
+
   /// dst[i] = c * src[i] for a whole region. Spans must be equal length and
-  /// must not partially overlap (dst == src is allowed).
+  /// must not partially overlap (dst == src is allowed). Dispatches to the
+  /// widest GF kernel the CPU supports (ec/gf_kernels.h).
   void mul_region(std::uint8_t c, ConstByteSpan src, ByteSpan dst) const noexcept;
 
   /// dst[i] ^= c * src[i] (multiply-accumulate) for a whole region.
   void mul_region_acc(std::uint8_t c, ConstByteSpan src,
                       ByteSpan dst) const noexcept;
 
-  /// dst[i] ^= src[i]. Word-wide XOR; spans must be equal length.
+  /// dst[i] ^= src[i]. Vector-wide XOR; spans must be equal length.
   static void xor_region(ConstByteSpan src, ByteSpan dst) noexcept;
 
  private:

@@ -1,0 +1,177 @@
+#include "ec/gf_kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdlib>
+
+#include "ec/gf256.h"
+
+namespace hpres::ec {
+
+std::string_view to_string(GfKernelVariant v) noexcept {
+  switch (v) {
+    case GfKernelVariant::kScalar: return "scalar";
+    case GfKernelVariant::kSsse3: return "ssse3";
+    case GfKernelVariant::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+namespace {
+
+// --- Scalar reference kernels ------------------------------------------------
+// The pre-SIMD loops, kept verbatim as the correctness baseline every other
+// variant is tested against, and as the fallback on non-x86 hosts.
+
+void scalar_mul_region(std::uint8_t c, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t n) {
+  const std::uint8_t* row = GF256::instance().mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void scalar_mul_region_acc(std::uint8_t c, const std::uint8_t* src,
+                           std::uint8_t* dst, std::size_t n) {
+  const std::uint8_t* row = GF256::instance().mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scalar_xor_region(const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) {
+  std::size_t i = 0;
+  // Word-wide main loop; memcpy keeps this free of alignment UB and
+  // compiles to plain 8-byte loads/stores.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&b, dst + i, 8);
+    b ^= a;
+    std::memcpy(dst + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+bool force_scalar_env() {
+  const char* env = std::getenv("HPRES_FORCE_SCALAR_GF");
+  if (env == nullptr || env[0] == '\0') return false;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+const GfKernelOps* resolve() {
+  if (force_scalar_env()) return &scalar_ops();
+#if defined(HPRES_GF_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return &avx2_ops();
+#endif
+#if defined(HPRES_GF_HAVE_SSSE3)
+  if (__builtin_cpu_supports("ssse3")) return &ssse3_ops();
+#endif
+  return &scalar_ops();
+}
+
+// Resolved once on first use; refresh_dispatch() re-resolves (tests only).
+const GfKernelOps* g_active = nullptr;
+
+}  // namespace
+
+const GfKernelOps& scalar_ops() noexcept {
+  static const GfKernelOps ops{GfKernelVariant::kScalar, &scalar_mul_region,
+                               &scalar_mul_region_acc, &scalar_xor_region};
+  return ops;
+}
+
+const NibbleTables* nibble_tables() noexcept {
+  static const std::array<NibbleTables, 256> tables = [] {
+    std::array<NibbleTables, 256> t{};
+    const GF256& gf = GF256::instance();
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned i = 0; i < 16; ++i) {
+        t[c].lo[i] = gf.mul(static_cast<std::uint8_t>(c),
+                            static_cast<std::uint8_t>(i));
+        t[c].hi[i] = gf.mul(static_cast<std::uint8_t>(c),
+                            static_cast<std::uint8_t>(i << 4));
+      }
+    }
+    return t;
+  }();
+  return tables.data();
+}
+
+void refresh_dispatch() noexcept { g_active = resolve(); }
+
+}  // namespace detail
+
+const GfKernelOps& active_kernels() noexcept {
+  if (detail::g_active == nullptr) detail::g_active = detail::resolve();
+  return *detail::g_active;
+}
+
+GfKernelVariant active_variant() noexcept { return active_kernels().variant; }
+
+const GfKernelOps* kernels_for(GfKernelVariant v) noexcept {
+  switch (v) {
+    case GfKernelVariant::kScalar:
+      return &detail::scalar_ops();
+    case GfKernelVariant::kSsse3:
+#if defined(HPRES_GF_HAVE_SSSE3)
+      if (__builtin_cpu_supports("ssse3")) return &detail::ssse3_ops();
+#endif
+      return nullptr;
+    case GfKernelVariant::kAvx2:
+#if defined(HPRES_GF_HAVE_AVX2)
+      if (__builtin_cpu_supports("avx2")) return &detail::avx2_ops();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<GfKernelVariant> available_variants() {
+  std::vector<GfKernelVariant> out;
+  for (const GfKernelVariant v : {GfKernelVariant::kScalar,
+                                  GfKernelVariant::kSsse3,
+                                  GfKernelVariant::kAvx2}) {
+    if (kernels_for(v) != nullptr) out.push_back(v);
+  }
+  return out;
+}
+
+void StripeCoder::apply_with(const GfKernelOps& ops,
+                             std::span<const ConstByteSpan> sources,
+                             std::span<ByteSpan> outputs) const noexcept {
+  assert(sources.size() == cols_ && outputs.size() == rows_);
+  if (rows_ == 0) return;
+  const std::size_t len = outputs[0].size();
+#ifndef NDEBUG
+  for (const auto& s : sources) assert(s.size() == len);
+  for (const auto& o : outputs) assert(o.size() == len);
+#endif
+  if (cols_ == 0) {
+    for (auto& o : outputs) std::memset(o.data(), 0, len);
+    return;
+  }
+  for (std::size_t off = 0; off < len; off += kTileBytes) {
+    const std::size_t tile = std::min(kTileBytes, len - off);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const auto* s =
+          reinterpret_cast<const std::uint8_t*>(sources[c].data()) + off;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        auto* d = reinterpret_cast<std::uint8_t*>(outputs[r].data()) + off;
+        const std::uint8_t coeff = coeffs_[r * cols_ + c];
+        if (c == 0) {
+          // First source initializes each output (a zero coefficient
+          // zero-fills), so tiles never need a separate clearing pass.
+          gf_mul_region(ops, coeff, s, d, tile);
+        } else {
+          gf_mul_region_acc(ops, coeff, s, d, tile);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hpres::ec

@@ -1,0 +1,169 @@
+// Vectorized GF(2^8) region kernels with runtime CPU dispatch — the compute
+// layer under every codec in src/ec/.
+//
+// Multiplying a region by a constant c is the hot loop of online erasure
+// coding (the paper's T_encode/T_decode terms). The scalar reference walks a
+// 256-entry product-table row one byte at a time; the SIMD variants use the
+// ISA-L/Jerasure split-table trick instead: because GF multiplication is
+// linear over XOR, c*x = c*(x_lo) ^ c*(x_hi << 4), so two 16-entry tables
+// (products of c with the low and high nibbles) evaluated with a byte
+// shuffle (PSHUFB/VPSHUFB) multiply 16 or 32 bytes per instruction pair.
+//
+// Dispatch picks the widest variant the host CPU supports once at startup
+// (SSSE3 -> AVX2 on x86; scalar elsewhere). HPRES_FORCE_SCALAR_GF=1 in the
+// environment forces the scalar reference — every variant is byte-identical
+// by construction and by test (tests/ec/gf_kernels_test.cpp).
+//
+// On top of the flat kernels, StripeCoder implements the fused single-pass
+// stripe transform: outputs[r] = sum_c coeff(r,c) * sources[c], processed in
+// cache-sized tiles so each source tile is read once while it accumulates
+// into every output — instead of rows x cols full-length sweeps that fall
+// out of cache between passes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace hpres::ec {
+
+enum class GfKernelVariant : std::uint8_t { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+
+[[nodiscard]] std::string_view to_string(GfKernelVariant v) noexcept;
+
+/// Function table for one ISA variant. All entry points are elementwise over
+/// `n` bytes; `dst == src` full aliasing is allowed, partial overlap is not.
+/// The mul entry points require c >= 2 — the c == 0 / c == 1 fast paths live
+/// in the inline front-ends below so every variant shares them.
+struct GfKernelOps {
+  GfKernelVariant variant = GfKernelVariant::kScalar;
+  void (*mul_region)(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                     std::size_t n) = nullptr;
+  void (*mul_region_acc)(std::uint8_t c, const std::uint8_t* src,
+                         std::uint8_t* dst, std::size_t n) = nullptr;
+  void (*xor_region)(const std::uint8_t* src, std::uint8_t* dst,
+                     std::size_t n) = nullptr;
+};
+
+/// The ops table selected at startup (widest supported ISA, unless
+/// HPRES_FORCE_SCALAR_GF forces the scalar reference). Resolved once and
+/// cached; like the simulator, dispatch is single-threaded by design.
+[[nodiscard]] const GfKernelOps& active_kernels() noexcept;
+[[nodiscard]] GfKernelVariant active_variant() noexcept;
+
+/// Ops table for a specific variant, or nullptr when this build/CPU cannot
+/// run it. Lets tests and benches compare every runnable variant against the
+/// scalar reference regardless of what dispatch picked.
+[[nodiscard]] const GfKernelOps* kernels_for(GfKernelVariant v) noexcept;
+
+/// Every variant runnable on this host, scalar first, widest last.
+[[nodiscard]] std::vector<GfKernelVariant> available_variants();
+
+namespace detail {
+
+/// Re-reads HPRES_FORCE_SCALAR_GF and the CPU features and re-resolves the
+/// active table. Test hook only — never needed in normal operation.
+void refresh_dispatch() noexcept;
+
+/// Split multiplication tables for one coefficient c:
+/// lo[i] = c * i, hi[i] = c * (i << 4); c * x == lo[x & 15] ^ hi[x >> 4].
+/// 16-byte alignment lets the SIMD kernels load each half as one register.
+struct alignas(32) NibbleTables {
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+};
+
+/// All 256 coefficients' split tables (8 KiB, built once, shared by every
+/// codec — this is the per-coefficient cache the fused encode runs on).
+[[nodiscard]] const NibbleTables* nibble_tables() noexcept;
+
+// Per-ISA tables, defined only in translation units built with the matching
+// target flags; referenced by dispatch only when the build enables them.
+[[nodiscard]] const GfKernelOps& scalar_ops() noexcept;
+[[nodiscard]] const GfKernelOps& ssse3_ops() noexcept;
+[[nodiscard]] const GfKernelOps& avx2_ops() noexcept;
+
+}  // namespace detail
+
+/// dst[i] = c * src[i], with the shared c == 0 (zero-fill) and c == 1 (copy)
+/// fast paths applied before the variant kernel.
+inline void gf_mul_region(const GfKernelOps& ops, std::uint8_t c,
+                          const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t n) noexcept {
+  if (n == 0) return;  // empty spans may carry null pointers
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  ops.mul_region(c, src, dst, n);
+}
+
+/// dst[i] ^= c * src[i], with c == 0 (no-op) and c == 1 (XOR) fast paths.
+inline void gf_mul_region_acc(const GfKernelOps& ops, std::uint8_t c,
+                              const std::uint8_t* src, std::uint8_t* dst,
+                              std::size_t n) noexcept {
+  if (n == 0 || c == 0) return;
+  if (c == 1) {
+    ops.xor_region(src, dst, n);
+    return;
+  }
+  ops.mul_region_acc(c, src, dst, n);
+}
+
+/// Fused single-pass stripe transform over a coefficient matrix:
+///   outputs[r][i] = XOR over c of coeff(r, c) * sources[c][i]
+/// for r in [0, rows), c in [0, cols). Encoding uses the generator's parity
+/// block as the matrix; erased-data recovery uses the inverted survivor
+/// rows. The fragment range is processed in kTileBytes tiles: within a tile
+/// every source is read once while all outputs stay cache-resident, so the
+/// stripe makes one pass over memory instead of rows x cols sweeps.
+/// Outputs must not alias sources or each other.
+class StripeCoder {
+ public:
+  /// Tile span per fragment. (cols + rows) * kTileBytes working-set bytes:
+  /// 40 KiB for RS(3,2) — L1-resident — and still L2-resident for wide
+  /// codes like RS(10,4).
+  static constexpr std::size_t kTileBytes = 8192;
+
+  StripeCoder() = default;
+  StripeCoder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), coeffs_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  void set(std::size_t r, std::size_t c, std::uint8_t v) noexcept {
+    coeffs_[r * cols_ + c] = v;
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const noexcept {
+    return coeffs_[r * cols_ + c];
+  }
+
+  /// Runs the transform with the dispatched kernels. sources.size() must be
+  /// cols(), outputs.size() rows(); all spans equal length.
+  void apply(std::span<const ConstByteSpan> sources,
+             std::span<ByteSpan> outputs) const noexcept {
+    apply_with(active_kernels(), sources, outputs);
+  }
+
+  /// Same, with an explicit ops table (tests/benches pin a variant).
+  void apply_with(const GfKernelOps& ops,
+                  std::span<const ConstByteSpan> sources,
+                  std::span<ByteSpan> outputs) const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> coeffs_;  // row-major rows_ x cols_
+};
+
+}  // namespace hpres::ec

@@ -1,0 +1,80 @@
+// SSSE3 GF(2^8) region kernels: split-table nibble multiply via PSHUFB,
+// 16 bytes per step. Compiled with -mssse3 (this file only); dispatch calls
+// in only when the host CPU reports SSSE3.
+#include "ec/gf_kernels.h"
+
+#if defined(HPRES_GF_HAVE_SSSE3) && (defined(__x86_64__) || defined(__i386__))
+
+#include <tmmintrin.h>
+
+namespace hpres::ec::detail {
+
+namespace {
+
+void ssse3_mul_region(std::uint8_t c, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n) {
+  const NibbleTables& t = nibble_tables()[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo_n = _mm_and_si128(v, mask);
+    const __m128i hi_n = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i prod =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), prod);
+  }
+  for (; i < n; ++i) dst[i] = t.lo[src[i] & 0x0F] ^ t.hi[src[i] >> 4];
+}
+
+void ssse3_mul_region_acc(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t n) {
+  const NibbleTables& t = nibble_tables()[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    const __m128i lo_n = _mm_and_si128(v, mask);
+    const __m128i hi_n = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i prod =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n), _mm_shuffle_epi8(hi, hi_n));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, prod));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(
+        dst[i] ^ t.lo[src[i] & 0x0F] ^ t.hi[src[i] >> 4]);
+  }
+}
+
+void ssse3_xor_region(const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(a, b));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+const GfKernelOps& ssse3_ops() noexcept {
+  static const GfKernelOps ops{GfKernelVariant::kSsse3, &ssse3_mul_region,
+                               &ssse3_mul_region_acc, &ssse3_xor_region};
+  return ops;
+}
+
+}  // namespace hpres::ec::detail
+
+#endif  // HPRES_GF_HAVE_SSSE3 && x86

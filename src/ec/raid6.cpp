@@ -1,35 +1,12 @@
 #include "ec/raid6.h"
 
 #include <cassert>
-#include <cstring>
 
 namespace hpres::ec {
 
 Raid6Codec::Raid6Codec(std::size_t k, std::size_t m)
     : MatrixCodec(k, m, raid6_generator(k, m)) {
   assert(m <= 2);
-}
-
-void Raid6Codec::encode(std::span<const ConstByteSpan> data,
-                        std::span<ByteSpan> parity) const {
-  assert(data.size() == k() && parity.size() == m());
-  if (m() == 0 || data.empty()) return;
-  const GF256& gf = GF256::instance();
-
-  // P = d_0 ^ d_1 ^ ... ^ d_{k-1}
-  ByteSpan p = parity[0];
-  std::memcpy(p.data(), data[0].data(), p.size());
-  for (std::size_t i = 1; i < k(); ++i) GF256::xor_region(data[i], p);
-
-  if (m() == 2) {
-    // Q = sum g^i * d_i via Horner: Q = ((d_{k-1} g + d_{k-2}) g + ...) + d_0
-    ByteSpan q = parity[1];
-    std::memcpy(q.data(), data[k() - 1].data(), q.size());
-    for (std::size_t i = k() - 1; i-- > 0;) {
-      gf.mul_region(GF256::kGenerator, q, q);  // in-place doubling
-      GF256::xor_region(data[i], q);
-    }
-  }
 }
 
 }  // namespace hpres::ec

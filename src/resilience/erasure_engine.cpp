@@ -328,21 +328,30 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       ec::make_layout(value_size, k, codec_->alignment());
   if (!ctx().materialize) co_return Bytes(value_size);
 
-  // Rebuild missing data fragments for real, then reassemble.
-  std::vector<Bytes> storage(n, Bytes(layout.fragment_size));
-  std::vector<bool> present(n, false);
+  // Rebuild missing data fragments for real, then reassemble. Runs on the
+  // engine-wide scratch (no co_await from here to join_fragments): fetched
+  // fragments copy-assign into slots whose capacity persists across ops,
+  // and absent slots are zero-filled in place for the reconstruct kernels.
+  DecodeScratch& sc = scratch_;
+  sc.storage.resize(n);
+  sc.present.assign(n, false);
   for (const std::size_t slot : chosen) {
     if (!frag[slot]) continue;
-    storage[slot] = *frag[slot];
-    present[slot] = true;
+    sc.storage[slot] = *frag[slot];
+    sc.present[slot] = true;
   }
-  std::vector<ByteSpan> spans(storage.begin(), storage.end());
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (!sc.present[slot]) {
+      sc.storage[slot].assign(layout.fragment_size, std::byte{0});
+    }
+  }
+  sc.spans.assign(sc.storage.begin(), sc.storage.end());
   if (missing_data > 0) {
-    const Status s = codec_->reconstruct_data(spans, present);
+    const Status s = codec_->reconstruct_data(sc.spans, sc.present);
     if (!s.ok()) co_return s;
   }
   std::vector<ConstByteSpan> data(
-      storage.begin(), storage.begin() + static_cast<std::ptrdiff_t>(k));
+      sc.storage.begin(), sc.storage.begin() + static_cast<std::ptrdiff_t>(k));
   co_return ec::join_fragments(data, layout);
 }
 

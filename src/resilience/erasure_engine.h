@@ -84,6 +84,18 @@ class ErasureEngine final : public Engine {
   const ec::Codec* codec_;
   ec::CostModel cost_;
   EraMode mode_;
+
+  /// Reusable buffers for get_client_decode's materialize step. The region
+  /// that fills and consumes them is synchronous (no co_await between the
+  /// two), so one scratch per engine is race-free even with many in-flight
+  /// ops; reuse makes the fused decode path allocation-free per op once the
+  /// vectors reach steady-state capacity.
+  struct DecodeScratch {
+    std::vector<Bytes> storage;
+    std::vector<ByteSpan> spans;
+    std::vector<bool> present;
+  };
+  DecodeScratch scratch_;
 };
 
 }  // namespace hpres::resilience

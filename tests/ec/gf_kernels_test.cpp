@@ -1,0 +1,318 @@
+// SIMD GF(2^8) kernel layer tests: every runnable variant must be
+// byte-identical to the scalar reference across sizes (including
+// non-multiple-of-vector tails), unaligned offsets, dst == src aliasing and
+// all 256 coefficients; dispatch must honor HPRES_FORCE_SCALAR_GF without
+// changing any output; the fused StripeCoder must match the row-by-row
+// reference transform.
+#include "ec/gf_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "ec/gf256.h"
+
+namespace hpres::ec {
+namespace {
+
+const GF256& gf() { return GF256::instance(); }
+
+// Sizes exercising empty regions, sub-vector tails, every alignment of the
+// 16/32/64-byte SIMD strides, tile boundaries and a large odd region.
+const std::size_t kSizes[] = {0,    1,    2,    7,     15,    16,   17,
+                              31,   32,   33,   63,    64,    65,   255,
+                              1000, 4096, 8191, 8192,  8193,  16384,
+                              20001, 65536, 70000};
+
+std::vector<const GfKernelOps*> runnable_variants() {
+  std::vector<const GfKernelOps*> out;
+  for (const GfKernelVariant v : available_variants()) {
+    out.push_back(kernels_for(v));
+  }
+  return out;
+}
+
+TEST(GfKernels, NibbleTablesMatchFieldMultiplication) {
+  const detail::NibbleTables* tables = detail::nibble_tables();
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned x = 0; x < 256; ++x) {
+      const std::uint8_t split = static_cast<std::uint8_t>(
+          tables[c].lo[x & 0x0F] ^ tables[c].hi[x >> 4]);
+      ASSERT_EQ(split, gf().mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(x)))
+          << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(GfKernels, ScalarVariantAlwaysRunnableAndFirst) {
+  const std::vector<GfKernelVariant> avail = available_variants();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), GfKernelVariant::kScalar);
+  EXPECT_NE(kernels_for(GfKernelVariant::kScalar), nullptr);
+}
+
+TEST(GfKernels, AllVariantsMatchScalarAcrossSizes) {
+  const GfKernelOps& scalar = *kernels_for(GfKernelVariant::kScalar);
+  for (const GfKernelOps* ops : runnable_variants()) {
+    for (const std::size_t n : kSizes) {
+      const Bytes src = make_pattern(n, 17 + n);
+      for (const unsigned c : {0u, 1u, 2u, 29u, 87u, 255u}) {
+        const auto coeff = static_cast<std::uint8_t>(c);
+        Bytes want(n);
+        Bytes got(n);
+        gf_mul_region(scalar, coeff,
+                      reinterpret_cast<const std::uint8_t*>(src.data()),
+                      reinterpret_cast<std::uint8_t*>(want.data()), n);
+        gf_mul_region(*ops, coeff,
+                      reinterpret_cast<const std::uint8_t*>(src.data()),
+                      reinterpret_cast<std::uint8_t*>(got.data()), n);
+        ASSERT_EQ(got, want) << "mul_region variant="
+                             << to_string(ops->variant) << " n=" << n
+                             << " c=" << c;
+
+        Bytes want_acc = make_pattern(n, 99);
+        Bytes got_acc = want_acc;
+        gf_mul_region_acc(scalar, coeff,
+                          reinterpret_cast<const std::uint8_t*>(src.data()),
+                          reinterpret_cast<std::uint8_t*>(want_acc.data()), n);
+        gf_mul_region_acc(*ops, coeff,
+                          reinterpret_cast<const std::uint8_t*>(src.data()),
+                          reinterpret_cast<std::uint8_t*>(got_acc.data()), n);
+        ASSERT_EQ(got_acc, want_acc)
+            << "mul_region_acc variant=" << to_string(ops->variant)
+            << " n=" << n << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(GfKernels, AllVariantsAllCoefficients) {
+  // An odd size keeps both the vector main loop and the scalar tail hot.
+  constexpr std::size_t kN = 1531;
+  const Bytes src = make_pattern(kN, 5);
+  const GfKernelOps& scalar = *kernels_for(GfKernelVariant::kScalar);
+  for (const GfKernelOps* ops : runnable_variants()) {
+    for (unsigned c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<std::uint8_t>(c);
+      Bytes want(kN);
+      Bytes got(kN);
+      gf_mul_region(scalar, coeff,
+                    reinterpret_cast<const std::uint8_t*>(src.data()),
+                    reinterpret_cast<std::uint8_t*>(want.data()), kN);
+      gf_mul_region(*ops, coeff,
+                    reinterpret_cast<const std::uint8_t*>(src.data()),
+                    reinterpret_cast<std::uint8_t*>(got.data()), kN);
+      ASSERT_EQ(got, want) << "variant=" << to_string(ops->variant)
+                           << " c=" << c;
+      Bytes want_acc = make_pattern(kN, 6);
+      Bytes got_acc = want_acc;
+      gf_mul_region_acc(scalar, coeff,
+                        reinterpret_cast<const std::uint8_t*>(src.data()),
+                        reinterpret_cast<std::uint8_t*>(want_acc.data()), kN);
+      gf_mul_region_acc(*ops, coeff,
+                        reinterpret_cast<const std::uint8_t*>(src.data()),
+                        reinterpret_cast<std::uint8_t*>(got_acc.data()), kN);
+      ASSERT_EQ(got_acc, want_acc)
+          << "acc variant=" << to_string(ops->variant) << " c=" << c;
+    }
+  }
+}
+
+TEST(GfKernels, UnalignedOffsets) {
+  // SIMD kernels use unaligned loads/stores; prove it by running on spans
+  // that start at every offset within a vector register.
+  constexpr std::size_t kN = 4096;
+  const Bytes backing_src = make_pattern(kN + 64, 7);
+  Bytes backing_want(kN + 64);
+  Bytes backing_got(kN + 64);
+  const GfKernelOps& scalar = *kernels_for(GfKernelVariant::kScalar);
+  for (const GfKernelOps* ops : runnable_variants()) {
+    for (const std::size_t off : {1u, 2u, 3u, 5u, 15u, 17u, 31u, 33u}) {
+      const auto* s =
+          reinterpret_cast<const std::uint8_t*>(backing_src.data()) + off;
+      auto* want = reinterpret_cast<std::uint8_t*>(backing_want.data()) + off;
+      auto* got = reinterpret_cast<std::uint8_t*>(backing_got.data()) + off;
+      scalar.mul_region(37, s, want, kN);
+      ops->mul_region(37, s, got, kN);
+      ASSERT_EQ(std::memcmp(got, want, kN), 0)
+          << "variant=" << to_string(ops->variant) << " offset=" << off;
+    }
+  }
+}
+
+TEST(GfKernels, DstEqualsSrcAliasing) {
+  const GfKernelOps& scalar = *kernels_for(GfKernelVariant::kScalar);
+  for (const GfKernelOps* ops : runnable_variants()) {
+    for (const std::size_t n : {33u, 1000u, 8193u}) {
+      Bytes want = make_pattern(n, 8);
+      Bytes got = want;
+      scalar.mul_region(19, reinterpret_cast<const std::uint8_t*>(want.data()),
+                        reinterpret_cast<std::uint8_t*>(want.data()), n);
+      ops->mul_region(19, reinterpret_cast<const std::uint8_t*>(got.data()),
+                      reinterpret_cast<std::uint8_t*>(got.data()), n);
+      ASSERT_EQ(got, want) << "in-place mul, variant="
+                           << to_string(ops->variant) << " n=" << n;
+
+      Bytes want_acc = make_pattern(n, 9);
+      Bytes got_acc = want_acc;
+      scalar.mul_region_acc(
+          19, reinterpret_cast<const std::uint8_t*>(want_acc.data()),
+          reinterpret_cast<std::uint8_t*>(want_acc.data()), n);
+      ops->mul_region_acc(
+          19, reinterpret_cast<const std::uint8_t*>(got_acc.data()),
+          reinterpret_cast<std::uint8_t*>(got_acc.data()), n);
+      ASSERT_EQ(got_acc, want_acc)
+          << "in-place acc, variant=" << to_string(ops->variant) << " n=" << n;
+    }
+  }
+}
+
+TEST(GfKernels, XorRegionMatchesScalarAndInvolutes) {
+  const GfKernelOps& scalar = *kernels_for(GfKernelVariant::kScalar);
+  for (const GfKernelOps* ops : runnable_variants()) {
+    for (const std::size_t n : kSizes) {
+      const Bytes a = make_pattern(n, 10);
+      Bytes want = make_pattern(n, 11);
+      Bytes got = want;
+      const Bytes original = want;
+      scalar.xor_region(reinterpret_cast<const std::uint8_t*>(a.data()),
+                        reinterpret_cast<std::uint8_t*>(want.data()), n);
+      ops->xor_region(reinterpret_cast<const std::uint8_t*>(a.data()),
+                      reinterpret_cast<std::uint8_t*>(got.data()), n);
+      ASSERT_EQ(got, want) << "variant=" << to_string(ops->variant)
+                           << " n=" << n;
+      ops->xor_region(reinterpret_cast<const std::uint8_t*>(a.data()),
+                      reinterpret_cast<std::uint8_t*>(got.data()), n);
+      ASSERT_EQ(got, original) << "involution, variant="
+                               << to_string(ops->variant) << " n=" << n;
+    }
+  }
+}
+
+TEST(GfKernels, ForceScalarEnvChangesDispatchNotOutput) {
+  // The whole suite may itself run under HPRES_FORCE_SCALAR_GF=1 (the CI
+  // forced-scalar job does exactly that), so save the inherited value and
+  // restore it on the way out instead of assuming it starts unset.
+  const char* prior = std::getenv("HPRES_FORCE_SCALAR_GF");
+  const std::string saved = prior != nullptr ? prior : "";
+
+  const Bytes src = make_pattern(10000, 12);
+  Bytes before(src.size());
+  gf().mul_region(173, src, before);
+
+  ASSERT_EQ(setenv("HPRES_FORCE_SCALAR_GF", "1", /*overwrite=*/1), 0);
+  detail::refresh_dispatch();
+  EXPECT_EQ(active_variant(), GfKernelVariant::kScalar);
+  Bytes after(src.size());
+  gf().mul_region(173, src, after);
+  EXPECT_EQ(after, before) << "forcing scalar must not change any byte";
+
+  // With the variable absent — or set to the documented "0" meaning "not
+  // forced" — dispatch picks the widest runnable variant.
+  const GfKernelVariant widest = available_variants().back();
+  ASSERT_EQ(unsetenv("HPRES_FORCE_SCALAR_GF"), 0);
+  detail::refresh_dispatch();
+  EXPECT_EQ(active_variant(), widest);
+  ASSERT_EQ(setenv("HPRES_FORCE_SCALAR_GF", "0", /*overwrite=*/1), 0);
+  detail::refresh_dispatch();
+  EXPECT_EQ(active_variant(), widest);
+
+  if (prior != nullptr) {
+    ASSERT_EQ(setenv("HPRES_FORCE_SCALAR_GF", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("HPRES_FORCE_SCALAR_GF"), 0);
+  }
+  detail::refresh_dispatch();
+}
+
+TEST(GfKernels, ActiveVariantIsWidestAvailable) {
+  // Unless the environment forces scalar, dispatch must pick the widest
+  // runnable variant (the last entry of available_variants()).
+  if (std::getenv("HPRES_FORCE_SCALAR_GF") != nullptr &&
+      active_variant() == GfKernelVariant::kScalar) {
+    GTEST_SKIP() << "scalar forced via environment";
+  }
+  EXPECT_EQ(active_variant(), available_variants().back());
+}
+
+// Row-by-row reference for StripeCoder: out[r] = sum_c coeff(r,c) * src[c]
+// with plain (unfused) region sweeps through the scalar kernels.
+std::vector<Bytes> reference_stripe(const StripeCoder& coder,
+                                    const std::vector<Bytes>& sources,
+                                    std::size_t len) {
+  const GfKernelOps& scalar = *kernels_for(GfKernelVariant::kScalar);
+  std::vector<Bytes> out(coder.rows(), Bytes(len));
+  for (std::size_t r = 0; r < coder.rows(); ++r) {
+    for (std::size_t c = 0; c < coder.cols(); ++c) {
+      const auto* s = reinterpret_cast<const std::uint8_t*>(sources[c].data());
+      auto* d = reinterpret_cast<std::uint8_t*>(out[r].data());
+      if (c == 0) {
+        gf_mul_region(scalar, coder.at(r, c), s, d, len);
+      } else {
+        gf_mul_region_acc(scalar, coder.at(r, c), s, d, len);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(StripeCoder, MatchesRowByRowReferenceAcrossTileBoundaries) {
+  Xoshiro256 rng(21);
+  // Sizes straddling the fused tile size, including zero and odd tails.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{1000},
+        StripeCoder::kTileBytes - 1, StripeCoder::kTileBytes,
+        StripeCoder::kTileBytes + 1, std::size_t{20001}}) {
+    for (const auto& [rows, cols] :
+         {std::pair<std::size_t, std::size_t>{2, 3},
+          std::pair<std::size_t, std::size_t>{4, 6},
+          std::pair<std::size_t, std::size_t>{1, 1}}) {
+      StripeCoder coder(rows, cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          coder.set(r, c, static_cast<std::uint8_t>(rng()));
+        }
+      }
+      // Plant the special coefficients on the first output row.
+      coder.set(0, 0, 0);
+      if (cols > 1) coder.set(0, 1, 1);
+
+      std::vector<Bytes> sources;
+      sources.reserve(cols);
+      for (std::size_t c = 0; c < cols; ++c) {
+        sources.push_back(make_pattern(len, 100 + c));
+      }
+      const std::vector<Bytes> want = reference_stripe(coder, sources, len);
+
+      for (const GfKernelOps* ops : runnable_variants()) {
+        std::vector<Bytes> got(rows, make_pattern(len, 77));  // stale content
+        std::vector<ConstByteSpan> src_spans(sources.begin(), sources.end());
+        std::vector<ByteSpan> out_spans(got.begin(), got.end());
+        coder.apply_with(*ops, src_spans, out_spans);
+        for (std::size_t r = 0; r < rows; ++r) {
+          ASSERT_EQ(got[r], want[r])
+              << "variant=" << to_string(ops->variant) << " len=" << len
+              << " rows=" << rows << " cols=" << cols << " row=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(StripeCoder, AllZeroRowZeroFillsOutput) {
+  constexpr std::size_t kLen = 9000;
+  StripeCoder coder(1, 2);  // both coefficients zero
+  const std::vector<Bytes> sources{make_pattern(kLen, 1),
+                                   make_pattern(kLen, 2)};
+  Bytes out = make_pattern(kLen, 3);  // stale nonzero content
+  std::vector<ConstByteSpan> src_spans(sources.begin(), sources.end());
+  std::vector<ByteSpan> out_spans{ByteSpan{out}};
+  coder.apply(src_spans, out_spans);
+  EXPECT_EQ(out, Bytes(kLen));
+}
+
+}  // namespace
+}  // namespace hpres::ec

@@ -19,7 +19,9 @@
 
 #include "cluster/testbeds.h"
 #include "ec/rs_vandermonde.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "resilience/factory.h"
@@ -42,15 +44,21 @@ inline std::uint64_t scaled(std::uint64_t ops) {
 
 // --- Observability session ----------------------------------------------------
 //
-// One per process: holds the span tracer and metrics registry every
-// Testbench registers into. Enabled by harness flags:
+// One per process: holds the span tracer, metrics registry and latency
+// recorder every Testbench registers into. Enabled by harness flags:
 //   --trace-out=FILE          Chrome trace_event JSON (Perfetto-loadable)
 //   --metrics-out=FILE        metrics snapshot JSON
+//   --prom-out=FILE           metrics in Prometheus text exposition format
 //   --sample-interval-us=N    periodic gauge sampling (0 disables; defaults
 //                             to 100 us when tracing is on)
+//   --trace-tail-us=N         tail sampling: keep full span detail only for
+//                             ops slower than N microseconds
+//   --trace-tail-keep=N       tail sampling: always keep the slowest N ops
+//                             per {op, scheme, degraded} label
 // With no flags everything is off and benchmarks run exactly as before —
 // observation never touches simulation state, so results are identical
-// either way.
+// either way. The latency recorder itself is always on (O(1) memory per
+// label, no simulation effects), so percentile tables print regardless.
 class ObsSession {
  public:
   static ObsSession& instance() {
@@ -62,24 +70,37 @@ class ObsSession {
   void init(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
+      const auto int_flag = [&arg](std::string_view prefix,
+                                   std::int64_t* out) {
+        if (!arg.starts_with(prefix)) return false;
+        const std::string value(arg.substr(prefix.size()));
+        try {
+          *out = std::stoll(value);
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "error: %.*s expects an integer, got \"%s\"\n",
+                       static_cast<int>(prefix.size() - 1), prefix.data(),
+                       value.c_str());
+          std::exit(2);
+        }
+        return true;
+      };
+      std::int64_t v = 0;
       if (arg.starts_with("--metrics-out=")) {
         metrics_out_ = std::string(arg.substr(14));
       } else if (arg.starts_with("--trace-out=")) {
         trace_out_ = std::string(arg.substr(12));
-      } else if (arg.starts_with("--sample-interval-us=")) {
-        const std::string value(arg.substr(21));
-        try {
-          sample_interval_ns_ = std::stoll(value) * 1'000;
-        } catch (const std::exception&) {
-          std::fprintf(stderr,
-                       "error: --sample-interval-us expects an integer,"
-                       " got \"%s\"\n",
-                       value.c_str());
-          std::exit(2);
-        }
+      } else if (arg.starts_with("--prom-out=")) {
+        prom_out_ = std::string(arg.substr(11));
+      } else if (int_flag("--sample-interval-us=", &v)) {
+        sample_interval_ns_ = v * 1'000;
+      } else if (int_flag("--trace-tail-us=", &v)) {
+        tail_.threshold_ns = v * 1'000;
+      } else if (int_flag("--trace-tail-keep=", &v)) {
+        tail_.keep_slowest = v < 0 ? 0 : static_cast<std::size_t>(v);
       }
     }
     tracer_.set_enabled(!trace_out_.empty());
+    recorder_.set_tail(tail_);
     if (sample_interval_ns_ < 0) sample_interval_ns_ = 0;
     if (sample_interval_ns_ == 0 && tracer_.enabled()) {
       sample_interval_ns_ = 100'000;  // default 100 us when tracing
@@ -87,10 +108,11 @@ class ObsSession {
   }
 
   [[nodiscard]] bool metrics_enabled() const noexcept {
-    return !metrics_out_.empty();
+    return !metrics_out_.empty() || !prom_out_.empty();
   }
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] obs::LatencyRecorder& recorder() noexcept { return recorder_; }
   [[nodiscard]] SimDur sample_interval_ns() const noexcept {
     return sample_interval_ns_;
   }
@@ -102,16 +124,26 @@ class ObsSession {
   /// Writes the requested output files; returns a process exit code.
   [[nodiscard]] int finalize() {
     int rc = 0;
-    if (!metrics_out_.empty()) {
-      registry_.capture();
-      if (!registry_.write_json(metrics_out_)) {
-        std::fprintf(stderr, "error: cannot write %s\n", metrics_out_.c_str());
+    if (metrics_enabled()) registry_.capture();
+    if (!metrics_out_.empty() && !registry_.write_json(metrics_out_)) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out_.c_str());
+      rc = 1;
+    }
+    if (!prom_out_.empty() &&
+        !obs::write_prometheus(registry_, prom_out_)) {
+      std::fprintf(stderr, "error: cannot write %s\n", prom_out_.c_str());
+      rc = 1;
+    }
+    if (!trace_out_.empty()) {
+      // Tail sampling: drop tagged span detail for every op the recorder
+      // did not keep (untagged infrastructure events always survive).
+      if (tail_.threshold_ns > 0 || tail_.keep_slowest > 0) {
+        tracer_.retain_traces(recorder_.kept_traces());
+      }
+      if (!tracer_.write_json(trace_out_)) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out_.c_str());
         rc = 1;
       }
-    }
-    if (!trace_out_.empty() && !tracer_.write_json(trace_out_)) {
-      std::fprintf(stderr, "error: cannot write %s\n", trace_out_.c_str());
-      rc = 1;
     }
     return rc;
   }
@@ -121,8 +153,11 @@ class ObsSession {
 
   obs::Tracer tracer_;
   obs::MetricsRegistry registry_;
+  obs::LatencyRecorder recorder_;
+  obs::LatencyRecorder::TailParams tail_;
   std::string metrics_out_;
   std::string trace_out_;
+  std::string prom_out_;
   SimDur sample_interval_ns_ = 0;
   std::uint64_t point_seq_ = 0;
 };
@@ -157,6 +192,7 @@ class Testbench {
     label_ = point_label.empty() ? obs.next_point_label()
                                  : std::move(point_label);
     trace_pid_ = obs.tracer().declare_process(label_);
+    recorder_.set_tail(obs.recorder().tail());
     cluster_.set_tracer(&obs.tracer(), trace_pid_);
     cluster_.enable_server_ec(codec_, cost_, /*materialize=*/false);
     engines_.reserve(clients);
@@ -170,6 +206,7 @@ class Testbench {
       ctx.materialize = false;
       ctx.tracer = &obs.tracer();
       ctx.trace_pid = trace_pid_;
+      ctx.recorder = &recorder_;
       engines_.push_back(resilience::make_engine(design, ctx, rep_factor,
                                                  &codec_, cost_, arpe));
     }
@@ -190,6 +227,9 @@ class Testbench {
   ~Testbench() {
     ObsSession& obs = ObsSession::instance();
     if (obs.metrics_enabled()) obs.registry().capture();
+    // Fold this point's percentiles (and tail-kept trace ids) into the
+    // process-wide recorder that drives tail retention at finalize.
+    obs.recorder().merge(recorder_);
   }
 
   [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
@@ -202,6 +242,9 @@ class Testbench {
   }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
   [[nodiscard]] std::uint32_t trace_pid() const noexcept { return trace_pid_; }
+  /// This point's always-on latency percentile recorder.
+  [[nodiscard]] obs::LatencyRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const ec::CostModel& cost() const noexcept { return cost_; }
 
   /// Spawns a workload task, tracking it so the gauge sampler (when
   /// enabled) stops once every spawned task has completed — otherwise the
@@ -256,6 +299,7 @@ class Testbench {
   ec::RsVandermondeCodec codec_;
   ec::CostModel cost_;
   cluster::Cluster cluster_;
+  obs::LatencyRecorder recorder_;  // outlives the engines that record into it
   std::vector<std::unique_ptr<resilience::Engine>> engines_;
   std::string label_;
   std::uint32_t trace_pid_ = 0;
@@ -279,6 +323,25 @@ inline void print_cell(const std::string& s) {
 }
 inline void print_cell(double v) { std::printf("%14.1f", v); }
 inline void end_row() { std::printf("\n"); }
+
+/// Prints one LatencyRecorder percentile table (all values microseconds).
+inline void print_latency_rows(const std::string& title,
+                               const std::vector<obs::LatencyRow>& rows) {
+  print_header(title, {"op", "scheme", "degraded", "count", "p50_us",
+                       "p95_us", "p99_us", "p999_us", "max_us"});
+  for (const obs::LatencyRow& row : rows) {
+    print_cell(row.key.op);
+    print_cell(row.key.scheme);
+    print_cell(row.key.degraded ? "yes" : "no");
+    print_cell(static_cast<double>(row.count));
+    print_cell(units::to_us(row.p50_ns));
+    print_cell(units::to_us(row.p95_ns));
+    print_cell(units::to_us(row.p99_ns));
+    print_cell(units::to_us(row.p999_ns));
+    print_cell(units::to_us(row.max_ns));
+    end_row();
+  }
+}
 
 inline std::string size_label(std::size_t bytes) {
   if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {

@@ -51,6 +51,9 @@ struct RunOut {
   std::uint64_t fallback_gets = 0;
   double repair_ms = 0.0;
   std::uint64_t fragments_rebuilt = 0;
+  /// Measured-pass percentile rows; the {get, degraded=yes} row isolates
+  /// the ops that paid failover/degraded-read costs from healthy Gets.
+  std::vector<obs::LatencyRow> latency;
 
   [[nodiscard]] double availability() const {
     const double ops = static_cast<double>(merged.reads + merged.writes);
@@ -114,6 +117,7 @@ RunOut run_once(SimDur dry_makespan_ns) {
     }
     bench.sim().run();
   }
+  bench.recorder().clear();  // percentiles cover the measured pass only
 
   const SimTime start = bench.sim().now();
   if (inject) {
@@ -138,6 +142,7 @@ RunOut run_once(SimDur dry_makespan_ns) {
     bench.sim().run();
   }
   out.makespan_ns = end - start;
+  out.latency = bench.recorder().rows();
   for (const auto& r : results) out.merged.merge(r);
   for (std::size_t c = 0; c < kClients; ++c) {
     const kv::RpcStats& rpc = bench.cluster().client(c).rpc_stats();
@@ -220,5 +225,13 @@ int main(int argc, char** argv) {
   print_cell(faulted.repair_ms);
   print_cell(static_cast<double>(faulted.fragments_rebuilt));
   end_row();
+
+  // Degraded-vs-healthy percentile split: in the crash run, Gets that paid
+  // failure handling (failover fetches, T_check) surface as separate
+  // degraded=yes rows next to the healthy population of the same run.
+  print_latency_rows("latency percentiles (fault-free run)",
+                     baseline.latency);
+  print_latency_rows("latency percentiles (crash+restart run)",
+                     faulted.latency);
   return obs_finalize();
 }

@@ -11,6 +11,19 @@
 // the two against each other per point and exits nonzero if they diverge by
 // more than 1%.
 //
+// On top of the phase tables, the harness runs the causal critical-path
+// analyzer over the measured ops of every point and prints (a) the mean
+// per-op critical-path attribution and (b) the tail attribution over the
+// slowest 1% of ops. Three invariants are enforced (exit nonzero on
+// violation): each op's critical-path phases sum EXACTLY to its end-to-end
+// latency; the critical-path serialize total matches the span-derived
+// request total within 1%; and, for designs whose compute runs client-side,
+// the critical-path encode+decode total matches the span-derived compute
+// total within 1% and the per-op encode mean matches the Eq. 5 cost model
+// (T_encode = cost.encode_ns(size)). SD/SE designs intentionally diverge on
+// compute: the critical path surfaces server-side encode/decode that the
+// client-side legacy breakdown cannot see (EXPERIMENTS.md).
+//
 // Expected shape (paper): for Sets, the request phase dominates small
 // values and T_encode grows dominant (and overlapped) at large values for
 // CE designs; SE designs show only request/wait at the client. For Gets
@@ -18,6 +31,7 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "obs/critical_path.h"
 #include "workload/ohb.h"
 
 namespace {
@@ -65,11 +79,13 @@ sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
                           cluster::Cluster* cluster, workload::OhbConfig cfg,
                           bool get_with_failures, const obs::Tracer* tracer,
                           std::uint32_t pid, workload::OhbResult* result,
-                          TracedPhases* traced) {
+                          TracedPhases* traced, std::uint64_t* wm_lo,
+                          std::uint64_t* wm_hi) {
   workload::OhbResult ignore;
   co_await workload::ohb_set_workload(sim, engine, cfg, &ignore);
   const SpanPhaseTotals before =
       snapshot_spans(*tracer, pid, get_with_failures);
+  *wm_lo = tracer->trace_watermark();  // analyze only the measured pass
   if (!get_with_failures) {
     workload::OhbConfig cfg2 = cfg;
     cfg2.seed = cfg.seed + 1;
@@ -79,12 +95,44 @@ sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
     cluster->fail_server(1);
     co_await workload::ohb_get_workload(sim, engine, cfg, result);
   }
+  *wm_hi = tracer->trace_watermark();
   const SpanPhaseTotals after =
       snapshot_spans(*tracer, pid, get_with_failures);
   traced->request_ns = after.request_ns - before.request_ns;
   traced->compute_ns = after.compute_ns - before.compute_ns;
   traced->wait_ns = (after.total_ns - before.total_ns) - traced->request_ns -
                     traced->compute_ns;
+}
+
+/// Critical-path aggregates for one experiment point.
+struct CpRow {
+  std::string design;
+  std::string value;
+  std::uint64_t ops = 0;
+  obs::PhaseAggregate all;
+  obs::PhaseAggregate tail;  ///< slowest 1% of measured ops
+  SimDur model_compute_ns = 0;
+};
+
+void print_cp_table(const char* title, const std::vector<CpRow>& rows,
+                    bool tail, const char* model_label) {
+  print_header(title,
+               {"design", "value", "ops", "serial_us", "encode_us",
+                "decode_us", "queue_us", "fanout_us", "net_us", "server_us",
+                "waitk_us", "other_us", "total_us", model_label});
+  for (const CpRow& row : rows) {
+    const obs::PhaseAggregate& agg = tail ? row.tail : row.all;
+    const auto ops = static_cast<double>(agg.count ? agg.count : 1);
+    print_cell(row.design);
+    print_cell(row.value);
+    print_cell(static_cast<double>(agg.count));
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      print_cell(units::to_us(agg.phase_ns[p]) / ops);
+    }
+    print_cell(units::to_us(agg.total_ns) / ops);
+    print_cell(units::to_us(row.model_compute_ns));
+    end_row();
+  }
 }
 
 bool within_one_percent(SimDur traced, SimDur legacy) {
@@ -105,6 +153,7 @@ int cross_check(const std::string& label, const char* phase, SimDur traced,
 
 int run_table(const char* title, bool get_with_failures) {
   int rc = 0;
+  std::vector<CpRow> cp_rows;
   print_header(title, {"design", "value", "request_us", "compute_us",
                        "wait_us", "total_us"});
   for (const auto design : kDesigns) {
@@ -118,10 +167,13 @@ int run_table(const char* title, bool get_with_failures) {
       cfg.value_size = size;
       workload::OhbResult result;
       TracedPhases traced;
+      std::uint64_t wm_lo = 0;
+      std::uint64_t wm_hi = 0;
       ObsSession& obs = ObsSession::instance();
       bench.spawn(run_point(&bench.sim(), &bench.engine(), &bench.cluster(),
                             cfg, get_with_failures, &obs.tracer(),
-                            bench.trace_pid(), &result, &traced));
+                            bench.trace_pid(), &result, &traced, &wm_lo,
+                            &wm_hi));
       bench.sim().run();
 
       // The span-derived phases must agree with the legacy PhaseBreakdown
@@ -131,6 +183,69 @@ int run_table(const char* title, bool get_with_failures) {
       rc |= cross_check(label, "compute", traced.compute_ns,
                         result.phases.compute_ns);
       rc |= cross_check(label, "wait", traced.wait_ns, result.phases.wait_ns);
+
+      // Causal critical-path attribution over the measured ops.
+      const obs::CriticalPathAnalysis cp = obs::analyze_critical_path(
+          obs.tracer().tagged_spans(bench.trace_pid()));
+      std::vector<obs::OpAttribution> measured;
+      for (const obs::OpAttribution& op : cp.ops) {
+        if (op.trace_id < wm_lo || op.trace_id >= wm_hi) continue;
+        if (op.phase_sum() != op.total_ns) {
+          std::fprintf(stderr,
+                       "fig09: %s trace %llu: phase sum %lld ns != op total"
+                       " %lld ns\n",
+                       label.c_str(),
+                       static_cast<unsigned long long>(op.trace_id),
+                       static_cast<long long>(op.phase_sum()),
+                       static_cast<long long>(op.total_ns));
+          rc = 1;
+        }
+        measured.push_back(op);
+      }
+      CpRow row;
+      row.design = std::string(to_string(design));
+      row.value = size_label(size);
+      row.ops = measured.size();
+      for (const obs::OpAttribution& op : measured) row.all.add(op);
+      for (const obs::OpAttribution* op :
+           obs::slowest_fraction(measured, 0.01)) {
+        row.tail.add(*op);
+      }
+
+      // Reconcile against the span-derived breakdown: serialization always;
+      // encode+decode only where the compute actually runs on the client
+      // (the critical path deliberately includes server-side compute that
+      // the client-side legacy breakdown cannot see).
+      using obs::Phase;
+      rc |= cross_check(label, "cp-serialize", row.all.phase(Phase::kSerialize),
+                        traced.request_ns);
+      const bool client_compute =
+          design == resilience::Design::kAsyncRep ||
+          design == resilience::Design::kEraCeCd ||
+          design == (get_with_failures ? resilience::Design::kEraSeCd
+                                       : resilience::Design::kEraCeSd);
+      if (client_compute) {
+        rc |= cross_check(label, "cp-compute",
+                          row.all.phase(Phase::kEncode) +
+                              row.all.phase(Phase::kDecode),
+                          traced.compute_ns);
+      }
+      // Eq. 5 cost-model cross-check: client-encode designs must attribute
+      // exactly T_encode = encode_ns(size) per op to the encode phase.
+      if (!get_with_failures) {
+        row.model_compute_ns = bench.cost().encode_ns(size);
+        if (client_compute && design != resilience::Design::kAsyncRep &&
+            row.ops > 0) {
+          rc |= cross_check(
+              label, "cp-model-encode", row.all.phase(Phase::kEncode),
+              static_cast<SimDur>(row.ops) * row.model_compute_ns);
+        }
+      } else {
+        // Reference point for the decode column: one lost data fragment
+        // (per-op loss counts vary with key placement under two failures).
+        row.model_compute_ns = bench.cost().decode_ns(size, 1);
+      }
+      cp_rows.push_back(std::move(row));
 
       if (obs.metrics_enabled()) {
         // Full-run span totals (populate + measured pass) land in the
@@ -164,6 +279,13 @@ int run_table(const char* title, bool get_with_failures) {
       end_row();
     }
   }
+  const char* model_label = get_with_failures ? "model_dec1" : "model_enc";
+  print_cp_table((std::string(title) + " — critical path, mean per op")
+                     .c_str(),
+                 cp_rows, /*tail=*/false, model_label);
+  print_cp_table((std::string(title) + " — tail attribution, slowest 1%")
+                     .c_str(),
+                 cp_rows, /*tail=*/true, model_label);
   return rc;
 }
 

@@ -32,6 +32,7 @@ void run_cluster(const cluster::Testbed& bed,
       cols.push_back(std::string(to_string(d)) + ":wr");
     }
     print_header(title, cols);
+    std::vector<std::pair<std::string, std::vector<obs::LatencyRow>>> pct;
     for (const std::size_t size : sizes) {
       print_cell(size_label(size));
       for (const auto design : kDesigns) {
@@ -40,11 +41,19 @@ void run_cluster(const cluster::Testbed& bed,
         cfg.record_count = scaled(4'000);
         cfg.ops_per_client = scaled(60);
         cfg.value_size = size;
-        const YcsbRun run = run_ycsb(bed, design, cfg);
+        YcsbRun run = run_ycsb(bed, design, cfg);
         print_cell(run.avg_read_us());
         print_cell(run.avg_write_us());
+        pct.emplace_back(std::string(to_string(design)) + "/" +
+                             size_label(size),
+                         std::move(run.latency));
       }
       end_row();
+    }
+    // Per-op percentile rows from the always-on LatencyRecorder (identical
+    // with or without tracing; the recorder never touches the simulation).
+    for (const auto& [point, rows] : pct) {
+      print_latency_rows(title + " — percentiles, " + point, rows);
     }
   }
 }

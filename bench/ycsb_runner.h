@@ -16,6 +16,9 @@ namespace hpres::bench {
 struct YcsbRun {
   workload::YcsbResult merged;  ///< all clients
   SimDur makespan_ns = 0;       ///< first op to last completion
+  /// Measured-pass percentile rows ({op, scheme, degraded}, p50..p99.9)
+  /// from the always-on LatencyRecorder; preload ops are excluded.
+  std::vector<obs::LatencyRow> latency;
 
   [[nodiscard]] double throughput_ops_s() const {
     return merged.throughput_ops_per_s(makespan_ns);
@@ -79,6 +82,9 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
     }
     bench.sim().run();
   }
+  // Percentiles cover the measured pass only (preload ops dropped; their
+  // span detail is also not tail-kept, which is the point of the preload).
+  bench.recorder().clear();
 
   // Measured phase: every client runs its stream concurrently.
   YcsbRun run;
@@ -95,6 +101,7 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
   }
   run.makespan_ns = bench.sim().now() - start;
   for (const auto& r : results) run.merged.merge(r);
+  run.latency = bench.recorder().rows();
   return run;
 }
 

@@ -64,6 +64,10 @@ struct Request {
   bool head_only = false;
   std::uint64_t rpc_id = 0;
   NodeId reply_to = 0;
+  /// Causal trace header: tags the fabric transfer and the server handler
+  /// with the originating op's trace id. All-zero (invalid) when tracing is
+  /// off; carries no simulated bytes (tracing never changes wire timing).
+  obs::TraceContext trace;
 };
 
 struct Response {
@@ -72,6 +76,9 @@ struct Response {
   SharedBytes value;  ///< payload for successful gets; null otherwise
   std::optional<ChunkInfo> chunk;
   std::vector<Key> keys;  ///< kScan results
+  /// Causal trace header (see Request::trace): the responder echoes the
+  /// request's trace id with its handler span as the new parent.
+  obs::TraceContext trace;
 };
 
 using WireBody = std::variant<Request, Response>;

@@ -21,7 +21,8 @@ sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
   last_call_id_ = req.rpc_id;
   pending_.emplace(req.rpc_id, std::move(promise));
   const std::size_t bytes = payload_bytes(req);
-  fabric_->send(id_, dst, WireBody{std::move(req)}, bytes);
+  const obs::TraceContext trace = req.trace;
+  fabric_->send(id_, dst, WireBody{std::move(req)}, bytes, trace);
   return future;
 }
 
@@ -41,7 +42,7 @@ sim::Task<Response> RpcNode::call_guarded(NodeId dst, Request req) {
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + id_,
                         "rpc/timeout", "rpc", sim_->now() - policy_.timeout_ns,
-                        policy_.timeout_ns);
+                        policy_.timeout_ns, req.trace.trace_id);
     }
     if (attempt >= policy_.max_retries) {
       ++rpc_stats_.expired_calls;

@@ -109,11 +109,20 @@ class RpcNode {
   /// coroutine for any work that suspends.
   virtual void on_request(KvEnvelope env) = 0;
 
-  /// Sends a response back to a requester.
+  /// Sends a response back to a requester. The response's trace context
+  /// (echoed from the request by the handler) tags the return transfer.
   void respond(NodeId dst, Response resp) {
     const std::size_t bytes = payload_bytes(resp);
-    fabric_->send(id_, dst, WireBody{std::move(resp)}, bytes);
+    const obs::TraceContext trace = resp.trace;
+    fabric_->send(id_, dst, WireBody{std::move(resp)}, bytes, trace);
   }
+
+  /// The attached tracer when live, nullptr otherwise (handlers emit
+  /// server-side spans through this).
+  [[nodiscard]] obs::Tracer* live_tracer() const noexcept {
+    return (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+  }
+  [[nodiscard]] std::uint32_t obs_pid() const noexcept { return trace_pid_; }
 
  private:
   static sim::Task<void> dispatch_loop(RpcNode* self);

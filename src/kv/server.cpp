@@ -20,6 +20,47 @@ Server::Server(sim::Simulator& sim, KvFabric& fabric, NodeId id,
   }
 }
 
+Server::HandlerTrace::HandlerTrace(Server& server, const Request& req)
+    : server_(&server) {
+  obs::Tracer* tr = server.live_tracer();
+  if (tr == nullptr || !req.trace.valid()) return;
+  tr_ = tr;
+  lane_ = server.handler_lanes_.acquire();
+  begin_ = server.sim().now();
+  const std::uint64_t tid = static_cast<std::uint64_t>(server.id()) *
+                                obs::Tracer::kLanesPerNode +
+                            lane_;
+  ctx_ = req.trace.child(tid);
+}
+
+Server::HandlerTrace::~HandlerTrace() {
+  if (tr_ == nullptr) return;
+  mark_done();
+  server_->handler_lanes_.release(lane_);
+}
+
+void Server::HandlerTrace::mark_done() {
+  if (tr_ == nullptr || done_) return;
+  done_ = true;
+  tr_->complete(server_->obs_pid(), ctx_.span_id, "server/handle", "server",
+                begin_, server_->sim().now() - begin_, ctx_.trace_id);
+}
+
+void Server::HandlerTrace::queue_span(SimTime enqueued_ns, SimDur cost_ns) {
+  if (tr_ == nullptr) return;
+  const SimDur waited = server_->sim().now() - enqueued_ns - cost_ns;
+  if (waited <= 0) return;
+  tr_->async_span(server_->obs_pid(), tr_->new_async_id(), "server/queue",
+                  "server", enqueued_ns, waited, ctx_.trace_id);
+}
+
+void Server::HandlerTrace::compute_span(std::string_view name,
+                                        SimTime begin_ns) {
+  if (tr_ == nullptr) return;
+  tr_->complete(server_->obs_pid(), ctx_.span_id, name, "server", begin_ns,
+                server_->sim().now() - begin_ns, ctx_.trace_id);
+}
+
 void Server::fail() {
   failed_ = true;
   fabric().set_node_up(id(), false);
@@ -53,13 +94,18 @@ void Server::on_request(KvEnvelope env) {
 
 sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
   auto& req = std::get<Request>(env.body);
+  HandlerTrace ht(*self, req);
   const std::size_t touched =
       req.value ? req.value->size()
                 : (req.verb == Verb::kGet ? 0 : req.key.size());
-  co_await self->workers_.execute(self->touch_cost(touched));
+  const SimTime enqueued = self->sim().now();
+  const SimDur first_cost = self->touch_cost(touched);
+  co_await self->workers_.execute(first_cost);
+  ht.queue_span(enqueued, first_cost);
 
   Response resp;
   resp.rpc_id = req.rpc_id;
+  resp.trace = ht.ctx();
   switch (req.verb) {
     case Verb::kSet: {
       const std::uint64_t demoted_before = self->store_.stats().demoted_bytes;
@@ -132,6 +178,7 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
 
 sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
   auto& req = std::get<Request>(env.body);
+  HandlerTrace ht(*self, req);
   const ServerEcContext& ec = *self->ec_;
   const std::size_t value_size = req.value ? req.value->size() : 0;
   const std::size_t k = ec.codec->k();
@@ -144,17 +191,27 @@ sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
   // with new requests by the parallel workers. The staged copy guarantees
   // read-after-write: it is only dropped once every fragment is acked, and
   // readers that race the distribution fall back to the stager.
-  co_await self->workers_.execute(self->touch_cost(value_size));
+  const SimTime enqueued = self->sim().now();
+  const SimDur first_cost = self->touch_cost(value_size);
+  co_await self->workers_.execute(first_cost);
+  ht.queue_span(enqueued, first_cost);
   const Status staged = self->store_.set(req.key, req.value);
   {
     Response resp;
     resp.rpc_id = req.rpc_id;
     resp.code = staged.code();
+    resp.trace = ht.ctx();
     if (!self->failed_) self->respond(req.reply_to, std::move(resp));
   }
+  // The client's op completes at the ack above; the encode + distribution
+  // below continue in the background (off the op's critical path, which is
+  // exactly what the trace should show).
+  ht.mark_done();
   if (!staged.ok()) co_return;
 
+  const SimTime encode_begin = self->sim().now();
   co_await self->workers_.execute(ec.cost.encode_ns(value_size));
+  ht.compute_span("server/encode", encode_begin);
 
   const ec::ChunkLayout layout =
       ec::make_layout(value_size, k, ec.codec->alignment());
@@ -194,6 +251,7 @@ sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
     peer.key = ckey;
     peer.value = fragments[slot];
     peer.chunk = info;
+    peer.trace = ht.ctx();
     pending.push_back(
         self->guarded_future((*ec.server_nodes)[owner], std::move(peer)));
   }
@@ -208,11 +266,15 @@ sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
 
 sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
   auto& req = std::get<Request>(env.body);
+  HandlerTrace ht(*self, req);
   const ServerEcContext& ec = *self->ec_;
   const std::size_t k = ec.codec->k();
   const std::size_t n = ec.codec->n();
 
-  co_await self->workers_.execute(self->touch_cost(0));
+  const SimTime enqueued = self->sim().now();
+  const SimDur first_cost = self->touch_cost(0);
+  co_await self->workers_.execute(first_cost);
+  ht.queue_span(enqueued, first_cost);
 
   // Staged full value (an in-progress or raced server-side Set): serve it
   // directly.
@@ -223,6 +285,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
     resp.rpc_id = req.rpc_id;
     resp.code = StatusCode::kOk;
     resp.value = staged->value;
+    resp.trace = ht.ctx();
     if (!self->failed_) self->respond(req.reply_to, std::move(resp));
     co_return;
   }
@@ -237,6 +300,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
   }
   Response resp;
   resp.rpc_id = req.rpc_id;
+  resp.trace = ht.ctx();
   const Result<std::vector<std::size_t>> selected =
       ec.codec->select_read_set(available);
   if (!selected.ok()) {
@@ -276,6 +340,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
     Request peer;
     peer.verb = Verb::kGet;
     peer.key = ckey;
+    peer.trace = ht.ctx();
     fetches[i].future =
         self->guarded_future((*ec.server_nodes)[owner], std::move(peer));
   }
@@ -307,8 +372,10 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
 
   const std::size_t value_size = meta->original_size;
   if (missing_data > 0) {
+    const SimTime decode_begin = self->sim().now();
     co_await self->workers_.execute(ec.cost.decode_ns(
         value_size, static_cast<unsigned>(missing_data)));
+    ht.compute_span("server/decode", decode_begin);
   }
 
   const ec::ChunkLayout layout =

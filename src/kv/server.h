@@ -79,6 +79,41 @@ class Server final : public RpcNode {
   }
 
  private:
+  /// Per-handler trace state. When the request carries a valid TraceContext
+  /// and a tracer is live, acquires a handler lane (tid = node *
+  /// kLanesPerNode + lane) and exposes the server-side child context that
+  /// responses and peer fan-out requests propagate. mark_done() ends the
+  /// "server/handle" span at the respond instant; the destructor (runs at
+  /// coroutine frame destruction, which may be after background fragment
+  /// distribution) emits it late if mark_done was never reached and always
+  /// releases the lane. Inert (all no-ops) for untraced requests.
+  class HandlerTrace {
+   public:
+    HandlerTrace(Server& server, const Request& req);
+    ~HandlerTrace();
+    HandlerTrace(const HandlerTrace&) = delete;
+    HandlerTrace& operator=(const HandlerTrace&) = delete;
+
+    [[nodiscard]] const obs::TraceContext& ctx() const noexcept {
+      return ctx_;
+    }
+    /// Ends the "server/handle" span at the current instant.
+    void mark_done();
+    /// Worker-pool queue wait: the first execute() of a handler started at
+    /// `enqueued_ns` and charged `cost_ns`; any excess is queueing.
+    void queue_span(SimTime enqueued_ns, SimDur cost_ns);
+    /// Tagged compute span on the handler lane (server-side encode/decode).
+    void compute_span(std::string_view name, SimTime begin_ns);
+
+   private:
+    Server* server_ = nullptr;
+    obs::Tracer* tr_ = nullptr;
+    std::uint32_t lane_ = 0;
+    SimTime begin_ = 0;
+    bool done_ = false;
+    obs::TraceContext ctx_;
+  };
+
   static sim::Task<void> handle_plain(Server* self, KvEnvelope env);
   static sim::Task<void> handle_set_encode(Server* self, KvEnvelope env);
   static sim::Task<void> handle_get_decode(Server* self, KvEnvelope env);
@@ -98,6 +133,7 @@ class Server final : public RpcNode {
   StorageEngine store_;
   sim::WorkerPool workers_;
   std::optional<ServerEcContext> ec_;
+  obs::LanePool handler_lanes_;
   bool failed_ = false;
   std::uint64_t background_set_failures_ = 0;
 };

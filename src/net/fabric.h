@@ -148,8 +148,18 @@ class Fabric {
   /// Returns immediately; delivery lands in the destination inbox at the
   /// modeled time. Loopback (src == dst) skips the NIC entirely and
   /// delivers after a fixed small local latency.
-  void send(NodeId src, NodeId dst, Body body, std::size_t payload_bytes) {
+  ///
+  /// `trace` (optional, purely observational) tags the NIC spans with the
+  /// causal trace id and emits one flow-event triple — "s" on the sender's
+  /// enclosing slice (trace.span_id lane), "t" on the src NIC at tx start,
+  /// "f" on the dst NIC at rx start — plus queue-wait and in-flight async
+  /// spans, so Perfetto draws sender → fabric → receiver arrows and the
+  /// critical-path analyzer sees queueing and wire time per message.
+  void send(NodeId src, NodeId dst, Body body, std::size_t payload_bytes,
+            const obs::TraceContext& trace = {}) {
     assert(src < nics_.size() && dst < nics_.size());
+    obs::Tracer* tr =
+        (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
     ++stats_.messages_sent;
     stats_.bytes_sent += payload_bytes;
     if (!nics_[dst].up || !nics_[src].up) {
@@ -160,6 +170,10 @@ class Fabric {
       } else {
         ++stats_.drops_src_down;
       }
+      if (tr != nullptr && trace.valid()) {
+        tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
+                    sim_->now(), trace.trace_id);
+      }
       return;
     }
     if (loss_probability_ > 0.0 &&
@@ -167,6 +181,10 @@ class Fabric {
       ++stats_.messages_dropped;
       ++stats_.drops_injected;
       stats_.bytes_dropped += payload_bytes;
+      if (tr != nullptr && trace.valid()) {
+        tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
+                    sim_->now(), trace.trace_id);
+      }
       return;
     }
     const SimTime now = sim_->now();
@@ -208,11 +226,36 @@ class Fabric {
     const SimTime rx_end = rx_start + ser;
     dst_nic.rx_busy_until = rx_end;
 
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + src,
-                        "fabric/send", "fabric", tx_start, ser);
-      tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + dst,
-                        "fabric/recv", "fabric", rx_start, ser);
+    if (tr != nullptr) {
+      tr->complete(trace_pid_, obs::Tracer::kNicTidBase + src, "fabric/send",
+                   "fabric", tx_start, ser, trace.trace_id);
+      tr->complete(trace_pid_, obs::Tracer::kNicTidBase + dst, "fabric/recv",
+                   "fabric", rx_start, ser, trace.trace_id);
+      if (trace.valid()) {
+        // Flow arrows: sender's slice → src NIC tx slice → dst NIC rx slice.
+        const std::uint64_t msg = tr->new_flow_id();
+        tr->flow('s', trace_pid_, trace.span_id, now, msg, trace.trace_id);
+        tr->flow('t', trace_pid_, obs::Tracer::kNicTidBase + src, tx_start,
+                 msg, trace.trace_id);
+        tr->flow('f', trace_pid_, obs::Tracer::kNicTidBase + dst, rx_start,
+                 msg, trace.trace_id);
+        // Queue waits (overlap-safe async spans): tx behind earlier sends,
+        // rx behind other arrivals converging on the destination (incast).
+        const SimTime tx_ready = now + pre_tx;
+        if (tx_start > tx_ready) {
+          tr->async_span(trace_pid_, msg * 4, "fabric/txq", "fabric",
+                         tx_ready, tx_start - tx_ready, trace.trace_id);
+        }
+        const SimTime rx_arrival = tx_end + params_.latency_ns - ser;
+        if (rx_start > rx_arrival) {
+          tr->async_span(trace_pid_, msg * 4 + 1, "fabric/rxq", "fabric",
+                         rx_arrival, rx_start - rx_arrival, trace.trace_id);
+        }
+        // Whole in-flight interval (protocol pre-work through last bit
+        // received): the analyzer's catch-all "net" coverage.
+        tr->async_span(trace_pid_, msg * 4 + 2, "fabric/wire", "fabric", now,
+                       rx_end - now, trace.trace_id);
+      }
     }
 
     env.delivered_at = rx_end;

@@ -98,6 +98,12 @@ class MetricsRegistry {
   /// Deterministic, stably-ordered JSON snapshot of every metric.
   [[nodiscard]] std::string to_json() const;
 
+  /// Prometheus text-exposition snapshot: counters and gauges as scalar
+  /// samples, histograms as summaries (quantile series + _sum + _count).
+  /// Defined in obs/prometheus.cpp; same deterministic ordering as
+  /// to_json().
+  [[nodiscard]] std::string to_prometheus() const;
+
   /// Writes to_json() to `path`; false on I/O failure.
   bool write_json(const std::string& path) const;
 

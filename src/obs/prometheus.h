@@ -1,0 +1,28 @@
+// Prometheus text-exposition exporter for MetricsRegistry.
+//
+// Renders every registered metric in the Prometheus 0.0.4 text format:
+// counters and gauges become scalar samples with {component,node,op} labels,
+// latency histograms become summaries (quantile="0.5/0.95/0.99/0.999"
+// series plus _sum and _count, all in nanoseconds). Metric names are
+// sanitized to the Prometheus grammar ([a-zA-Z_:][a-zA-Z0-9_:]*, dots and
+// slashes to underscores) and prefixed "hpres_"; label values are escaped
+// per the exposition spec (backslash, double quote, newline).
+//
+// Output order matches MetricsRegistry::to_json() (lexicographic map
+// order), so same-seed runs export byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hpres::obs {
+
+/// Sanitized Prometheus metric name: "hpres_" + name with every character
+/// outside [a-zA-Z0-9_:] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Writes reg.to_prometheus() to `path`; false on I/O failure.
+bool write_prometheus(const MetricsRegistry& reg, const std::string& path);
+
+}  // namespace hpres::obs

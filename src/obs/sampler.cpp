@@ -20,6 +20,11 @@ void Sampler::sample_once() {
   ++samples_;
 }
 
+void Sampler::request_stop() {
+  if (!stop_ && started_) sample_once();  // terminal flush at run end
+  stop_ = true;
+}
+
 sim::Task<void> Sampler::run(Sampler* self) {
   self->sample_once();
   for (;;) {

@@ -39,8 +39,11 @@ class Sampler {
   /// interval). No-op when the tracer is disabled or nothing is registered.
   void start();
 
-  /// Makes the sampling process exit at its next tick.
-  void request_stop() noexcept { stop_ = true; }
+  /// Takes one final sample at the current instant (so changes in the last
+  /// partial interval are never dropped) and makes the sampling process
+  /// exit at its next tick. Idempotent; the flush only happens on the first
+  /// call of a started sampler.
+  void request_stop();
 
   [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
   [[nodiscard]] std::size_t num_gauges() const noexcept {

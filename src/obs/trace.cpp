@@ -9,44 +9,57 @@ namespace hpres::obs {
 std::uint32_t Tracer::declare_process(std::string name) {
   const std::uint32_t pid = next_pid_++;
   if (enabled_) {
-    events_.push_back(Event{'M', pid, 0, 0, 0, 0, std::move(name), {}});
+    events_.push_back(Event{'M', pid, 0, 0, 0, 0, 0, std::move(name), {}});
   }
   return pid;
 }
 
 void Tracer::complete(std::uint32_t pid, std::uint64_t tid,
                       std::string_view name, std::string_view cat,
-                      SimTime begin_ns, SimDur dur_ns) {
+                      SimTime begin_ns, SimDur dur_ns,
+                      std::uint64_t trace_id) {
   if (!enabled_) return;
-  events_.push_back(Event{'X', pid, tid, begin_ns, dur_ns, 0,
+  events_.push_back(Event{'X', pid, tid, begin_ns, dur_ns, 0, trace_id,
                           std::string(name), std::string(cat)});
   add_total(pid, name, dur_ns);
 }
 
 void Tracer::async_span(std::uint32_t pid, std::uint64_t id,
                         std::string_view name, std::string_view cat,
-                        SimTime begin_ns, SimDur dur_ns) {
+                        SimTime begin_ns, SimDur dur_ns,
+                        std::uint64_t trace_id) {
   if (!enabled_) return;
-  events_.push_back(Event{'b', pid, id, begin_ns, 0, 0, std::string(name),
-                          std::string(cat)});
-  events_.push_back(Event{'e', pid, id, begin_ns + dur_ns, 0, 0,
+  // The 'b' event keeps the duration (not serialized for 'b') so
+  // tagged_spans() can reconstruct the interval without pairing 'e'.
+  events_.push_back(Event{'b', pid, id, begin_ns, dur_ns, 0, trace_id,
+                          std::string(name), std::string(cat)});
+  events_.push_back(Event{'e', pid, id, begin_ns + dur_ns, 0, 0, trace_id,
                           std::string(name), std::string(cat)});
   add_total(pid, name, dur_ns);
 }
 
 void Tracer::instant(std::uint32_t pid, std::uint64_t tid,
                      std::string_view name, std::string_view cat,
-                     SimTime ts_ns) {
+                     SimTime ts_ns, std::uint64_t trace_id) {
   if (!enabled_) return;
-  events_.push_back(
-      Event{'i', pid, tid, ts_ns, 0, 0, std::string(name), std::string(cat)});
+  events_.push_back(Event{'i', pid, tid, ts_ns, 0, 0, trace_id,
+                          std::string(name), std::string(cat)});
+}
+
+void Tracer::flow(char ph, std::uint32_t pid, std::uint64_t tid,
+                  SimTime ts_ns, std::uint64_t flow_id,
+                  std::uint64_t trace_id) {
+  if (!enabled_) return;
+  events_.push_back(Event{ph, pid, tid, ts_ns, 0,
+                          static_cast<std::int64_t>(flow_id), trace_id,
+                          "msg", "flow"});
 }
 
 void Tracer::counter(std::uint32_t pid, std::string_view name, SimTime ts_ns,
                      std::int64_t value) {
   if (!enabled_) return;
   events_.push_back(
-      Event{'C', pid, 0, ts_ns, 0, value, std::string(name), {}});
+      Event{'C', pid, 0, ts_ns, 0, value, 0, std::string(name), {}});
 }
 
 void Tracer::add_total(std::uint32_t pid, std::string_view name,
@@ -67,11 +80,33 @@ std::uint64_t Tracer::span_count(std::uint32_t pid,
   return it == totals_.end() ? 0 : it->second.count;
 }
 
+std::vector<TraceSpan> Tracer::tagged_spans(std::uint32_t pid) const {
+  std::vector<TraceSpan> out;
+  for (const Event& e : events_) {
+    if (e.pid != pid || e.trace == 0) continue;
+    if (e.ph != 'X' && e.ph != 'b') continue;
+    out.push_back(TraceSpan{e.trace, e.tid, e.ts, e.dur, e.name, e.cat});
+  }
+  return out;
+}
+
+void Tracer::retain_traces(const std::unordered_set<std::uint64_t>& keep) {
+  std::erase_if(events_, [&](const Event& e) {
+    return e.trace != 0 && keep.find(e.trace) == keep.end();
+  });
+}
+
 std::string Tracer::to_json() const {
   std::string out;
   out.reserve(events_.size() * 96 + 64);
   out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   bool first = true;
+  const auto append_trace_args = [&out](const Event& e) {
+    if (e.trace == 0) return;
+    out += ",\"args\":{\"trace\":";
+    json::append_u64(out, e.trace);
+    out += "}";
+  };
   for (const Event& e : events_) {
     if (!first) out += ",\n";
     first = false;
@@ -97,6 +132,7 @@ std::string Tracer::to_json() const {
         json::append_string(out, e.name);
         out += ",\"cat\":";
         json::append_string(out, e.cat);
+        append_trace_args(e);
         out += "}";
         break;
       case 'b':
@@ -113,6 +149,28 @@ std::string Tracer::to_json() const {
         json::append_string(out, e.name);
         out += ",\"cat\":";
         json::append_string(out, e.cat);
+        append_trace_args(e);
+        out += "}";
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        out += "{\"ph\":\"";
+        out.push_back(e.ph);
+        out += "\",\"pid\":";
+        json::append_u64(out, e.pid);
+        out += ",\"tid\":";
+        json::append_u64(out, e.tid);
+        out += ",\"ts\":";
+        json::append_time_us(out, e.ts);
+        out += ",\"id\":\"";
+        out += std::to_string(e.value);
+        out += "\",\"name\":";
+        json::append_string(out, e.name);
+        out += ",\"cat\":";
+        json::append_string(out, e.cat);
+        if (e.ph == 'f') out += ",\"bp\":\"e\"";
+        append_trace_args(e);
         out += "}";
         break;
       case 'i':
@@ -126,6 +184,7 @@ std::string Tracer::to_json() const {
         json::append_string(out, e.name);
         out += ",\"cat\":";
         json::append_string(out, e.cat);
+        append_trace_args(e);
         out += "}";
         break;
       case 'C':

@@ -1,27 +1,41 @@
 // Span tracer on the simulator clock.
 //
-// Records begin/end spans, async spans, instants and counter samples against
-// simulated time and serializes them as Chrome trace_event JSON (loadable in
-// Perfetto / chrome://tracing). Alongside the raw events the tracer keeps
-// per-(process, span-name) duration totals so harnesses can derive phase
-// breakdowns (paper Figure 9) directly from the spans.
+// Records begin/end spans, async spans, instants, flow events and counter
+// samples against simulated time and serializes them as Chrome trace_event
+// JSON (loadable in Perfetto / chrome://tracing). Alongside the raw events
+// the tracer keeps per-(process, span-name) duration totals so harnesses can
+// derive phase breakdowns (paper Figure 9) directly from the spans.
 //
 // Zero overhead when disabled: every recording call starts with a single
 // branch on `enabled_` and returns immediately, and recording never touches
 // the simulation (no delays, no RNG) — enabling tracing cannot change any
-// simulated result.
+// simulated result. Trace-id allocation follows the same rule: when the
+// tracer is disabled new_trace_id() returns 0 (the invalid id), so no
+// TraceContext ever propagates and every downstream branch stays cold.
 //
 // Track conventions (Perfetto renders one lane per (pid, tid)):
 //   pid — one experiment point (a Testbench); declare_process names it.
 //   tid — a lane inside the point: engine op lanes (node * kLanesPerNode +
 //         slot) or NIC lanes (kNicTidBase + node). Complete spans on one tid
 //         must nest; concurrent activities use distinct lanes or async spans.
+//
+// Causal tracing: ops allocate a trace id (new_trace_id) and tag every span
+// they emit with it; the id rides RPC headers (kv::Request/Response carry a
+// TraceContext) through the fabric to server handlers and back. Flow events
+// ("s"/"t"/"f", one triple per traced message) bind the sender's enclosing
+// slice to the NIC tx slice and the receiver NIC rx slice so Perfetto draws
+// client → fabric → server arrows. Tagged events can be pruned after the
+// run (retain_traces) for tail sampling; per-name totals are accumulated at
+// record time and are never affected by pruning.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -29,10 +43,60 @@
 
 namespace hpres::obs {
 
+/// Causal trace identity carried across RPC boundaries. `trace_id` names the
+/// client op (0 = tracing disabled / untraced); `span_id` is the tid of the
+/// emitting span (the lane whose slice encloses the send instant, so flow
+/// events bind to it); `parent_span_id` is the tid of the causal parent.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+  /// Context for a span causally under this one, emitted on lane `tid`.
+  [[nodiscard]] TraceContext child(std::uint64_t tid) const noexcept {
+    return TraceContext{trace_id, tid, span_id};
+  }
+};
+
+/// One completed span tagged with a trace id, as exported for critical-path
+/// analysis (see obs/critical_path.h).
+struct TraceSpan {
+  std::uint64_t trace_id = 0;
+  std::uint64_t tid = 0;
+  SimTime begin_ns = 0;
+  SimDur dur_ns = 0;
+  std::string name;
+  std::string cat;
+};
+
 /// Aggregate of every completed span with one name within one process.
 struct SpanTotal {
   std::uint64_t count = 0;
   SimDur total_ns = 0;
+};
+
+/// Min-heap allocator of dense lane indices: concurrent in-flight spans on
+/// one node get distinct lanes, and freed lanes are reused lowest-first so
+/// the Perfetto track list stays compact. Shared by engines (op lanes) and
+/// servers (handler lanes).
+class LanePool {
+ public:
+  [[nodiscard]] std::uint32_t acquire() {
+    if (free_.empty()) return next_++;
+    std::pop_heap(free_.begin(), free_.end(), std::greater<>{});
+    const std::uint32_t lane = free_.back();
+    free_.pop_back();
+    return lane;
+  }
+  void release(std::uint32_t lane) {
+    free_.push_back(lane);
+    std::push_heap(free_.begin(), free_.end(), std::greater<>{});
+  }
+
+ private:
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_ = 0;
 };
 
 class Tracer {
@@ -54,25 +118,54 @@ class Tracer {
   /// emits the process_name metadata event Perfetto uses as the group label.
   std::uint32_t declare_process(std::string name);
 
+  /// Fresh trace id for one client op; 0 when disabled (the invalid id, so
+  /// disabled runs propagate no context). Ids are dense and allocation order
+  /// is deterministic.
+  [[nodiscard]] std::uint64_t new_trace_id() noexcept {
+    return enabled_ ? next_trace_++ : 0;
+  }
+  /// The next trace id that new_trace_id() would return. Benches snapshot
+  /// this before a measured pass to analyze only the ops inside it.
+  [[nodiscard]] std::uint64_t trace_watermark() const noexcept {
+    return next_trace_;
+  }
+  /// Fresh flow-event id (one per traced fabric message).
+  [[nodiscard]] std::uint64_t new_flow_id() noexcept { return next_flow_++; }
+  /// Fresh async-span id (callers that lack a natural unique id).
+  [[nodiscard]] std::uint64_t new_async_id() noexcept { return next_async_++; }
+
   /// Complete span ("X") with an explicit interval. `begin_ns` may lie in
   /// the simulated future (e.g. a NIC slot reserved ahead of time).
+  /// `trace_id` != 0 tags the span for causal analysis and JSON args.
   void complete(std::uint32_t pid, std::uint64_t tid, std::string_view name,
-                std::string_view cat, SimTime begin_ns, SimDur dur_ns);
+                std::string_view cat, SimTime begin_ns, SimDur dur_ns,
+                std::uint64_t trace_id = 0);
 
   /// Async span ("b"/"e" pair keyed by `id`): overlap-safe, used for spans
-  /// that interleave freely on one logical track (e.g. ARPE window waits).
+  /// that interleave freely on one logical track (e.g. ARPE window waits,
+  /// fabric queue waits).
   void async_span(std::uint32_t pid, std::uint64_t id, std::string_view name,
-                  std::string_view cat, SimTime begin_ns, SimDur dur_ns);
+                  std::string_view cat, SimTime begin_ns, SimDur dur_ns,
+                  std::uint64_t trace_id = 0);
 
   /// Instant event ("i").
   void instant(std::uint32_t pid, std::uint64_t tid, std::string_view name,
-               std::string_view cat, SimTime ts_ns);
+               std::string_view cat, SimTime ts_ns,
+               std::uint64_t trace_id = 0);
+
+  /// Flow event: `ph` is 's' (start), 't' (step) or 'f' (finish). Perfetto
+  /// binds each to the slice enclosing (pid, tid, ts) and draws arrows along
+  /// equal `flow_id`s. One s/t/f triple per traced message: sender lane →
+  /// src NIC → dst NIC.
+  void flow(char ph, std::uint32_t pid, std::uint64_t tid, SimTime ts_ns,
+            std::uint64_t flow_id, std::uint64_t trace_id = 0);
 
   /// Counter sample ("C"): one named time-series value per process.
   void counter(std::uint32_t pid, std::string_view name, SimTime ts_ns,
                std::int64_t value);
 
   /// Total recorded duration / span count for (pid, name); 0 if none.
+  /// Accumulated at record time: retain_traces() never changes totals.
   [[nodiscard]] SimDur total_ns(std::uint32_t pid,
                                 std::string_view name) const;
   [[nodiscard]] std::uint64_t span_count(std::uint32_t pid,
@@ -81,6 +174,17 @@ class Tracer {
   [[nodiscard]] std::size_t event_count() const noexcept {
     return events_.size();
   }
+
+  /// Every tagged span recorded under `pid`, for critical-path analysis:
+  /// complete spans plus async spans (whose 'b' event remembers the
+  /// duration). Flow events and instants are not spans and are skipped.
+  [[nodiscard]] std::vector<TraceSpan> tagged_spans(std::uint32_t pid) const;
+
+  /// Tail sampling: drops every trace-tagged event whose trace id is not in
+  /// `keep`. Untagged events (NIC spans of untraced runs, counters, process
+  /// metadata) and the per-name totals are retained, so span-total derived
+  /// breakdowns still cover all ops after pruning.
+  void retain_traces(const std::unordered_set<std::uint64_t>& keep);
 
   /// Serializes every recorded event as Chrome trace_event JSON. Output is
   /// a pure function of the recorded events (byte-identical across
@@ -92,12 +196,13 @@ class Tracer {
 
  private:
   struct Event {
-    char ph;            // 'X', 'b', 'e', 'i', 'C', 'M'
+    char ph;            // 'X', 'b', 'e', 'i', 'C', 'M', 's', 't', 'f'
     std::uint32_t pid;
-    std::uint64_t tid;  // lane, or async id for 'b'/'e'
+    std::uint64_t tid;    // lane; async id for 'b'/'e'; lane for flows
     SimTime ts;
-    SimDur dur;           // 'X' only
-    std::int64_t value;   // 'C' only
+    SimDur dur;           // 'X' only (also kept on 'b' for tagged_spans)
+    std::int64_t value;   // 'C' value; flow id for 's'/'t'/'f'
+    std::uint64_t trace;  // causal trace id; 0 = untagged
     std::string name;
     std::string cat;
   };
@@ -107,6 +212,9 @@ class Tracer {
   std::vector<Event> events_;
   std::map<std::pair<std::uint32_t, std::string>, SpanTotal> totals_;
   std::uint32_t next_pid_ = 0;
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_flow_ = 1;
+  std::uint64_t next_async_ = 1;
   bool enabled_ = false;
 };
 

@@ -1,42 +1,34 @@
 #include "resilience/engine.h"
 
 #include <algorithm>
-#include <functional>
 
 namespace hpres::resilience {
 
-std::uint32_t Engine::acquire_lane() {
-  if (!free_lanes_.empty()) {
-    std::pop_heap(free_lanes_.begin(), free_lanes_.end(),
-                  std::greater<std::uint32_t>{});
-    const std::uint32_t lane = free_lanes_.back();
-    free_lanes_.pop_back();
-    return lane;
-  }
-  return next_lane_++;
-}
-
-void Engine::release_lane(std::uint32_t lane) {
-  free_lanes_.push_back(lane);
-  std::push_heap(free_lanes_.begin(), free_lanes_.end(),
-                 std::greater<std::uint32_t>{});
-}
-
-sim::Task<Status> Engine::set(kv::Key key, SharedBytes value) {
+sim::Task<Status> Engine::set_impl(kv::Key key, SharedBytes value,
+                                   obs::TraceContext parent, bool nested,
+                                   bool* degraded_out) {
   const SimTime t0 = sim().now();
   OpPhases phases;
   obs::Tracer* const tr = tracer();
   std::uint32_t lane = 0;
   if (tr != nullptr) {
-    lane = acquire_lane();
+    lane = lane_pool_->acquire();
     phases.trace_tid = lane_tid(lane);
+    // Nested (composite-engine) ops continue the parent's trace; top-level
+    // ops start a fresh one. trace_id stays 0 when tracing is disabled, so
+    // nothing downstream tags or propagates.
+    phases.trace = parent.valid()
+                       ? parent.child(phases.trace_tid)
+                       : obs::TraceContext{tr->new_trace_id(),
+                                           phases.trace_tid, 0};
   }
   const Status status = co_await do_set(std::move(key), std::move(value),
                                         &phases);
   const SimDur total = sim().now() - t0;
   if (tr != nullptr) {
-    tr->complete(trace_pid(), phases.trace_tid, "set", "engine", t0, total);
-    release_lane(lane);
+    tr->complete(trace_pid(), phases.trace_tid, "set", "engine", t0, total,
+                 phases.trace.trace_id);
+    lane_pool_->release(lane);
   }
   ++stats_.sets;
   if (!status.ok()) ++stats_.set_failures;
@@ -45,23 +37,35 @@ sim::Task<Status> Engine::set(kv::Key key, SharedBytes value) {
   stats_.set_phases.compute_ns += phases.compute_ns;
   stats_.set_phases.wait_ns +=
       std::max<SimDur>(0, total - phases.request_ns - phases.compute_ns);
+  if (degraded_out != nullptr) *degraded_out = phases.degraded;
+  if (!nested && ctx_.recorder != nullptr) {
+    ctx_.recorder->record("set", name(), phases.degraded, total,
+                          phases.trace.trace_id);
+  }
   co_return status;
 }
 
-sim::Task<Result<Bytes>> Engine::get(kv::Key key) {
+sim::Task<Result<Bytes>> Engine::get_impl(kv::Key key,
+                                          obs::TraceContext parent,
+                                          bool nested, bool* degraded_out) {
   const SimTime t0 = sim().now();
   OpPhases phases;
   obs::Tracer* const tr = tracer();
   std::uint32_t lane = 0;
   if (tr != nullptr) {
-    lane = acquire_lane();
+    lane = lane_pool_->acquire();
     phases.trace_tid = lane_tid(lane);
+    phases.trace = parent.valid()
+                       ? parent.child(phases.trace_tid)
+                       : obs::TraceContext{tr->new_trace_id(),
+                                           phases.trace_tid, 0};
   }
   Result<Bytes> result = co_await do_get(std::move(key), &phases);
   const SimDur total = sim().now() - t0;
   if (tr != nullptr) {
-    tr->complete(trace_pid(), phases.trace_tid, "get", "engine", t0, total);
-    release_lane(lane);
+    tr->complete(trace_pid(), phases.trace_tid, "get", "engine", t0, total,
+                 phases.trace.trace_id);
+    lane_pool_->release(lane);
   }
   ++stats_.gets;
   if (!result.ok()) ++stats_.get_failures;
@@ -70,6 +74,11 @@ sim::Task<Result<Bytes>> Engine::get(kv::Key key) {
   stats_.get_phases.compute_ns += phases.compute_ns;
   stats_.get_phases.wait_ns +=
       std::max<SimDur>(0, total - phases.request_ns - phases.compute_ns);
+  if (degraded_out != nullptr) *degraded_out = phases.degraded;
+  if (!nested && ctx_.recorder != nullptr) {
+    ctx_.recorder->record("get", name(), phases.degraded, total,
+                          phases.trace.trace_id);
+  }
   co_return result;
 }
 

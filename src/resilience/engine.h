@@ -12,6 +12,7 @@
 #include "kv/client.h"
 #include "kv/hash_ring.h"
 #include "kv/membership.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/arpe.h"
@@ -89,6 +90,10 @@ struct EngineContext {
   /// never consulted for timing decisions.
   obs::Tracer* tracer = nullptr;
   std::uint32_t trace_pid = 0;
+  /// Optional always-on latency percentile recorder. Top-level set/get
+  /// latencies land here keyed by {op, scheme, degraded}; nested
+  /// (composite-engine) calls do not record, so every op counts once.
+  obs::LatencyRecorder* recorder = nullptr;
 };
 
 class Engine {
@@ -108,10 +113,33 @@ class Engine {
 
   /// Blocking Set: resolves when the value is durable per the scheme.
   /// Records latency and phase stats.
-  sim::Task<Status> set(kv::Key key, SharedBytes value);
+  sim::Task<Status> set(kv::Key key, SharedBytes value) {
+    return set_impl(std::move(key), std::move(value), {}, false, nullptr);
+  }
 
   /// Blocking Get: resolves with the reassembled value.
-  sim::Task<Result<Bytes>> get(kv::Key key);
+  sim::Task<Result<Bytes>> get(kv::Key key) {
+    return get_impl(std::move(key), {}, false, nullptr);
+  }
+
+  /// Composite-engine entry points: run the op as a causal child of
+  /// `parent` (same trace id, its own lane) without a LatencyRecorder row
+  /// — the enclosing op records once at the top level. `degraded`, when
+  /// non-null, receives whether this op needed failure handling.
+  sim::Task<Status> set_nested(kv::Key key, SharedBytes value,
+                               obs::TraceContext parent,
+                               bool* degraded = nullptr) {
+    return set_impl(std::move(key), std::move(value), parent, true, degraded);
+  }
+  sim::Task<Result<Bytes>> get_nested(kv::Key key, obs::TraceContext parent,
+                                      bool* degraded = nullptr) {
+    return get_impl(std::move(key), parent, true, degraded);
+  }
+
+  /// Points this engine at an external lane pool (composite engines share
+  /// the parent's pool so concurrent parent/child ops never collide on a
+  /// Perfetto lane). The pool must outlive the engine.
+  void use_lane_pool(obs::LanePool* pool) noexcept { lane_pool_ = pool; }
 
   /// Blocking Delete: removes the value from every replica / every
   /// fragment owner. OK if any copy existed; kNotFound if none did.
@@ -140,10 +168,16 @@ class Engine {
   /// Phase accounting filled by implementations during one operation.
   /// `trace_tid` is the Perfetto lane this op's spans go on (0 when tracing
   /// is off); concurrent ops get distinct lanes so complete events nest.
+  /// `trace` is the op's causal identity: implementations stamp it onto
+  /// outgoing requests and tag child spans with its trace id. `degraded`
+  /// is set by implementations whenever the op needed failure handling
+  /// (dead owner worked around, failover fetch, fallback path).
   struct OpPhases {
     SimDur request_ns = 0;
     SimDur compute_ns = 0;
     std::uint64_t trace_tid = 0;
+    obs::TraceContext trace;
+    bool degraded = false;
   };
 
   virtual sim::Task<Status> do_set(kv::Key key, SharedBytes value,
@@ -182,6 +216,10 @@ class Engine {
     return ctx_.trace_pid;
   }
 
+  /// The lane pool this engine allocates op lanes from (its own, unless
+  /// use_lane_pool() pointed it elsewhere).
+  [[nodiscard]] obs::LanePool& lane_pool() noexcept { return *lane_pool_; }
+
  private:
   static sim::Task<void> iset_coro(Engine* self, kv::Key key,
                                    SharedBytes value,
@@ -189,11 +227,18 @@ class Engine {
   static sim::Task<void> iget_coro(Engine* self, kv::Key key,
                                    sim::Promise<Result<Bytes>> out);
 
+  /// Common implementation behind set()/set_nested() and get()/
+  /// get_nested(). Nested ops inherit the parent's trace id and skip the
+  /// LatencyRecorder (the top-level op records once).
+  sim::Task<Status> set_impl(kv::Key key, SharedBytes value,
+                             obs::TraceContext parent, bool nested,
+                             bool* degraded_out);
+  sim::Task<Result<Bytes>> get_impl(kv::Key key, obs::TraceContext parent,
+                                    bool nested, bool* degraded_out);
+
   /// Lane pool for per-op trace tids (tid = node * kLanesPerNode + lane).
   /// Free lanes are reused lowest-first so same-seed runs allocate
   /// identically and concurrent ops land on distinct Perfetto tracks.
-  [[nodiscard]] std::uint32_t acquire_lane();
-  void release_lane(std::uint32_t lane);
   [[nodiscard]] std::uint64_t lane_tid(std::uint32_t lane) const noexcept {
     return static_cast<std::uint64_t>(client().id()) *
                obs::Tracer::kLanesPerNode +
@@ -203,8 +248,8 @@ class Engine {
   EngineContext ctx_;
   Arpe arpe_;
   EngineStats stats_;
-  std::vector<std::uint32_t> free_lanes_;  // min-heap of released lanes
-  std::uint32_t next_lane_ = 0;
+  obs::LanePool lanes_;
+  obs::LanePool* lane_pool_ = &lanes_;
 };
 
 }  // namespace hpres::resilience

@@ -105,9 +105,10 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
     // Span durations equal the charged phase costs exactly, so the
     // tracer-derived breakdown matches the PhaseBreakdown accumulators.
     tr->complete(trace_pid(), phases->trace_tid, "set/encode", "engine",
-                 sim().now() - encode_ns - post_ns, encode_ns);
+                 sim().now() - encode_ns - post_ns, encode_ns,
+                 phases->trace.trace_id);
     tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine",
-                 sim().now() - post_ns, post_ns);
+                 sim().now() - post_ns, post_ns, phases->trace.trace_id);
   }
 
   std::vector<SharedBytes> fragments;
@@ -142,6 +143,7 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
     req.chunk = kv::ChunkInfo{value_size, static_cast<std::uint32_t>(slot),
                               static_cast<std::uint16_t>(k),
                               static_cast<std::uint16_t>(codec_->m())};
+    req.trace = phases->trace;
     pending.push_back(client().guarded_future(node_of(owner), std::move(req)));
   }
 
@@ -158,7 +160,7 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
   }
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
-                 fanout_t0, sim().now() - fanout_t0);
+                 fanout_t0, sim().now() - fanout_t0, phases->trace.trace_id);
   }
   // Durability requires at least k fragments (any k reconstruct the value).
   if (stored < k) {
@@ -172,7 +174,10 @@ sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
                                                    SharedBytes value,
                                                    OpPhases* phases) {
   const LiveSlot ls = co_await pick_live_slot(key);
-  if (ls.degraded) ++stats().degraded_sets;
+  if (ls.degraded) {
+    ++stats().degraded_sets;
+    phases->degraded = true;
+  }
   if (!ls.slot) co_return Status{StatusCode::kUnavailable, "no live server"};
   const net::NodeId target = node_of(ring().slot_index(key, *ls.slot));
 
@@ -180,6 +185,7 @@ sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
   req.verb = kv::Verb::kSetEncode;
   req.key = std::move(key);
   req.value = std::move(value);
+  req.trace = phases->trace;
   const SimDur issue_ns = issue_cost(req.value ? req.value->size() : 0);
   phases->request_ns += issue_ns;
   const SimTime t0 = sim().now();
@@ -187,10 +193,11 @@ sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
       co_await client().invoke(target, std::move(req));
   if (obs::Tracer* const tr = tracer(); tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine", t0,
-                 issue_ns);
+                 issue_ns, phases->trace.trace_id);
     tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
                  t0 + issue_ns,
-                 std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+                 std::max<SimDur>(0, sim().now() - t0 - issue_ns),
+                 phases->trace.trace_id);
   }
   co_return Status{resp.code};
 }
@@ -214,6 +221,7 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
   }
   if (degraded) {
     ++stats().degraded_gets;
+    phases->degraded = true;
     co_await sim().delay(membership().check_cost_ns());
   }
   Result<std::vector<std::size_t>> selected =
@@ -230,7 +238,7 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
   obs::Tracer* const tr = tracer();
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine",
-                 sim().now() - post_ns, post_ns);
+                 sim().now() - post_ns, post_ns, phases->trace.trace_id);
   }
 
   // Failover fetch loop. Fragments are cached per slot across rounds: a
@@ -256,6 +264,7 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       kv::Request req;
       req.verb = kv::Verb::kGet;
       req.key = kv::chunk_key(key, slot);
+      req.trace = phases->trace;
       pending.push_back(client().guarded_future(
           node_of(ring().slot_index(key, slot)), std::move(req)));
       pending_slots.push_back(slot);
@@ -285,6 +294,7 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       degraded = true;
       ++stats().degraded_gets;
     }
+    phases->degraded = true;
     co_await sim().delay(membership().check_cost_ns());
     selected = codec_->select_read_set(available);
     if (!selected.ok()) break;  // not enough survivors: fall back / fail
@@ -293,7 +303,7 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
   }
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
-                 fetch_t0, sim().now() - fetch_t0);
+                 fetch_t0, sim().now() - fetch_t0, phases->trace.trace_id);
   }
   if (!complete || !meta) {
     if (!client_encodes(mode_)) {
@@ -320,7 +330,8 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
     phases->compute_ns += decode_ns;
     if (tr != nullptr) {
       tr->complete(trace_pid(), phases->trace_tid, "get/decode", "engine",
-                   sim().now() - decode_ns, decode_ns);
+                   sim().now() - decode_ns, decode_ns,
+                   phases->trace.trace_id);
     }
   }
 
@@ -358,7 +369,10 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
 sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
                                                           OpPhases* phases) {
   const LiveSlot ls = co_await pick_live_slot(key);
-  if (ls.degraded) ++stats().degraded_gets;
+  if (ls.degraded) {
+    ++stats().degraded_gets;
+    phases->degraded = true;
+  }
   if (!ls.slot) {
     co_return Status{StatusCode::kUnavailable, "no live server"};
   }
@@ -367,16 +381,18 @@ sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
   kv::Request req;
   req.verb = kv::Verb::kGetDecode;
   req.key = std::move(key);
+  req.trace = phases->trace;
   const SimDur issue_ns = issue_cost(req.key.size());
   phases->request_ns += issue_ns;
   const SimTime t0 = sim().now();
   kv::Response resp = co_await client().invoke(target, std::move(req));
   if (obs::Tracer* const tr = tracer(); tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine", t0,
-                 issue_ns);
+                 issue_ns, phases->trace.trace_id);
     tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
                  t0 + issue_ns,
-                 std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+                 std::max<SimDur>(0, sim().now() - t0 - issue_ns),
+                 phases->trace.trace_id);
   }
   if (resp.code != StatusCode::kOk) co_return Status{resp.code};
   co_return resp.value ? Bytes(*resp.value) : Bytes{};

@@ -9,29 +9,45 @@ HybridEngine::HybridEngine(EngineContext ctx, const ec::Codec& codec,
     : Engine(ctx, arpe),
       replication_(ctx, rep_factor, arpe),
       erasure_(ctx, codec, cost, mode, arpe),
-      threshold_bytes_(threshold_bytes) {}
+      threshold_bytes_(threshold_bytes) {
+  // Sub-engine ops run nested under this engine's op: they share one lane
+  // pool (no Perfetto lane collisions between concurrent parent and child
+  // spans) and skip the LatencyRecorder — the hybrid op records once.
+  replication_.use_lane_pool(&lane_pool());
+  erasure_.use_lane_pool(&lane_pool());
+}
 
 sim::Task<Status> HybridEngine::do_set(kv::Key key, SharedBytes value,
                                        OpPhases* phases) {
-  (void)phases;  // sub-engines keep their own phase accounting
+  // Sub-engines keep their own phase accounting; the nested call continues
+  // this op's trace and reports back the degraded flag.
   const std::size_t size = value ? value->size() : 0;
   if (size < threshold_bytes_) {
-    co_return co_await replication_.set(std::move(key), std::move(value));
+    co_return co_await replication_.set_nested(
+        std::move(key), std::move(value), phases->trace, &phases->degraded);
   }
-  co_return co_await erasure_.set(std::move(key), std::move(value));
+  co_return co_await erasure_.set_nested(std::move(key), std::move(value),
+                                         phases->trace, &phases->degraded);
 }
 
 sim::Task<Result<Bytes>> HybridEngine::do_get(kv::Key key,
                                               OpPhases* phases) {
-  (void)phases;
   // Probe the replication path first: for below-threshold values this is
   // the single-round-trip hit; for large values it is a cheap miss.
-  Result<Bytes> replicated = co_await replication_.get(key);
+  bool probe_degraded = false;
+  Result<Bytes> replicated =
+      co_await replication_.get_nested(key, phases->trace, &probe_degraded);
+  phases->degraded |= probe_degraded;
   if (replicated.ok() ||
       replicated.status().code() != StatusCode::kNotFound) {
     co_return replicated;
   }
-  co_return co_await erasure_.get(std::move(key));
+  bool era_degraded = false;
+  Result<Bytes> coded =
+      co_await erasure_.get_nested(std::move(key), phases->trace,
+                                   &era_degraded);
+  phases->degraded |= era_degraded;
+  co_return coded;
 }
 
 sim::Task<Status> HybridEngine::do_del(kv::Key key) {

@@ -23,6 +23,11 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   const std::size_t k = codec_->k();
   const std::size_t n = codec_->n();
   obs::Tracer* const tr = tracer();
+  // Each key's repair is one causal trace: the probe/fetch/replace RPCs and
+  // their server handling carry it, so a repair storm is attributable in
+  // the trace viewer just like a client op.
+  const obs::TraceContext rtrace{tr != nullptr ? tr->new_trace_id() : 0,
+                                 trace_tid(), 0};
 
   // Phase 1 — presence probe: head-only Gets, no fragment payloads move.
   std::vector<bool> owner_alive(n, false);
@@ -39,6 +44,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
       req.verb = kv::Verb::kGet;
       req.key = kv::chunk_key(key, slot);
       req.head_only = true;
+      req.trace = rtrace;
       pending[slot] = ctx_.client->call_async((*ctx_.server_nodes)[owner],
                                               std::move(req));
     }
@@ -52,7 +58,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   }
   if (tr != nullptr) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/probe", "repair",
-                 probe_t0, ctx_.sim->now() - probe_t0);
+                 probe_t0, ctx_.sim->now() - probe_t0, rtrace.trace_id);
   }
   const auto present_count = static_cast<std::size_t>(
       std::count(present.begin(), present.end(), true));
@@ -99,6 +105,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
       kv::Request req;
       req.verb = kv::Verb::kGet;
       req.key = kv::chunk_key(key, slot);
+      req.trace = rtrace;
       const std::size_t owner = ctx_.ring->slot_index(key, slot);
       pending.push_back(ctx_.client->call_async((*ctx_.server_nodes)[owner],
                                                 std::move(req)));
@@ -116,7 +123,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   }
   if (tr != nullptr) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/fetch", "repair",
-                 fetch_t0, ctx_.sim->now() - fetch_t0);
+                 fetch_t0, ctx_.sim->now() - fetch_t0, rtrace.trace_id);
   }
 
   // Phase 3 — rebuild. Compute cost scales with the bytes actually read
@@ -127,7 +134,8 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   co_await ctx_.client->cpu().execute(reconstruct_ns);
   if (tr != nullptr) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/reconstruct", "repair",
-                 ctx_.sim->now() - reconstruct_ns, reconstruct_ns);
+                 ctx_.sim->now() - reconstruct_ns, reconstruct_ns,
+                 rtrace.trace_id);
   }
 
   std::vector<SharedBytes> rebuilt(n);
@@ -175,6 +183,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
     req.chunk = kv::ChunkInfo{value_size, static_cast<std::uint32_t>(slot),
                               static_cast<std::uint16_t>(k),
                               static_cast<std::uint16_t>(codec_->m())};
+    req.trace = rtrace;
     const std::size_t owner = ctx_.ring->slot_index(key, slot);
     writes.push_back(
         ctx_.client->call_async((*ctx_.server_nodes)[owner], std::move(req)));
@@ -186,7 +195,7 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   }
   if (tr != nullptr) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/replace", "repair",
-                 replace_t0, ctx_.sim->now() - replace_t0);
+                 replace_t0, ctx_.sim->now() - replace_t0, rtrace.trace_id);
   }
   if (worst == StatusCode::kOk) {
     ++stats_.keys_repaired;

@@ -50,6 +50,7 @@ sim::Task<Result<Bytes>> ReplicationBase::do_get(kv::Key key,
   if (checked) {
     // T_check: identify a live replica before reading (Equation 4).
     ++stats().degraded_gets;
+    phases->degraded = true;
     co_await sim().delay(membership().check_cost_ns());
   }
   if (!slot) {
@@ -59,14 +60,16 @@ sim::Task<Result<Bytes>> ReplicationBase::do_get(kv::Key key,
   const SimDur issue_ns = issue_cost(key.size());
   phases->request_ns += issue_ns;
   const SimTime t0 = sim().now();
-  const kv::Response resp =
-      co_await client().invoke(server, get_request(std::move(key)));
+  kv::Request req = get_request(std::move(key));
+  req.trace = phases->trace;
+  const kv::Response resp = co_await client().invoke(server, std::move(req));
   if (obs::Tracer* const tr = tracer(); tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine", t0,
-                 issue_ns);
+                 issue_ns, phases->trace.trace_id);
     tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
                  t0 + issue_ns,
-                 std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+                 std::max<SimDur>(0, sim().now() - t0 - issue_ns),
+                 phases->trace.trace_id);
   }
   if (resp.code != StatusCode::kOk) co_return Status{resp.code};
   co_return resp.value ? Bytes(*resp.value) : Bytes{};
@@ -105,14 +108,17 @@ sim::Task<Status> SyncReplicationEngine::do_set(kv::Key key,
     const SimDur issue_ns = issue_cost(value ? value->size() : 0);
     phases->request_ns += issue_ns;
     const SimTime t0 = sim().now();
+    kv::Request req = set_request(key, value);
+    req.trace = phases->trace;
     const kv::Response resp =
-        co_await client().invoke(node_of(owner), set_request(key, value));
+        co_await client().invoke(node_of(owner), std::move(req));
     if (tr != nullptr) {
       tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine",
-                   t0, issue_ns);
+                   t0, issue_ns, phases->trace.trace_id);
       tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
                    t0 + issue_ns,
-                   std::max<SimDur>(0, sim().now() - t0 - issue_ns));
+                   std::max<SimDur>(0, sim().now() - t0 - issue_ns),
+                   phases->trace.trace_id);
     }
     if (resp.code == StatusCode::kOk) {
       ++stored;
@@ -137,8 +143,9 @@ sim::Task<Status> AsyncReplicationEngine::do_set(kv::Key key,
     const std::size_t owner = ring().slot_index(key, slot);
     if (!membership().up(owner)) continue;
     request_ns += issue_cost(value ? value->size() : 0);
-    pending.push_back(
-        client().call_async(node_of(owner), set_request(key, value)));
+    kv::Request req = set_request(key, value);
+    req.trace = phases->trace;
+    pending.push_back(client().call_async(node_of(owner), std::move(req)));
   }
   phases->request_ns += request_ns;
   if (pending.empty()) {
@@ -158,10 +165,11 @@ sim::Task<Status> AsyncReplicationEngine::do_set(kv::Key key,
     // The issue slices serialize on the client CPU inside call_async; one
     // combined request span keeps the tracer totals equal to the phase sum.
     tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine", t0,
-                 request_ns);
+                 request_ns, phases->trace.trace_id);
     tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
                  t0 + request_ns,
-                 std::max<SimDur>(0, sim().now() - t0 - request_ns));
+                 std::max<SimDur>(0, sim().now() - t0 - request_ns),
+                 phases->trace.trace_id);
   }
   if (stored == 0) co_return Status{StatusCode::kUnavailable, "no replica stored"};
   co_return Status{worst};

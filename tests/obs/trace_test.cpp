@@ -95,6 +95,124 @@ TEST(Tracer, JsonIsAPureFunctionOfTheEvents) {
   EXPECT_EQ(build(), build());
 }
 
+// --- Causal tracing primitives ---------------------------------------------
+
+TEST(TraceContext, InvalidWhenDisabledAndChildKeepsTraceId) {
+  Tracer off;
+  EXPECT_EQ(off.new_trace_id(), 0u);
+  EXPECT_FALSE(TraceContext{}.valid());
+
+  Tracer on(true);
+  const TraceContext root{on.new_trace_id(), /*span_id=*/17, 0};
+  ASSERT_TRUE(root.valid());
+  const TraceContext child = root.child(99);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.span_id, 99u);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+}
+
+TEST(Tracer, TraceIdsAreDenseAndWatermarkSnapshotsThem) {
+  Tracer t(true);
+  const std::uint64_t wm = t.trace_watermark();
+  const std::uint64_t a = t.new_trace_id();
+  const std::uint64_t b = t.new_trace_id();
+  EXPECT_EQ(a, wm);
+  EXPECT_EQ(b, wm + 1);
+  EXPECT_EQ(t.trace_watermark(), wm + 2);
+}
+
+TEST(LanePool, ReusesLowestFreedLaneFirst) {
+  LanePool pool;
+  EXPECT_EQ(pool.acquire(), 0u);
+  EXPECT_EQ(pool.acquire(), 1u);
+  EXPECT_EQ(pool.acquire(), 2u);
+  pool.release(2);
+  pool.release(0);
+  EXPECT_EQ(pool.acquire(), 0u);  // lowest first, not LIFO
+  EXPECT_EQ(pool.acquire(), 2u);
+  EXPECT_EQ(pool.acquire(), 3u);  // pool empty again -> fresh lane
+}
+
+TEST(Tracer, TaggedSpansIncludeCompleteAndAsyncButNotFlows) {
+  Tracer t(true);
+  const std::uint32_t pid = t.declare_process("pt0");
+  const std::uint32_t other = t.declare_process("pt1");
+  t.complete(pid, 1, "get", "engine", 0, 100, /*trace_id=*/5);
+  t.async_span(pid, 7, "fabric/txq", "fabric", 10, 20, /*trace_id=*/5);
+  t.complete(pid, 2, "set", "engine", 0, 50);  // untagged: skipped
+  t.flow('s', pid, 1, 5, /*flow_id=*/1, /*trace_id=*/5);
+  t.instant(pid, 1, "fabric/drop", "fabric", 6, /*trace_id=*/5);
+  t.complete(other, 1, "get", "engine", 0, 9, /*trace_id=*/6);  // other pid
+
+  const std::vector<TraceSpan> spans = t.tagged_spans(pid);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "get");
+  EXPECT_EQ(spans[0].trace_id, 5u);
+  EXPECT_EQ(spans[0].dur_ns, 100);
+  // The async 'b' event carries the duration, so no 'e' pairing is needed.
+  EXPECT_EQ(spans[1].name, "fabric/txq");
+  EXPECT_EQ(spans[1].tid, 7u);
+  EXPECT_EQ(spans[1].dur_ns, 20);
+}
+
+TEST(Tracer, RetainTracesDropsOnlyUnkeptTaggedEvents) {
+  Tracer t(true);
+  const std::uint32_t pid = t.declare_process("pt0");
+  t.complete(pid, 1, "get", "engine", 0, 100, /*trace_id=*/1);
+  t.complete(pid, 2, "get", "engine", 0, 900, /*trace_id=*/2);
+  t.complete(pid, 3, "fabric/send", "fabric", 0, 10);  // untagged
+  t.counter(pid, "depth", 5, 1);
+  const std::size_t before = t.event_count();
+
+  t.retain_traces({2});
+  EXPECT_EQ(t.event_count(), before - 1);  // only trace 1's span dropped
+  const std::vector<TraceSpan> spans = t.tagged_spans(pid);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 2u);
+  // Totals were accumulated at record time and survive pruning.
+  EXPECT_EQ(t.total_ns(pid, "get"), 1000);
+  EXPECT_EQ(t.span_count(pid, "get"), 2u);
+}
+
+TEST(Tracer, FlowEventsSerializeAsArrowTriple) {
+  Tracer t(true);
+  const std::uint32_t pid = t.declare_process("pt0");
+  const std::uint64_t msg = t.new_flow_id();
+  t.flow('s', pid, 3, 100, msg, /*trace_id=*/9);
+  t.flow('t', pid, Tracer::kNicTidBase + 0, 150, msg, 9);
+  t.flow('f', pid, Tracer::kNicTidBase + 1, 300, msg, 9);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Binding-point "enclosing slice" so the arrow lands on the receiving
+  // span rather than the next one on the track.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"trace\":9}"), std::string::npos);
+}
+
+// Regression (hostile names): every control character, quote, and backslash
+// must be escaped so downstream `python3 -m json.tool` validation passes.
+TEST(Tracer, JsonEscapesHostileNames) {
+  Tracer t(true);
+  std::string hostile = "evil\"name\\with\nnewline\ttab\b\f";
+  hostile.push_back('\x01');
+  hostile.push_back('\x1f');
+  const std::uint32_t pid = t.declare_process(hostile);
+  t.complete(pid, 1, hostile, hostile, 0, 10);
+  const std::string json = t.to_json();
+  for (const char* needle : {"evil\\\"name\\\\with\\nnewline\\ttab\\b\\f",
+                             "\\u0001", "\\u001f"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // No raw control byte may survive into the serialized document (the
+  // inter-event '\n' separators are structural whitespace, which is legal).
+  for (const char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+  }
+}
+
 // --- Sampler ---------------------------------------------------------------
 
 struct SamplerRig {
@@ -134,6 +252,32 @@ TEST(Sampler, SamplesGaugesOnSimClockUntilStopped) {
   const std::string json = rig.tracer.to_json();
   EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+sim::Task<void> flush_workload(SamplerRig* rig, Sampler* sampler) {
+  // Change the gauge mid-interval, then stop immediately: no periodic tick
+  // lands between the change and the stop.
+  co_await rig->sim.delay(1'250);
+  rig->depth = 42;
+  sampler->request_stop();
+}
+
+// Regression (terminal flush): a gauge change in the last partial interval
+// must still be observed — request_stop() takes one final sample instead of
+// waiting for a tick that will never come.
+TEST(Sampler, RequestStopFlushesFinalSample) {
+  SamplerRig rig;
+  Sampler sampler(rig.sim, rig.tracer, rig.pid, /*interval_ns=*/1'000);
+  sampler.add_gauge("queue_depth", [&rig] { return rig.depth; });
+  rig.sim.spawn(flush_workload(&rig, &sampler));
+  sampler.start();
+  rig.sim.run();
+  // Ticks at t=0 and t=1000 saw depth 0; only the flush can see 42.
+  EXPECT_EQ(sampler.series_stats(0).max(), 42.0);
+  // And the flush happens exactly once even if stop is requested again.
+  const std::uint64_t n = sampler.samples();
+  sampler.request_stop();
+  EXPECT_EQ(sampler.samples(), n);
 }
 
 TEST(Sampler, DisabledTracerMakesStartANoOp) {

@@ -1,0 +1,500 @@
+// trace_report — offline critical-path reader for exported trace JSON.
+//
+// Reads a Chrome trace_event file written by `--trace-out` (any bench),
+// rebuilds the tagged spans per process (experiment point), runs the same
+// obs::analyze_critical_path coverage sweep the in-process harnesses use,
+// and prints:
+//   * a per-process aggregate attribution table (mean us per op kind),
+//   * a tail-attribution table over the slowest 1% of ops,
+//   * the slowest individual ops with their full phase split,
+//   * a final "ops analyzed: N" summary line (CI greps for it).
+//
+// The parser is deliberately minimal but is a real tokenizer, not a
+// line-matcher: it streams the "traceEvents" array one event at a time, so
+// memory stays proportional to the tagged spans, not the file. Timestamps
+// are parsed exactly (the tracer writes fractional microseconds with three
+// decimals, i.e. integer nanoseconds), so the per-op phase sums reproduce
+// the in-process invariant phase_sum == total exactly.
+//
+// Usage: trace_report <trace.json> [--tail-frac=F] [--slowest=N]
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace hpres;  // NOLINT(google-build-using-namespace)
+
+// ---------------------------------------------------------------- JSON ----
+
+/// One parsed JSON value. Numbers keep their raw token so time fields can be
+/// converted exactly (no double round-trip).
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string raw;  ///< number token or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  /// Parses one value at the cursor; exits with a message on malformed input
+  /// (this is a CLI reading a file we also validate with json.tool in CI —
+  /// a hard error beats limping on).
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': expect("true"); return make_bool(true);
+      case 'f': expect("false"); return make_bool(false);
+      case 'n': expect("null"); return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  /// Consumes `c` if present; returns whether it was.
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void require(char c) {
+    if (!consume(c)) fail("expected character");
+  }
+
+  std::string parse_key() {
+    JsonValue key = parse_string();
+    require(':');
+    return std::move(key.raw);
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    std::fprintf(stderr, "trace_report: JSON error at byte %zu: %s\n", pos_,
+                 what);
+    std::exit(2);
+  }
+  void expect(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+  }
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue parse_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected string");
+    ++pos_;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4U;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit");
+            }
+            // Control-plane names are ASCII; encode BMP code points as UTF-8.
+            if (cp < 0x80) {
+              c = static_cast<char>(cp);
+            } else {
+              if (cp < 0x800) {
+                v.raw.push_back(static_cast<char>(0xC0U | (cp >> 6U)));
+              } else {
+                v.raw.push_back(static_cast<char>(0xE0U | (cp >> 12U)));
+                v.raw.push_back(
+                    static_cast<char>(0x80U | ((cp >> 6U) & 0x3FU)));
+              }
+              c = static_cast<char>(0x80U | (cp & 0x3FU));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      }
+      v.raw.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.raw.assign(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  JsonValue parse_array() {
+    require('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (consume(']')) return v;
+    do {
+      v.items.push_back(parse_value());
+    } while (consume(','));
+    require(']');
+    return v;
+  }
+
+  JsonValue parse_object() {
+    require('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (consume('}')) return v;
+    do {
+      std::string key = parse_key();
+      v.members.emplace_back(std::move(key), parse_value());
+    } while (consume(','));
+    require('}');
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Exact "us.nnn" -> integer nanoseconds (the tracer always writes three
+/// fractional digits; fewer/more are scaled, so hand-edited files work too).
+std::int64_t time_us_to_ns(const std::string& raw) {
+  const char* p = raw.c_str();
+  bool neg = false;
+  if (*p == '-') {
+    neg = true;
+    ++p;
+  }
+  std::int64_t whole = 0;
+  while (*p >= '0' && *p <= '9') whole = whole * 10 + (*p++ - '0');
+  std::int64_t frac = 0;
+  if (*p == '.') {
+    ++p;
+    int digits = 0;
+    while (*p >= '0' && *p <= '9' && digits < 3) {
+      frac = frac * 10 + (*p++ - '0');
+      ++digits;
+    }
+    while (digits++ < 3) frac *= 10;
+    while (*p >= '0' && *p <= '9') ++p;  // sub-ns digits: truncate
+  }
+  const std::int64_t ns = whole * 1000 + frac;
+  return neg ? -ns : ns;
+}
+
+std::uint64_t to_u64(const JsonValue* v) {
+  if (v == nullptr) return 0;
+  return std::strtoull(v->raw.c_str(), nullptr, 10);
+}
+
+// ------------------------------------------------------- span rebuild ----
+
+struct ProcessTrace {
+  std::string name;
+  std::vector<obs::TraceSpan> spans;
+};
+
+/// Key for pairing async 'b'/'e' events, mirroring the tracer's emission:
+/// one async id per (pid, id, name) span.
+struct AsyncKey {
+  std::uint64_t pid;
+  std::uint64_t id;
+  std::string name;
+
+  bool operator<(const AsyncKey& o) const {
+    if (pid != o.pid) return pid < o.pid;
+    if (id != o.id) return id < o.id;
+    return name < o.name;
+  }
+};
+
+struct AsyncOpen {
+  std::uint64_t trace = 0;
+  std::int64_t begin_ns = 0;
+  std::string cat;
+};
+
+void harvest_event(const JsonValue& ev, std::map<std::uint64_t, ProcessTrace>& procs,
+                   std::map<AsyncKey, AsyncOpen>& open, std::size_t* events) {
+  ++*events;
+  const JsonValue* ph = ev.find("ph");
+  if (ph == nullptr || ph->raw.size() != 1) return;
+  const std::uint64_t pid = to_u64(ev.find("pid"));
+
+  if (ph->raw[0] == 'M') {
+    const JsonValue* args = ev.find("args");
+    const JsonValue* name = args != nullptr ? args->find("name") : nullptr;
+    if (name != nullptr) procs[pid].name = name->raw;
+    return;
+  }
+
+  const JsonValue* args = ev.find("args");
+  const std::uint64_t trace =
+      args != nullptr ? to_u64(args->find("trace")) : 0;
+  const JsonValue* name = ev.find("name");
+  const JsonValue* cat = ev.find("cat");
+  const JsonValue* ts = ev.find("ts");
+  if (name == nullptr || ts == nullptr) return;
+
+  switch (ph->raw[0]) {
+    case 'X': {
+      if (trace == 0) return;
+      const JsonValue* dur = ev.find("dur");
+      procs[pid].spans.push_back(obs::TraceSpan{
+          trace, to_u64(ev.find("tid")), time_us_to_ns(ts->raw),
+          dur != nullptr ? time_us_to_ns(dur->raw) : 0, name->raw,
+          cat != nullptr ? cat->raw : ""});
+      return;
+    }
+    case 'b': {
+      if (trace == 0) return;
+      AsyncKey key{pid, to_u64(ev.find("id")), name->raw};
+      open[std::move(key)] = AsyncOpen{trace, time_us_to_ns(ts->raw),
+                                       cat != nullptr ? cat->raw : ""};
+      return;
+    }
+    case 'e': {
+      AsyncKey key{pid, to_u64(ev.find("id")), name->raw};
+      const auto it = open.find(key);
+      if (it == open.end()) return;
+      // tagged_spans() reports the async id as the span tid; keep that so
+      // offline analysis matches the in-process sweep span-for-span.
+      procs[pid].spans.push_back(obs::TraceSpan{
+          it->second.trace, key.id, it->second.begin_ns,
+          time_us_to_ns(ts->raw) - it->second.begin_ns, name->raw,
+          it->second.cat});
+      open.erase(it);
+      return;
+    }
+    default:
+      return;  // flows, instants, counters carry no duration
+  }
+}
+
+// ------------------------------------------------------------ reports ----
+
+double us(SimDur ns) { return static_cast<double>(ns) * 1e-3; }
+
+void print_phase_header(const char* lead) {
+  std::printf("%-24s %8s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s"
+              " %10s %10s\n",
+              lead, "ops", "serial_us", "encode_us", "decode_us", "queue_us",
+              "fanout_us", "net_us", "server_us", "waitk_us", "other_us",
+              "total_us", "dec_us", "dec_exp_us");
+}
+
+void print_aggregate_row(const std::string& label, const obs::PhaseAggregate& agg) {
+  if (agg.count == 0) return;
+  const double n = static_cast<double>(agg.count);
+  std::printf("%-24s %8" PRIu64, label.c_str(), agg.count);
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    std::printf(" %10.2f", us(agg.phase_ns[i]) / n);
+  }
+  std::printf(" %10.2f %10.2f %10.2f\n", us(agg.total_ns) / n,
+              us(agg.decode_ns) / n, us(agg.decode_exposed_ns) / n);
+}
+
+void print_op_row(const obs::OpAttribution& op) {
+  char label[64];
+  std::snprintf(label, sizeof label, "%s #%" PRIu64, op.op.c_str(),
+                op.trace_id);
+  std::printf("%-24s %8d", label, 1);
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    std::printf(" %10.2f", us(op.phase_ns[i]));
+  }
+  std::printf(" %10.2f %10.2f %10.2f\n", us(op.total_ns), us(op.decode_ns),
+              us(op.decode_exposed_ns));
+}
+
+struct Options {
+  const char* path = nullptr;
+  double tail_frac = 0.01;
+  std::size_t slowest = 10;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--tail-frac=", 0) == 0) {
+      opt.tail_frac = std::strtod(argv[i] + 12, nullptr);
+    } else if (arg.rfind("--slowest=", 0) == 0) {
+      opt.slowest = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (opt.path == nullptr) {
+      opt.path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: trace_report <trace.json>"
+                           " [--tail-frac=F] [--slowest=N]\n");
+      std::exit(2);
+    }
+  }
+  if (opt.path == nullptr) {
+    std::fprintf(stderr, "usage: trace_report <trace.json>"
+                         " [--tail-frac=F] [--slowest=N]\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  std::ifstream in(opt.path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", opt.path);
+    return 2;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  // Stream the top-level object: everything except "traceEvents" is parsed
+  // and dropped; events are harvested one at a time.
+  std::map<std::uint64_t, ProcessTrace> procs;
+  std::map<AsyncKey, AsyncOpen> open;
+  std::size_t events = 0;
+  {
+    JsonParser parser(text);
+    parser.require('{');
+    if (!parser.consume('}')) {
+      do {
+        const std::string key = parser.parse_key();
+        if (key == "traceEvents") {
+          parser.require('[');
+          if (!parser.consume(']')) {
+            do {
+              const JsonValue ev = parser.parse_value();
+              harvest_event(ev, procs, open, &events);
+            } while (parser.consume(','));
+            parser.require(']');
+          }
+        } else {
+          (void)parser.parse_value();
+        }
+      } while (parser.consume(','));
+      parser.require('}');
+    }
+  }
+
+  std::size_t total_ops = 0;
+  for (auto& [pid, proc] : procs) {
+    if (proc.spans.empty()) continue;
+    const obs::CriticalPathAnalysis cp =
+        obs::analyze_critical_path(proc.spans);
+    std::printf("\n== process %" PRIu64 " — %s ==\n", pid,
+                proc.name.empty() ? "(unnamed)" : proc.name.c_str());
+    std::printf("tagged spans: %zu, ops: %zu, rootless traces: %zu\n",
+                cp.spans_seen, cp.ops.size(), cp.traces_without_root);
+    if (cp.ops.empty()) continue;
+    total_ops += cp.ops.size();
+
+    // Exactness invariant holds offline too (exact timestamp parsing).
+    for (const obs::OpAttribution& op : cp.ops) {
+      if (op.phase_sum() != op.total_ns) {
+        std::fprintf(stderr,
+                     "trace_report: phase sum %" PRId64 " != total %" PRId64
+                     " for trace %" PRIu64 "\n",
+                     op.phase_sum(), op.total_ns, op.trace_id);
+        return 1;
+      }
+    }
+
+    std::map<std::string, obs::PhaseAggregate> by_op;
+    for (const obs::OpAttribution& op : cp.ops) by_op[op.op].add(op);
+    std::printf("\ncritical-path attribution (mean us per op)\n");
+    print_phase_header("op");
+    for (const auto& [name, agg] : by_op) print_aggregate_row(name, agg);
+
+    const std::vector<const obs::OpAttribution*> tail =
+        obs::slowest_fraction(cp.ops, opt.tail_frac);
+    obs::PhaseAggregate tail_agg;
+    for (const obs::OpAttribution* op : tail) tail_agg.add(*op);
+    std::printf("\ntail attribution (slowest %.1f%% = %zu ops, mean us)\n",
+                opt.tail_frac * 100.0, tail.size());
+    print_phase_header("cohort");
+    print_aggregate_row("tail", tail_agg);
+
+    std::printf("\nslowest ops\n");
+    print_phase_header("op #trace");
+    for (std::size_t i = 0; i < tail.size() && i < opt.slowest; ++i) {
+      print_op_row(*tail[i]);
+    }
+  }
+
+  std::printf("\nevents: %zu, ops analyzed: %zu\n", events, total_ops);
+  return total_ops > 0 ? 0 : 3;
+}

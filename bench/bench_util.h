@@ -165,6 +165,27 @@ class ObsSession {
 inline void obs_init(int argc, char** argv) {
   ObsSession::instance().init(argc, argv);
 }
+
+/// Parses an `--flag=N` integer harness argument; `fallback` when absent.
+/// Exits with code 2 on a malformed value (same contract as the
+/// observability flags above).
+inline std::int64_t arg_int(int argc, char** argv, std::string_view prefix,
+                            std::int64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with(prefix)) continue;
+    const std::string value(arg.substr(prefix.size()));
+    try {
+      return std::stoll(value);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: %.*s expects an integer, got \"%s\"\n",
+                   static_cast<int>(prefix.size() - 1), prefix.data(),
+                   value.c_str());
+      std::exit(2);
+    }
+  }
+  return fallback;
+}
 [[nodiscard]] inline int obs_finalize() {
   return ObsSession::instance().finalize();
 }
@@ -183,7 +204,8 @@ class Testbench {
   Testbench(const cluster::Testbed& bed, std::size_t servers,
             std::size_t clients, resilience::Design design, std::size_t k = 3,
             std::size_t m = 2, std::uint32_t rep_factor = 3,
-            resilience::ArpeParams arpe = {}, std::string point_label = {})
+            resilience::ArpeParams arpe = {},
+            resilience::HedgeParams hedge = {}, std::string point_label = {})
       : codec_(k, m),
         cost_(ec::CostModel::defaults(ec::Scheme::kRsVandermonde, k, m,
                                       bed.cpu_factor)),
@@ -208,7 +230,7 @@ class Testbench {
       ctx.trace_pid = trace_pid_;
       ctx.recorder = &recorder_;
       engines_.push_back(resilience::make_engine(design, ctx, rep_factor,
-                                                 &codec_, cost_, arpe));
+                                                 &codec_, cost_, arpe, hedge));
     }
     cluster_.start();
     if (obs.metrics_enabled()) {
@@ -280,6 +302,18 @@ class Testbench {
       sampler_->add_gauge(node + "/bufpool.in_use", [engine] {
         return static_cast<std::int64_t>(engine->arpe().buffers_in_use());
       });
+    }
+    // Per-server load scores as seen by client 0's tracker (when the
+    // engine has one): what load-aware read-set selection actually ranks
+    // on, scaled x1000 so fractional EWMA movement survives the int gauge.
+    if (const resilience::NodeLoadTracker* lt = engines_[0]->load_tracker();
+        lt != nullptr) {
+      for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
+        sampler_->add_gauge(
+            "server" + std::to_string(s) + "/load_score_x1000", [lt, s] {
+              return static_cast<std::int64_t>(lt->score(s) * 1000.0);
+            });
+      }
     }
     cluster::Cluster* cl = &cluster_;
     sampler_->add_gauge("fabric/in_flight_bytes", [cl] {

@@ -49,6 +49,10 @@ struct RunOut {
   std::uint64_t degraded_sets = 0;
   std::uint64_t failover_fetches = 0;
   std::uint64_t fallback_gets = 0;
+  std::uint64_t hedged_gets = 0;
+  std::uint64_t hedges_fired = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedge_wasted_bytes = 0;
   double repair_ms = 0.0;
   std::uint64_t fragments_rebuilt = 0;
   /// Measured-pass percentile rows; the {get, degraded=yes} row isolates
@@ -92,12 +96,13 @@ sim::Task<void> repair_proc(resilience::RepairCoordinator* repair) {
 /// One full experiment: preload, run the op streams (optionally with a
 /// mid-run crash + restart of kCrashedServer), then a repair pass when a
 /// fault was injected. `dry_makespan_ns` <= 0 means fault-free baseline;
-/// otherwise the crash lands at 50% and the restart at 75% of it.
-RunOut run_once(SimDur dry_makespan_ns) {
+/// otherwise the crash lands at 50% and the restart at 75% of it. `hedge`
+/// configures hedged/load-aware reads on every client engine.
+RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
   const bool inject = dry_makespan_ns > 0;
   const workload::YcsbConfig cfg = bench_config();
   Testbench bench(cluster::ri_qdr(), kServers, kClients,
-                  resilience::Design::kEraCeCd);
+                  resilience::Design::kEraCeCd, 3, 2, 3, {}, hedge);
   if (inject) bench.cluster().set_rpc_policy(guard_policy());
   cluster::FaultSchedule faults(bench.cluster(), kDetectionLagNs);
 
@@ -154,6 +159,10 @@ RunOut run_once(SimDur dry_makespan_ns) {
     out.degraded_sets += eng.degraded_sets;
     out.failover_fetches += eng.failover_fetches;
     out.fallback_gets += eng.fallback_gets;
+    out.hedged_gets += eng.hedged_gets;
+    out.hedges_fired += eng.hedges_fired;
+    out.hedge_wins += eng.hedge_wins;
+    out.hedge_wasted_bytes += eng.hedge_wasted_bytes;
   }
 
   if (inject) {
@@ -202,24 +211,41 @@ int main(int argc, char** argv) {
 
   const RunOut baseline = run_once(0);
   const RunOut faulted = run_once(baseline.makespan_ns);
+  // Same crash schedule with hedged + load-aware reads: a Get whose k-set
+  // includes the (not-yet-detected) dead server completes on its hedge
+  // fetch instead of waiting out the full RPC deadline ladder.
+  resilience::HedgeParams hedge;
+  hedge.delta = 1;
+  hedge.load_aware = true;
+  const RunOut hedged = run_once(baseline.makespan_ns, hedge);
 
   print_header("YCSB under mid-workload crash",
                {"run", "ops/s", "read_us", "read_p99", "avail_%", "timeouts",
                 "unavail"});
   print_run("fault-free", baseline);
   print_run("crash+restart", faulted);
+  print_run("crash+hedged", hedged);
 
-  print_header("failure-handling detail (crash+restart run)",
-               {"rpc_tmo", "rpc_retry", "rpc_expired", "degr_get", "degr_set",
-                "failover", "fallback"});
-  print_cell(static_cast<double>(faulted.rpc_timeouts));
-  print_cell(static_cast<double>(faulted.rpc_retries));
-  print_cell(static_cast<double>(faulted.rpc_expired));
-  print_cell(static_cast<double>(faulted.degraded_gets));
-  print_cell(static_cast<double>(faulted.degraded_sets));
-  print_cell(static_cast<double>(faulted.failover_fetches));
-  print_cell(static_cast<double>(faulted.fallback_gets));
-  end_row();
+  const auto detail = [](const char* label, const RunOut& run) {
+    print_cell(label);
+    print_cell(static_cast<double>(run.rpc_timeouts));
+    print_cell(static_cast<double>(run.rpc_retries));
+    print_cell(static_cast<double>(run.degraded_gets));
+    print_cell(static_cast<double>(run.failover_fetches));
+    print_cell(static_cast<double>(run.fallback_gets));
+    print_cell(static_cast<double>(run.hedges_fired));
+    print_cell(static_cast<double>(run.hedge_wins));
+    print_cell(static_cast<double>(run.hedge_wasted_bytes) / 1024.0);
+    end_row();
+  };
+  print_header("failure-handling detail",
+               {"run", "rpc_tmo", "rpc_retry", "degr_get", "failover",
+                "fallback", "hedges", "h_wins", "h_waste_KB"});
+  detail("crash+restart", faulted);
+  detail("crash+hedged", hedged);
+  std::printf("(crash+restart run: rpc_expired=%llu degr_set=%llu)\n",
+              static_cast<unsigned long long>(faulted.rpc_expired),
+              static_cast<unsigned long long>(faulted.degraded_sets));
 
   print_header("post-restart repair", {"repair_ms", "frags_rebuilt"});
   print_cell(faulted.repair_ms);
@@ -233,5 +259,7 @@ int main(int argc, char** argv) {
                      baseline.latency);
   print_latency_rows("latency percentiles (crash+restart run)",
                      faulted.latency);
+  print_latency_rows("latency percentiles (crash+hedged run)",
+                     hedged.latency);
   return obs_finalize();
 }

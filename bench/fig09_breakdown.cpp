@@ -161,7 +161,8 @@ int run_table(const char* title, bool get_with_failures) {
       const std::string label = std::string(to_string(design)) + "/" +
                                 size_label(size) +
                                 (get_with_failures ? "/get" : "/set");
-      Testbench bench(cluster::ri_qdr(), 5, 1, design, 3, 2, 3, {}, label);
+      Testbench bench(cluster::ri_qdr(), 5, 1, design, 3, 2, 3, {}, {},
+                      label);
       workload::OhbConfig cfg;
       cfg.operations = scaled(500);
       cfg.value_size = size;

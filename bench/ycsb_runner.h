@@ -8,7 +8,10 @@
 // set HPRES_BENCH_SCALE to grow them.
 #pragma once
 
+#include <optional>
+
 #include "bench_util.h"
+#include "cluster/fault_schedule.h"
 #include "workload/ycsb.h"
 
 namespace hpres::bench {
@@ -19,6 +22,15 @@ struct YcsbRun {
   /// Measured-pass percentile rows ({op, scheme, degraded}, p50..p99.9)
   /// from the always-on LatencyRecorder; preload ops are excluded.
   std::vector<obs::LatencyRow> latency;
+  /// Hedging / failure-handling counters summed over all client engines
+  /// (measured pass; the preload runs before a fault or hedge can fire).
+  std::uint64_t hedged_gets = 0;
+  std::uint64_t hedges_fired = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedges_suppressed = 0;
+  std::uint64_t hedge_wasted_bytes = 0;
+  std::uint64_t failover_fetches = 0;
+  std::uint64_t degraded_gets = 0;
 
   [[nodiscard]] double throughput_ops_s() const {
     return merged.throughput_ops_per_s(makespan_ns);
@@ -56,12 +68,31 @@ inline sim::Task<void> loader_proc(sim::Simulator* sim,
 
 }  // namespace detail
 
+/// Knobs for run_ycsb beyond the testbed/design/workload triple.
+struct YcsbRunOpts {
+  std::size_t servers = 5;
+  std::size_t clients = 150;
+  std::uint32_t rep_factor = 3;
+  resilience::ArpeParams arpe = {};
+  resilience::HedgeParams hedge = {};
+  /// RPC deadline policy armed on every node when set (required for runs
+  /// that crash servers mid-op; harmless otherwise).
+  std::optional<kv::RpcPolicy> policy;
+  /// > 1.0: gray-slow `slow_server` by this compute factor from the start
+  /// of the measured pass (the preload runs at full speed).
+  double slow_factor = 1.0;
+  std::size_t slow_server = 0;
+  std::string point_label = {};
+};
+
 inline YcsbRun run_ycsb(const cluster::Testbed& bed,
-                        resilience::Design design,
-                        workload::YcsbConfig cfg, std::size_t servers = 5,
-                        std::size_t clients = 150,
-                        std::uint32_t rep_factor = 3) {
-  Testbench bench(bed, servers, clients, design, 3, 2, rep_factor);
+                        resilience::Design design, workload::YcsbConfig cfg,
+                        const YcsbRunOpts& opts) {
+  const std::size_t clients = opts.clients;
+  Testbench bench(bed, opts.servers, clients, design, 3, 2, opts.rep_factor,
+                  opts.arpe, opts.hedge, opts.point_label);
+  if (opts.policy) bench.cluster().set_rpc_policy(*opts.policy);
+  cluster::FaultSchedule faults(bench.cluster());
 
   // Preload, partitioned over a handful of loader clients.
   const std::size_t loaders = std::min<std::size_t>(8, clients);
@@ -90,6 +121,10 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
   YcsbRun run;
   std::vector<workload::YcsbResult> results(clients);
   const SimTime start = bench.sim().now();
+  if (opts.slow_factor > 1.0) {
+    faults.add_slowdown(start, opts.slow_server, opts.slow_factor);
+    faults.arm();
+  }
   {
     sim::Latch done(bench.sim(), static_cast<std::uint32_t>(clients));
     for (std::size_t c = 0; c < clients; ++c) {
@@ -102,7 +137,30 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
   run.makespan_ns = bench.sim().now() - start;
   for (const auto& r : results) run.merged.merge(r);
   run.latency = bench.recorder().rows();
+  for (std::size_t c = 0; c < clients; ++c) {
+    const resilience::EngineStats& eng = bench.engine(c).stats();
+    run.hedged_gets += eng.hedged_gets;
+    run.hedges_fired += eng.hedges_fired;
+    run.hedge_wins += eng.hedge_wins;
+    run.hedges_suppressed += eng.hedges_suppressed;
+    run.hedge_wasted_bytes += eng.hedge_wasted_bytes;
+    run.failover_fetches += eng.failover_fetches;
+    run.degraded_gets += eng.degraded_gets;
+  }
   return run;
+}
+
+/// Back-compat shim for the original positional signature.
+inline YcsbRun run_ycsb(const cluster::Testbed& bed,
+                        resilience::Design design,
+                        workload::YcsbConfig cfg, std::size_t servers = 5,
+                        std::size_t clients = 150,
+                        std::uint32_t rep_factor = 3) {
+  YcsbRunOpts opts;
+  opts.servers = servers;
+  opts.clients = clients;
+  opts.rep_factor = rep_factor;
+  return run_ycsb(bed, design, cfg, opts);
 }
 
 /// Testbed variant that swaps the fabric for IPoIB (the Memc-IPoIB

@@ -18,6 +18,14 @@ void FaultSchedule::add_restart(SimTime at_ns, std::size_t server_index) {
   events_.push_back(FaultEvent{at_ns, server_index, true, false});
 }
 
+void FaultSchedule::add_slowdown(SimTime at_ns, std::size_t server_index,
+                                 double factor) {
+  assert(!armed_ && "schedule is frozen once armed");
+  assert(server_index < cluster_->num_servers());
+  assert(factor >= 1.0);
+  events_.push_back(FaultEvent{at_ns, server_index, false, false, factor});
+}
+
 void FaultSchedule::arm() {
   assert(!armed_ && "FaultSchedule::arm called twice");
   armed_ = true;
@@ -32,6 +40,14 @@ void FaultSchedule::arm() {
 
 void FaultSchedule::apply(const FaultEvent& ev) {
   kv::Server& server = cluster_->server(ev.server);
+  if (ev.slow > 0.0) {
+    // Gray failure: the node answers slowly but is never marked down, so
+    // neither fabric fail-fast nor membership-driven degraded reads kick
+    // in — only latency-side mechanisms (hedging) can mask it.
+    server.set_slowdown(ev.slow);
+    ++fired_;
+    return;
+  }
   if (ev.restart) {
     // The node is reachable again immediately; the membership oracle
     // re-admits it only after the detection lag.

@@ -35,6 +35,12 @@ class FaultSchedule {
   /// Schedules a restart of `server_index` at simulated time `at_ns`.
   void add_restart(SimTime at_ns, std::size_t server_index);
 
+  /// Schedules a gray failure: from `at_ns` on, `server_index` multiplies
+  /// its compute costs by `factor` (1.0 restores full speed). Fabric and
+  /// membership are untouched — the node keeps answering, slowly — which is
+  /// exactly the straggler pattern hedged reads are built to mask.
+  void add_slowdown(SimTime at_ns, std::size_t server_index, double factor);
+
   /// Spawns the driver coroutine. Call exactly once, before running the
   /// simulation; the schedule must outlive the simulation.
   void arm();
@@ -48,6 +54,7 @@ class FaultSchedule {
     std::size_t server = 0;
     bool restart = false;
     bool wipe = false;
+    double slow = 0.0;  ///< > 0: gray-failure slowdown, not a crash/restart
   };
 
   static sim::Task<void> driver(FaultSchedule* self);

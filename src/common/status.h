@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kTooManyFailures,   ///< Not enough surviving fragments to reconstruct.
   kInvalidArgument,   ///< Malformed request or unsupported parameter.
   kResourceExhausted, ///< Client-side buffer pool / window exhausted.
+  kCancelled,         ///< Call abandoned by its issuer (hedged-read straggler).
   kInternal,          ///< Invariant violation; indicates a bug.
 };
 
@@ -41,6 +42,7 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kTooManyFailures: return "TOO_MANY_FAILURES";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -12,6 +12,45 @@ namespace hpres::ec {
 
 namespace {
 const GF256& gf() { return GF256::instance(); }
+
+/// Greedy rank-building pass: walks `candidates` in order, accepting each
+/// row of `generator` that is independent of the rows accepted so far,
+/// until k rows span the data space. Pivot columns are cached per accepted
+/// row so each candidate reduces in O(k^2). nullopt when the candidates
+/// never reach rank k (erasure pattern not decodable).
+std::optional<std::vector<std::size_t>> greedy_spanning_subset(
+    const GfMatrix& generator, std::size_t k,
+    const std::vector<std::size_t>& candidates) {
+  std::vector<std::size_t> survivors;
+  GfMatrix echelon(k, k);  // row-reduced rows accepted so far
+  std::vector<std::size_t> pivot_cols;
+  pivot_cols.reserve(k);
+  std::size_t rank = 0;
+  for (const std::size_t idx : candidates) {
+    if (rank == k) break;
+    // Reduce the candidate row against the accepted basis.
+    std::vector<std::uint8_t> row(k);
+    for (std::size_t c = 0; c < k; ++c) row[c] = generator.at(idx, c);
+    for (std::size_t r = 0; r < rank; ++r) {
+      const std::size_t pivot = pivot_cols[r];
+      if (row[pivot] == 0) continue;
+      const std::uint8_t factor = gf().div(row[pivot], echelon.at(r, pivot));
+      for (std::size_t c = 0; c < k; ++c) {
+        row[c] ^= gf().mul(factor, echelon.at(r, c));
+      }
+    }
+    // The reduced row's first nonzero column becomes its pivot.
+    std::size_t pivot = 0;
+    while (pivot < k && row[pivot] == 0) ++pivot;
+    if (pivot == k) continue;  // dependent on rows already accepted
+    for (std::size_t c = 0; c < k; ++c) echelon.at(rank, c) = row[c];
+    pivot_cols.push_back(pivot);
+    ++rank;
+    survivors.push_back(idx);
+  }
+  if (rank < k) return std::nullopt;
+  return survivors;
+}
 }  // namespace
 
 MatrixCodec::MatrixCodec(std::size_t k, std::size_t m, GfMatrix generator)
@@ -66,6 +105,30 @@ Result<std::vector<std::size_t>> MatrixCodec::select_read_set(
   return chosen;
 }
 
+Result<std::vector<std::size_t>> MatrixCodec::select_read_set_ordered(
+    const std::vector<bool>& available,
+    std::span<const std::size_t> preference) const {
+  const std::vector<std::size_t> candidates =
+      ordered_candidates(available, preference);
+  if (candidates.size() < k()) {
+    return Status{StatusCode::kTooManyFailures,
+                  "fewer than k fragments available"};
+  }
+  std::vector<std::size_t> chosen(
+      candidates.begin(),
+      candidates.begin() + static_cast<std::ptrdiff_t>(k()));
+  // MDS fast path: any k rows are independent, so the top-k-by-preference
+  // choice stands.
+  if (generator_.select_rows(chosen).inverted().ok()) return chosen;
+  std::optional<std::vector<std::size_t>> spanning =
+      greedy_spanning_subset(generator_, k(), candidates);
+  if (!spanning) {
+    return Status{StatusCode::kTooManyFailures,
+                  "erasure pattern not decodable by this code"};
+  }
+  return *spanning;
+}
+
 Status MatrixCodec::reconstruct(std::span<ByteSpan> fragments,
                                 const std::vector<bool>& present) const {
   return solve_erased(fragments, present, /*data_only=*/false);
@@ -114,41 +177,13 @@ Result<MatrixCodec::RecoveryPlan> MatrixCodec::plan_recovery(
                         candidates.begin() + static_cast<std::ptrdiff_t>(k()));
   Result<GfMatrix> inv = generator_.select_rows(plan.survivors).inverted();
   if (!inv.ok() && candidates.size() > k()) {
-    plan.survivors.clear();
-    GfMatrix echelon(k(), k());  // row-reduced rows accepted so far
-    // Pivot column of each accepted echelon row, recorded as rows are
-    // accepted — without it every candidate would re-scan every accepted
-    // row for its pivot, turning the greedy pass O(k^3) with repivoting.
-    std::vector<std::size_t> pivot_cols;
-    pivot_cols.reserve(k());
-    std::size_t rank = 0;
-    for (const std::size_t idx : candidates) {
-      if (rank == k()) break;
-      // Reduce the candidate row against the accepted basis.
-      std::vector<std::uint8_t> row(k());
-      for (std::size_t c = 0; c < k(); ++c) row[c] = generator_.at(idx, c);
-      for (std::size_t r = 0; r < rank; ++r) {
-        const std::size_t pivot = pivot_cols[r];
-        if (row[pivot] == 0) continue;
-        const std::uint8_t factor =
-            gf().div(row[pivot], echelon.at(r, pivot));
-        for (std::size_t c = 0; c < k(); ++c) {
-          row[c] ^= gf().mul(factor, echelon.at(r, c));
-        }
-      }
-      // The reduced row's first nonzero column becomes its pivot.
-      std::size_t pivot = 0;
-      while (pivot < k() && row[pivot] == 0) ++pivot;
-      if (pivot == k()) continue;  // dependent on rows already accepted
-      for (std::size_t c = 0; c < k(); ++c) echelon.at(rank, c) = row[c];
-      pivot_cols.push_back(pivot);
-      ++rank;
-      plan.survivors.push_back(idx);
-    }
-    if (rank < k()) {
+    std::optional<std::vector<std::size_t>> spanning =
+        greedy_spanning_subset(generator_, k(), candidates);
+    if (!spanning) {
       return Status{StatusCode::kTooManyFailures,
                     "erasure pattern not decodable by this code"};
     }
+    plan.survivors = std::move(*spanning);
     inv = generator_.select_rows(plan.survivors).inverted();
   }
   if (!inv.ok()) {

@@ -79,6 +79,11 @@ struct Response {
   /// Causal trace header (see Request::trace): the responder echoes the
   /// request's trace id with its handler span as the new parent.
   obs::TraceContext trace;
+  /// Responder's handler queue depth at reply time — the load signal behind
+  /// client-side read-set selection. Metadata, like `trace`: it rides in
+  /// headers the cost model already charges, so it carries no simulated
+  /// wire bytes (payload_bytes excludes it).
+  std::uint32_t queue_depth = 0;
 };
 
 using WireBody = std::variant<Request, Response>;

@@ -26,6 +26,17 @@ sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
   return future;
 }
 
+void RpcNode::cancel_resolve(std::uint64_t rpc_id) {
+  const auto it = pending_.find(rpc_id);
+  if (it == pending_.end()) return;
+  sim::Promise<Response> promise = std::move(it->second);
+  pending_.erase(it);
+  Response cancelled;
+  cancelled.rpc_id = rpc_id;
+  cancelled.code = StatusCode::kCancelled;
+  promise.set_value(std::move(cancelled));
+}
+
 sim::Task<Response> RpcNode::call_guarded(NodeId dst, Request req) {
   if (policy_.timeout_ns <= 0) {
     const sim::Future<Response> f = call(dst, std::move(req));

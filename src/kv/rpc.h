@@ -104,6 +104,18 @@ class RpcNode {
   /// dispatch loop, and a late response is ignored as stale.
   void cancel(std::uint64_t rpc_id) { pending_.erase(rpc_id); }
 
+  /// Abandons a pending call AND resolves its future with kCancelled, so a
+  /// coroutine awaiting that future unwinds instead of leaking parked until
+  /// process exit. A late wire response is dropped as stale, exactly as
+  /// with cancel(). No-op for unknown/already-resolved ids.
+  void cancel_resolve(std::uint64_t rpc_id);
+
+  /// Rpc id issued by this node's most recent call() (0 when that call
+  /// failed fast). Lets fan-out issuers remember ids for cancel_resolve.
+  [[nodiscard]] std::uint64_t last_call_id() const noexcept {
+    return last_call_id_;
+  }
+
  protected:
   /// Handles one incoming request envelope. Implementations should spawn a
   /// coroutine for any work that suspends.

@@ -173,7 +173,7 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
       resp.code = StatusCode::kInvalidArgument;
       break;
   }
-  if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+  self->reply(req.reply_to, std::move(resp));
 }
 
 sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
@@ -201,7 +201,7 @@ sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
     resp.rpc_id = req.rpc_id;
     resp.code = staged.code();
     resp.trace = ht.ctx();
-    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    self->reply(req.reply_to, std::move(resp));
   }
   // The client's op completes at the ack above; the encode + distribution
   // below continue in the background (off the op's critical path, which is
@@ -210,7 +210,7 @@ sim::Task<void> Server::handle_set_encode(Server* self, KvEnvelope env) {
   if (!staged.ok()) co_return;
 
   const SimTime encode_begin = self->sim().now();
-  co_await self->workers_.execute(ec.cost.encode_ns(value_size));
+  co_await self->workers_.execute(self->slow(ec.cost.encode_ns(value_size)));
   ht.compute_span("server/encode", encode_begin);
 
   const ec::ChunkLayout layout =
@@ -286,7 +286,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
     resp.code = StatusCode::kOk;
     resp.value = staged->value;
     resp.trace = ht.ctx();
-    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    self->reply(req.reply_to, std::move(resp));
     co_return;
   }
 
@@ -305,7 +305,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
       ec.codec->select_read_set(available);
   if (!selected.ok()) {
     resp.code = selected.status().code();
-    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    self->reply(req.reply_to, std::move(resp));
     co_return;
   }
   const std::vector<std::size_t>& chosen = *selected;
@@ -366,15 +366,15 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
                                              [](const Fetch& f) { return f.ok; }));
   if (fetched < k || !meta) {
     resp.code = StatusCode::kNotFound;
-    if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+    self->reply(req.reply_to, std::move(resp));
     co_return;
   }
 
   const std::size_t value_size = meta->original_size;
   if (missing_data > 0) {
     const SimTime decode_begin = self->sim().now();
-    co_await self->workers_.execute(ec.cost.decode_ns(
-        value_size, static_cast<unsigned>(missing_data)));
+    co_await self->workers_.execute(self->slow(ec.cost.decode_ns(
+        value_size, static_cast<unsigned>(missing_data))));
     ht.compute_span("server/decode", decode_begin);
   }
 
@@ -395,7 +395,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
       const Status s = ec.codec->reconstruct_data(spans, present);
       if (!s.ok()) {
         resp.code = s.code();
-        if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+        self->reply(req.reply_to, std::move(resp));
         co_return;
       }
     }
@@ -404,7 +404,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
     Result<Bytes> joined = ec::join_fragments(data, layout);
     if (!joined.ok()) {
       resp.code = joined.status().code();
-      if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+      self->reply(req.reply_to, std::move(resp));
       co_return;
     }
     value = std::move(*joined);
@@ -412,7 +412,7 @@ sim::Task<void> Server::handle_get_decode(Server* self, KvEnvelope env) {
 
   resp.code = StatusCode::kOk;
   resp.value = make_shared_bytes(std::move(value));
-  if (!self->failed_) self->respond(req.reply_to, std::move(resp));
+  self->reply(req.reply_to, std::move(resp));
 }
 
 }  // namespace hpres::kv

@@ -69,6 +69,21 @@ class Server final : public RpcNode {
   void recover();
   [[nodiscard]] bool failed() const noexcept { return failed_; }
 
+  /// Gray failure: multiplies this server's compute costs by `factor`
+  /// (>= 1.0) without touching fabric or membership — the node still
+  /// answers, just slowly. Models a queue-saturated / thermally-throttled
+  /// server for hedged-read experiments. 1.0 restores normal speed.
+  void set_slowdown(double factor) noexcept {
+    slowdown_ = factor < 1.0 ? 1.0 : factor;
+  }
+  [[nodiscard]] double slowdown() const noexcept { return slowdown_; }
+
+  /// Handler tasks queued behind busy workers right now (the load signal
+  /// piggybacked on every Response).
+  [[nodiscard]] std::uint32_t queue_depth() const noexcept {
+    return static_cast<std::uint32_t>(workers_.queue_depth());
+  }
+
  protected:
   void on_request(KvEnvelope env) override;
 
@@ -118,15 +133,31 @@ class Server final : public RpcNode {
   static sim::Task<void> handle_set_encode(Server* self, KvEnvelope env);
   static sim::Task<void> handle_get_decode(Server* self, KvEnvelope env);
 
+  /// Scales a compute cost by the gray-failure slowdown. The common case
+  /// (slowdown 1.0) returns the cost unchanged — no float rounding, so
+  /// healthy-server schedules stay bit-identical.
+  [[nodiscard]] SimDur slow(SimDur cost) const noexcept {
+    if (slowdown_ == 1.0) return cost;
+    return static_cast<SimDur>(static_cast<double>(cost) * slowdown_);
+  }
   [[nodiscard]] SimDur touch_cost(std::size_t bytes) const noexcept {
-    return params_.request_cpu_ns +
-           static_cast<SimDur>(params_.store_ns_per_byte *
-                               static_cast<double>(bytes));
+    return slow(params_.request_cpu_ns +
+                static_cast<SimDur>(params_.store_ns_per_byte *
+                                    static_cast<double>(bytes)));
   }
   [[nodiscard]] SimDur read_cost(std::size_t bytes) const noexcept {
-    return params_.request_cpu_ns +
-           static_cast<SimDur>(params_.read_ns_per_byte *
-                               static_cast<double>(bytes));
+    return slow(params_.request_cpu_ns +
+                static_cast<SimDur>(params_.read_ns_per_byte *
+                                    static_cast<double>(bytes)));
+  }
+
+  /// respond() with the current handler queue depth stamped on the
+  /// response, dropped when this server has failed. All handler replies go
+  /// through here so the load signal is never forgotten.
+  void reply(NodeId dst, Response resp) {
+    if (failed_) return;
+    resp.queue_depth = queue_depth();
+    respond(dst, std::move(resp));
   }
 
   ServerParams params_;
@@ -135,6 +166,7 @@ class Server final : public RpcNode {
   std::optional<ServerEcContext> ec_;
   obs::LanePool handler_lanes_;
   bool failed_ = false;
+  double slowdown_ = 1.0;
   std::uint64_t background_set_failures_ = 0;
 };
 

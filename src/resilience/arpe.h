@@ -27,6 +27,8 @@ struct ArpeStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
   std::uint64_t window_waits = 0;  ///< admissions that queued on the window
+  std::uint64_t hedge_buffers = 0;  ///< spare buffers lent to hedge fetches
+  std::uint64_t hedge_denials = 0;  ///< hedge borrow refused (pool tight)
 
   /// Registers every field into `reg` under component "arpe".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -35,6 +37,8 @@ struct ArpeStats {
     reg.bind_counter("arpe.submitted", labels, &submitted);
     reg.bind_counter("arpe.admitted", labels, &admitted);
     reg.bind_counter("arpe.window_waits", labels, &window_waits);
+    reg.bind_counter("arpe.hedge_buffers", labels, &hedge_buffers);
+    reg.bind_counter("arpe.hedge_denials", labels, &hedge_denials);
   }
 };
 
@@ -93,6 +97,23 @@ class Arpe {
     }
     ++in_flight_;
   }
+
+  /// Opportunistically borrows one registered buffer for a hedge fetch.
+  /// The op's window slot already covers the extra in-flight request (the
+  /// op itself is still one admitted unit of work); only the bounce buffer
+  /// for the duplicate fragment is extra. Never blocks and never starves a
+  /// queued admission — false means "don't hedge right now".
+  [[nodiscard]] bool try_acquire_hedge_buffer() {
+    if (!buffers_.try_acquire()) {
+      ++stats_.hedge_denials;
+      return false;
+    }
+    ++stats_.hedge_buffers;
+    return true;
+  }
+
+  /// Returns a buffer borrowed by try_acquire_hedge_buffer.
+  void release_hedge_buffer() { buffers_.release(); }
 
   /// Retires one operation (memcached completion notification).
   void complete() {

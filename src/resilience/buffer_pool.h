@@ -50,6 +50,18 @@ class BufferPool {
     stats_.high_water = std::max(stats_.high_water, in_use());
   }
 
+  /// Non-blocking opportunistic acquire for best-effort work (hedged
+  /// fetches): fails when no buffer is free OR an admission is already
+  /// queued for one — hedges must never steal a buffer a queued op is
+  /// waiting on (that would turn a latency optimisation into a throughput
+  /// regression).
+  [[nodiscard]] bool try_acquire() {
+    if (sem_.waiting() > 0 || !sem_.try_acquire()) return false;
+    ++stats_.acquisitions;
+    stats_.high_water = std::max(stats_.high_water, in_use());
+    return true;
+  }
+
   void release() { sem_.release(); }
 
  private:

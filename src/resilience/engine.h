@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/arpe.h"
+#include "resilience/load_tracker.h"
 
 namespace hpres::resilience {
 
@@ -29,6 +30,31 @@ struct PhaseBreakdown {
 
   [[nodiscard]] SimDur total() const noexcept {
     return request_ns + compute_ns + wait_ns;
+  }
+};
+
+/// Hedged-read configuration for the erasure Get path. The default (delta
+/// 0, load_aware false) disables both mechanisms and keeps the byte-exact
+/// legacy path — benchmarks and determinism tests compare against it.
+struct HedgeParams {
+  /// Extra fragment fetches issued beyond k; the op completes on the first
+  /// k decodable arrivals and cancels the rest. 0 = hedging off.
+  std::uint32_t delta = 0;
+  /// Delay before the hedges fire. The op hedges only if its first k
+  /// fetches have not all arrived after max(delay_ns, the running get
+  /// latency quantile `delay_quantile`). 0/0 = hedge immediately with the
+  /// initial fan-out.
+  SimDur delay_ns = 0;
+  /// Running quantile of this engine's own get latency used as an adaptive
+  /// hedge delay ("hedge only past the p95"); 0 disables the adaptive term.
+  double delay_quantile = 0.0;
+  /// Order candidate fragments by per-server load score (queue-depth and
+  /// RTT EWMAs from piggybacked responses) instead of fixed slot order.
+  bool load_aware = false;
+
+  /// Either mechanism routes Gets onto the hedged code path.
+  [[nodiscard]] bool enabled() const noexcept {
+    return delta > 0 || load_aware;
   }
 };
 
@@ -47,6 +73,11 @@ struct EngineStats {
   std::uint64_t fallback_gets = 0;   ///< CD gets retried via the server path
   std::uint64_t failover_fetches = 0;  ///< alternate-fragment fetches after a
                                        ///< chosen fragment failed or timed out
+  std::uint64_t hedged_gets = 0;     ///< gets that fired >= 1 hedge fetch
+  std::uint64_t hedges_fired = 0;    ///< extra fragment fetches issued
+  std::uint64_t hedge_wins = 0;      ///< hedge fetches that made the decode set
+  std::uint64_t hedges_suppressed = 0;  ///< hedges skipped: no spare buffer
+  std::uint64_t hedge_wasted_bytes = 0;  ///< fragment bytes fetched but unused
 
   /// Registers every field into `reg` under component "engine".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -61,6 +92,11 @@ struct EngineStats {
     reg.bind_counter("engine.degraded_sets", labels, &degraded_sets);
     reg.bind_counter("engine.fallback_gets", labels, &fallback_gets);
     reg.bind_counter("engine.failover_fetches", labels, &failover_fetches);
+    reg.bind_counter("engine.hedged_gets", labels, &hedged_gets);
+    reg.bind_counter("engine.hedges_fired", labels, &hedges_fired);
+    reg.bind_counter("engine.hedge_wins", labels, &hedge_wins);
+    reg.bind_counter("engine.hedges_suppressed", labels, &hedges_suppressed);
+    reg.bind_counter("engine.hedge_wasted_bytes", labels, &hedge_wasted_bytes);
     reg.bind_counter("engine.set_phase.request_ns", labels,
                      &set_phases.request_ns);
     reg.bind_counter("engine.set_phase.compute_ns", labels,
@@ -163,6 +199,13 @@ class Engine {
   [[nodiscard]] EngineStats& stats() noexcept { return stats_; }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] Arpe& arpe() noexcept { return arpe_; }
+
+  /// The per-server load tracker behind load-aware read-set selection, or
+  /// nullptr for engines without one (benchmarks export its estimates as
+  /// gauges when present).
+  [[nodiscard]] virtual const NodeLoadTracker* load_tracker() const noexcept {
+    return nullptr;
+  }
 
  protected:
   /// Phase accounting filled by implementations during one operation.

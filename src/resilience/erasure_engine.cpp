@@ -2,13 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
+
+#include "common/rng.h"
 
 namespace hpres::resilience {
 
 ErasureEngine::ErasureEngine(EngineContext ctx, const ec::Codec& codec,
                              ec::CostModel cost, EraMode mode,
-                             ArpeParams arpe)
-    : Engine(ctx, arpe), codec_(&codec), cost_(cost), mode_(mode) {
+                             ArpeParams arpe, HedgeParams hedge)
+    : Engine(ctx, arpe),
+      codec_(&codec),
+      cost_(cost),
+      mode_(mode),
+      hedge_(hedge),
+      load_(ctx.ring->num_servers(),
+            splitmix64(static_cast<std::uint64_t>(ctx.client->id()))) {
   assert(codec.n() <= ring().num_servers() &&
          "need k+m distinct servers for fragment placement");
 }
@@ -24,6 +33,11 @@ sim::Task<Status> ErasureEngine::do_set(kv::Key key, SharedBytes value,
 sim::Task<Result<Bytes>> ErasureEngine::do_get(kv::Key key,
                                                OpPhases* phases) {
   if (client_decodes(mode_)) {
+    // Hedging / load-aware selection branches to a separate function so
+    // the default path stays byte-exact (no extra state, no RNG draws).
+    if (hedge_.enabled()) {
+      return get_client_decode_hedged(std::move(key), phases);
+    }
     return get_client_decode(std::move(key), phases);
   }
   return get_server_decode(std::move(key), phases);
@@ -132,7 +146,9 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
   // Distribute all K+M fragments with non-blocking requests: the
   // response waits overlap, approaching Equation 7's max over fragments.
   std::vector<sim::Future<kv::Response>> pending;
+  std::vector<std::size_t> pending_owners;
   pending.reserve(n);
+  pending_owners.reserve(n);
   for (std::size_t slot = 0; slot < n; ++slot) {
     const std::size_t owner = ring().slot_index(key, slot);
     if (!membership().up(owner)) continue;
@@ -145,15 +161,20 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
                               static_cast<std::uint16_t>(codec_->m())};
     req.trace = phases->trace;
     pending.push_back(client().guarded_future(node_of(owner), std::move(req)));
+    pending_owners.push_back(owner);
   }
 
   StatusCode worst = StatusCode::kOk;
   std::size_t stored = 0;
   const SimTime fanout_t0 = sim().now();
-  for (const auto& f : pending) {
-    const kv::Response resp = co_await f.wait();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const kv::Response resp = co_await pending[i].wait();
     if (resp.code == StatusCode::kOk) {
       ++stored;
+      // Passive load learning from the piggybacked queue depth; purely
+      // observational (no events, no RNG), so timing is unchanged.
+      load_.observe_rtt(pending_owners[i], sim().now() - fanout_t0,
+                        resp.queue_depth);
     } else {
       worst = resp.code;
     }
@@ -179,7 +200,8 @@ sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
     phases->degraded = true;
   }
   if (!ls.slot) co_return Status{StatusCode::kUnavailable, "no live server"};
-  const net::NodeId target = node_of(ring().slot_index(key, *ls.slot));
+  const std::size_t target_index = ring().slot_index(key, *ls.slot);
+  const net::NodeId target = node_of(target_index);
 
   kv::Request req;
   req.verb = kv::Verb::kSetEncode;
@@ -191,6 +213,9 @@ sim::Task<Status> ErasureEngine::set_server_encode(kv::Key key,
   const SimTime t0 = sim().now();
   const kv::Response resp =
       co_await client().invoke(target, std::move(req));
+  if (resp.code == StatusCode::kOk) {
+    load_.observe_rtt(target_index, sim().now() - t0, resp.queue_depth);
+  }
   if (obs::Tracer* const tr = tracer(); tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "set/request", "engine", t0,
                  issue_ns, phases->trace.trace_id);
@@ -270,10 +295,14 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       pending_slots.push_back(slot);
     }
     bool failure = false;
+    const SimTime round_t0 = sim().now();
     for (std::size_t i = 0; i < pending.size(); ++i) {
       kv::Response resp = co_await pending[i].wait();
       const std::size_t slot = pending_slots[i];
       if (resp.code == StatusCode::kOk) {
+        // Passive load learning (observation only: no events, no RNG).
+        load_.observe_rtt(ring().slot_index(key, slot),
+                          sim().now() - round_t0, resp.queue_depth);
         frag[slot] = std::move(resp.value);
         have[slot] = true;
         if (resp.chunk) meta = resp.chunk;
@@ -296,7 +325,16 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
     }
     phases->degraded = true;
     co_await sim().delay(membership().check_cost_ns());
-    selected = codec_->select_read_set(available);
+    // Failover re-selection consults the per-node load scores (when the
+    // tracker has learned any): before this, every retry round re-selected
+    // from scratch in slot order and deterministically piled replacement
+    // fetches onto the first survivor. Deterministic (no tie-breaking RNG
+    // on this path): scores come only from observed responses.
+    const std::vector<std::size_t> preference =
+        load_preference(key, /*randomize=*/false, /*force=*/true);
+    selected = preference.empty()
+                   ? codec_->select_read_set(available)
+                   : codec_->select_read_set_ordered(available, preference);
     if (!selected.ok()) break;  // not enough survivors: fall back / fail
     chosen = *selected;
     ++round;
@@ -366,6 +404,334 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
   co_return ec::join_fragments(data, layout);
 }
 
+std::vector<std::size_t> ErasureEngine::load_preference(const kv::Key& key,
+                                                        bool randomize,
+                                                        bool force) {
+  // Cold tracker: nothing learned, keep the deterministic natural order.
+  // Without `force`, a preference is only produced when load-aware
+  // selection was asked for.
+  if ((!force && !hedge_.load_aware) || load_.total_samples() == 0) return {};
+  const std::size_t n = codec_->n();
+  std::vector<std::size_t> slots(n);
+  std::iota(slots.begin(), slots.end(), std::size_t{0});
+  std::vector<std::size_t> owners(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    owners[slot] = ring().slot_index(key, slot);
+  }
+  return load_.order_slots(slots, owners, randomize);
+}
+
+SimDur ErasureEngine::hedge_delay() const noexcept {
+  SimDur d = hedge_.delay_ns;
+  if (hedge_.delay_quantile > 0.0 && stats().get_latency.count() > 0) {
+    d = std::max(d, stats().get_latency.quantile(hedge_.delay_quantile));
+  }
+  return d;
+}
+
+sim::Task<void> ErasureEngine::hedged_collector(
+    ErasureEngine* self, std::shared_ptr<HedgeFetchState> st,
+    std::size_t slot, bool is_hedge, sim::Future<kv::Response> fut,
+    SimTime issued_at) {
+  kv::Response resp = co_await fut.wait();
+  if (is_hedge) self->arpe().release_hedge_buffer();
+  st->rpc_of_slot[slot] = 0;
+  --st->outstanding;
+  if (resp.code == StatusCode::kOk) {
+    self->load_.observe_rtt(st->owner[slot], self->sim().now() - issued_at,
+                            resp.queue_depth);
+    if (st->op_done) {
+      // Arrived after the op already completed: fetched bytes were wasted.
+      self->stats().hedge_wasted_bytes +=
+          resp.value ? resp.value->size() : 0;
+    } else {
+      st->frag[slot] = std::move(resp.value);
+      st->have[slot] = true;
+      ++st->ok;
+      if (resp.chunk) st->meta = resp.chunk;
+    }
+  } else if (resp.code != StatusCode::kCancelled) {
+    st->worst = resp.code;
+    st->available[slot] = false;
+    st->failed_any = true;
+  }
+  st->progress.notify_all();
+}
+
+void ErasureEngine::issue_hedged_fetch(
+    const kv::Key& key, const std::shared_ptr<HedgeFetchState>& st,
+    std::size_t slot, bool is_hedge, const obs::TraceContext& trace) {
+  st->attempted[slot] = true;
+  if (is_hedge) st->hedge_slot[slot] = true;
+  kv::Request req;
+  req.verb = kv::Verb::kGet;
+  req.key = kv::chunk_key(key, slot);
+  req.trace = trace;
+  sim::Future<kv::Response> fut =
+      client().guarded_future(node_of(st->owner[slot]), std::move(req));
+  // Remember the rpc id so stragglers can be cancel-resolved at op
+  // completion — but only for plain unguarded calls: guarded calls resolve
+  // themselves through their deadline, and a failed-fast call has id 0.
+  if (client().policy().timeout_ns <= 0) {
+    st->rpc_of_slot[slot] = client().last_call_id();
+  }
+  ++st->outstanding;
+  sim().spawn(hedged_collector(this, st, slot, is_hedge, std::move(fut),
+                               sim().now()));
+}
+
+sim::Task<void> ErasureEngine::hedge_firer(
+    ErasureEngine* self, kv::Key key, std::shared_ptr<HedgeFetchState> st,
+    std::vector<std::size_t> hedge_slots, obs::TraceContext trace,
+    std::uint64_t trace_tid) {
+  const std::size_t k = self->codec_->k();
+  const SimDur delay = self->hedge_delay();
+  if (delay > 0) co_await self->sim().delay(delay);
+  bool fired = false;
+  for (const std::size_t slot : hedge_slots) {
+    // Late binding: a hedge only fires while the op is still short of k
+    // arrivals and its target slot has not failed meanwhile.
+    if (st->op_done || st->ok >= k) break;
+    if (st->attempted[slot] || !st->available[slot]) continue;
+    if (!self->arpe().try_acquire_hedge_buffer()) {
+      // Pool tight: hedging is best-effort and must never add
+      // backpressure to admitted work.
+      ++self->stats().hedges_suppressed;
+      break;
+    }
+    // The duplicate request costs real client CPU — that is the p50 price
+    // of hedging and must show up in the schedule.
+    co_await self->client().cpu().execute(
+        self->issue_cost(key.size() + 2));
+    if (st->op_done || st->ok >= k) {  // op finished while queued on CPU
+      self->arpe().release_hedge_buffer();
+      break;
+    }
+    ++self->stats().hedges_fired;
+    fired = true;
+    if (obs::Tracer* const tr = self->tracer(); tr != nullptr) {
+      tr->instant(self->trace_pid(), trace_tid, "hedge/fire", "engine",
+                  self->sim().now(), trace.trace_id);
+    }
+    self->issue_hedged_fetch(key, st, slot, true, trace);
+  }
+  if (fired) ++self->stats().hedged_gets;
+}
+
+sim::Task<Result<Bytes>> ErasureEngine::get_client_decode_hedged(
+    kv::Key key, OpPhases* phases) {
+  const std::size_t k = codec_->k();
+  const std::size_t n = codec_->n();
+
+  auto st = std::make_shared<HedgeFetchState>(sim(), n);
+  bool degraded = false;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    st->owner[slot] = ring().slot_index(key, slot);
+    if (membership().up(st->owner[slot])) {
+      st->available[slot] = true;
+    } else {
+      degraded = true;
+    }
+  }
+  if (degraded) {
+    ++stats().degraded_gets;
+    phases->degraded = true;
+    co_await sim().delay(membership().check_cost_ns());
+  }
+
+  // Load-ranked candidate order (power-of-two-choices among near-equal
+  // scores); natural order while the tracker is cold or load-aware
+  // selection is off.
+  std::vector<std::size_t> preference =
+      load_preference(key, /*randomize=*/hedge_.load_aware,
+                      /*force=*/false);
+  Result<std::vector<std::size_t>> selected =
+      preference.empty()
+          ? codec_->select_read_set(st->available)
+          : codec_->select_read_set_ordered(st->available, preference);
+  if (!selected.ok()) co_return selected.status();
+
+  // K non-blocking fragment fetches posted back-to-back from one CPU
+  // slice (Equation 8), exactly like the unhedged path.
+  const SimDur post_ns =
+      static_cast<SimDur>(k) * issue_cost(key.size() + 2);
+  co_await client().cpu().execute(post_ns);
+  phases->request_ns += post_ns;
+  obs::Tracer* const tr = tracer();
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine",
+                 sim().now() - post_ns, post_ns, phases->trace.trace_id);
+  }
+
+  const SimTime fetch_t0 = sim().now();
+  for (const std::size_t slot : *selected) {
+    issue_hedged_fetch(key, st, slot, false, phases->trace);
+  }
+
+  // Queue up to Δ hedges over the next-best candidates, fired after the
+  // hedge delay if the op is still short of k arrivals.
+  if (hedge_.delta > 0) {
+    std::vector<std::size_t> hedge_slots;
+    const std::vector<std::size_t> pool =
+        preference.empty()
+            ? [n] {
+                std::vector<std::size_t> natural(n);
+                std::iota(natural.begin(), natural.end(), std::size_t{0});
+                return natural;
+              }()
+            : preference;
+    for (const std::size_t slot : pool) {
+      if (hedge_slots.size() >= hedge_.delta) break;
+      if (!st->attempted[slot] && st->available[slot]) {
+        hedge_slots.push_back(slot);
+      }
+    }
+    if (!hedge_slots.empty()) {
+      sim().spawn(hedge_firer(this, key, st, std::move(hedge_slots),
+                              phases->trace, phases->trace_tid));
+    }
+  }
+
+  // Late-binding wait: complete on the first k decodable arrivals,
+  // failing over (load-aware) when fetches die.
+  bool complete = false;
+  std::vector<std::size_t> decode_set;
+  for (;;) {
+    if (st->ok >= k) {
+      Result<std::vector<std::size_t>> fin =
+          codec_->select_read_set(st->have);
+      if (fin.ok()) {
+        decode_set = *fin;
+        complete = true;
+        break;
+      }
+    }
+    if (st->failed_any) {
+      st->failed_any = false;
+      if (!degraded) {
+        degraded = true;
+        ++stats().degraded_gets;
+      }
+      phases->degraded = true;
+      co_await sim().delay(membership().check_cost_ns());
+      // Failover re-selection consults the same load scores as the
+      // initial choice, so repeated retries spread over the survivors
+      // instead of piling onto the first one.
+      preference = load_preference(key, /*randomize=*/hedge_.load_aware,
+                                   /*force=*/true);
+      Result<std::vector<std::size_t>> resel =
+          preference.empty()
+              ? codec_->select_read_set(st->available)
+              : codec_->select_read_set_ordered(st->available, preference);
+      if (resel.ok()) {
+        for (const std::size_t slot : *resel) {
+          if (st->attempted[slot] || st->have[slot]) continue;
+          ++stats().failover_fetches;
+          issue_hedged_fetch(key, st, slot, false, phases->trace);
+        }
+      } else if (st->outstanding == 0) {
+        break;  // not enough survivors and nothing in flight
+      }
+      continue;
+    }
+    if (st->outstanding == 0) break;
+    co_await st->progress.wait();
+  }
+
+  // Bind the result: everything still in flight is a straggler. Cancel
+  // through the stale-response machinery and resolve the futures so the
+  // collectors unwind instead of leaking parked until process exit.
+  st->op_done = true;
+  std::size_t cancelled = 0;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::uint64_t rpc_id = st->rpc_of_slot[slot];
+    if (rpc_id == 0) continue;
+    ++cancelled;
+    client().cancel_resolve(rpc_id);
+  }
+  if (st->meta != std::nullopt && cancelled > 0) {
+    // A cancelled fetch's response (in flight or about to be produced) is
+    // one fragment of wasted wire work.
+    stats().hedge_wasted_bytes +=
+        cancelled * ec::make_layout(st->meta->original_size, k,
+                                    codec_->alignment())
+                        .fragment_size;
+  }
+  if (complete) {
+    for (const std::size_t slot : decode_set) {
+      if (st->hedge_slot[slot]) ++stats().hedge_wins;
+    }
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (!st->have[slot]) continue;
+      if (std::find(decode_set.begin(), decode_set.end(), slot) ==
+          decode_set.end()) {
+        stats().hedge_wasted_bytes +=
+            st->frag[slot] ? st->frag[slot]->size() : 0;
+      }
+    }
+  }
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
+                 fetch_t0, sim().now() - fetch_t0, phases->trace.trace_id);
+  }
+  if (!complete || !st->meta) {
+    if (!client_encodes(mode_)) {
+      // Server-side encode may still be distributing this key's fragments;
+      // the stager resolves the race (read-after-write) — see
+      // get_client_decode.
+      ++stats().fallback_gets;
+      co_return co_await get_server_decode(std::move(key), phases);
+    }
+    co_return Status{st->worst, "missing fragments"};
+  }
+
+  const std::size_t value_size = st->meta->original_size;
+  std::size_t missing_data = k;
+  for (const std::size_t slot : decode_set) {
+    if (slot < k) --missing_data;
+  }
+
+  if (missing_data > 0) {
+    const SimDur decode_ns =
+        cost_.decode_ns(value_size, static_cast<unsigned>(missing_data));
+    co_await client().cpu().execute(decode_ns);
+    phases->compute_ns += decode_ns;
+    if (tr != nullptr) {
+      tr->complete(trace_pid(), phases->trace_tid, "get/decode", "engine",
+                   sim().now() - decode_ns, decode_ns,
+                   phases->trace.trace_id);
+    }
+  }
+
+  const ec::ChunkLayout layout =
+      ec::make_layout(value_size, k, codec_->alignment());
+  if (!ctx().materialize) co_return Bytes(value_size);
+
+  // Same engine-wide scratch as the unhedged path; the fill-and-consume
+  // region below is synchronous (no co_await), so it is race-free.
+  DecodeScratch& sc = scratch_;
+  sc.storage.resize(n);
+  sc.present.assign(n, false);
+  for (const std::size_t slot : decode_set) {
+    if (!st->frag[slot]) continue;
+    sc.storage[slot] = *st->frag[slot];
+    sc.present[slot] = true;
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (!sc.present[slot]) {
+      sc.storage[slot].assign(layout.fragment_size, std::byte{0});
+    }
+  }
+  sc.spans.assign(sc.storage.begin(), sc.storage.end());
+  if (missing_data > 0) {
+    const Status s = codec_->reconstruct_data(sc.spans, sc.present);
+    if (!s.ok()) co_return s;
+  }
+  std::vector<ConstByteSpan> data(
+      sc.storage.begin(), sc.storage.begin() + static_cast<std::ptrdiff_t>(k));
+  co_return ec::join_fragments(data, layout);
+}
+
 sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
                                                           OpPhases* phases) {
   const LiveSlot ls = co_await pick_live_slot(key);
@@ -376,7 +742,8 @@ sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
   if (!ls.slot) {
     co_return Status{StatusCode::kUnavailable, "no live server"};
   }
-  const net::NodeId target = node_of(ring().slot_index(key, *ls.slot));
+  const std::size_t target_index = ring().slot_index(key, *ls.slot);
+  const net::NodeId target = node_of(target_index);
 
   kv::Request req;
   req.verb = kv::Verb::kGetDecode;
@@ -386,6 +753,9 @@ sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
   phases->request_ns += issue_ns;
   const SimTime t0 = sim().now();
   kv::Response resp = co_await client().invoke(target, std::move(req));
+  if (resp.code == StatusCode::kOk) {
+    load_.observe_rtt(target_index, sim().now() - t0, resp.queue_depth);
+  }
   if (obs::Tracer* const tr = tracer(); tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "get/request", "engine", t0,
                  issue_ns, phases->trace.trace_id);

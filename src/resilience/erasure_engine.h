@@ -40,9 +40,11 @@ class ErasureEngine final : public Engine {
  public:
   /// The codec must outlive the engine. Server-side modes additionally
   /// require every server to have ServerEcContext enabled (see
-  /// Cluster::enable_server_ec).
+  /// Cluster::enable_server_ec). `hedge` configures the hedged-read /
+  /// load-aware Get path; the default keeps the legacy byte-exact path.
   ErasureEngine(EngineContext ctx, const ec::Codec& codec,
-                ec::CostModel cost, EraMode mode, ArpeParams arpe = {});
+                ec::CostModel cost, EraMode mode, ArpeParams arpe = {},
+                HedgeParams hedge = {});
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return to_string(mode_);
@@ -52,6 +54,11 @@ class ErasureEngine final : public Engine {
   }
   [[nodiscard]] EraMode mode() const noexcept { return mode_; }
   [[nodiscard]] const ec::Codec& codec() const noexcept { return *codec_; }
+  [[nodiscard]] const HedgeParams& hedge() const noexcept { return hedge_; }
+  [[nodiscard]] const NodeLoadTracker* load_tracker()
+      const noexcept override {
+    return &load_;
+  }
 
  protected:
   sim::Task<Status> do_set(kv::Key key, SharedBytes value,
@@ -71,6 +78,70 @@ class ErasureEngine final : public Engine {
   sim::Task<Result<Bytes>> get_client_decode(kv::Key key, OpPhases* phases);
   sim::Task<Result<Bytes>> get_server_decode(kv::Key key, OpPhases* phases);
 
+  /// Late-binding variant of get_client_decode, taken when hedge().enabled():
+  /// issues the (load-ranked) primary k fetches plus up to Δ delayed hedges,
+  /// completes on the first k decodable arrivals, and cancels stragglers
+  /// through the RPC stale-response machinery.
+  sim::Task<Result<Bytes>> get_client_decode_hedged(kv::Key key,
+                                                    OpPhases* phases);
+
+  /// Shared per-op state between the hedged Get, its spawned per-fetch
+  /// collectors and the hedge-firer. shared_ptr-held: collectors of
+  /// never-resolving futures (crash-after-send with no RpcPolicy) may
+  /// outlive the op.
+  struct HedgeFetchState {
+    HedgeFetchState(sim::Simulator& sim, std::size_t n)
+        : progress(sim), frag(n), have(n, false), available(n, false),
+          attempted(n, false), hedge_slot(n, false), rpc_of_slot(n, 0),
+          owner(n, 0) {}
+    sim::Condition progress;            ///< notified on every fetch event
+    std::vector<SharedBytes> frag;      ///< arrived fragment per slot
+    std::vector<bool> have;             ///< frag[slot] is valid
+    std::vector<bool> available;        ///< slot not (yet) known-failed
+    std::vector<bool> attempted;        ///< a fetch was issued for slot
+    std::vector<bool> hedge_slot;       ///< that fetch was a hedge
+    std::vector<std::uint64_t> rpc_of_slot;  ///< live unguarded rpc id or 0
+    std::vector<std::size_t> owner;     ///< slot -> server index
+    std::optional<kv::ChunkInfo> meta;
+    std::size_t ok = 0;                 ///< fragments arrived
+    std::size_t outstanding = 0;        ///< fetches in flight
+    StatusCode worst = StatusCode::kNotFound;
+    bool failed_any = false;            ///< a fetch failed since last check
+    bool op_done = false;               ///< the op has completed/abandoned
+  };
+
+  /// Awaits one fetch and folds the outcome into the shared state.
+  static sim::Task<void> hedged_collector(ErasureEngine* self,
+                                          std::shared_ptr<HedgeFetchState> st,
+                                          std::size_t slot, bool is_hedge,
+                                          sim::Future<kv::Response> fut,
+                                          SimTime issued_at);
+
+  /// Sleeps the hedge delay, then fires up to Δ extra fetches if the op is
+  /// still short of k arrivals (borrowing spare ARPE buffers; suppressed
+  /// when the pool is tight).
+  static sim::Task<void> hedge_firer(ErasureEngine* self, kv::Key key,
+                                     std::shared_ptr<HedgeFetchState> st,
+                                     std::vector<std::size_t> hedge_slots,
+                                     obs::TraceContext trace,
+                                     std::uint64_t trace_tid);
+
+  /// Issues one fragment fetch for `slot` and spawns its collector.
+  void issue_hedged_fetch(const kv::Key& key,
+                          const std::shared_ptr<HedgeFetchState>& st,
+                          std::size_t slot, bool is_hedge,
+                          const obs::TraceContext& trace);
+
+  /// Candidate slot order by per-server load score (empty = natural order:
+  /// tracker cold, or load-aware selection off and `force` false).
+  [[nodiscard]] std::vector<std::size_t> load_preference(const kv::Key& key,
+                                                         bool randomize,
+                                                         bool force);
+
+  /// Effective hedge delay: max of the fixed delay and the engine's own
+  /// running get-latency quantile (when delay_quantile is set).
+  [[nodiscard]] SimDur hedge_delay() const noexcept;
+
   /// First live owner among the key's n slots (for SE/SD targets), paying
   /// T_check when the designated one is down. `degraded` reports whether a
   /// dead owner had to be skipped so the caller can bump the right
@@ -84,6 +155,11 @@ class ErasureEngine final : public Engine {
   const ec::Codec* codec_;
   ec::CostModel cost_;
   EraMode mode_;
+  HedgeParams hedge_;
+  /// Per-server queue-depth/RTT EWMAs, fed passively by every response this
+  /// engine sees (piggybacked Server::queue_depth). Only consulted when a
+  /// read path asks for a load preference.
+  NodeLoadTracker load_;
 
   /// Reusable buffers for get_client_decode's materialize step. The region
   /// that fills and consumes them is synchronous (no co_await between the

@@ -7,7 +7,8 @@ namespace hpres::resilience {
 std::unique_ptr<Engine> make_engine(Design design, EngineContext ctx,
                                     std::uint32_t rep_factor,
                                     const ec::Codec* codec,
-                                    ec::CostModel cost, ArpeParams arpe) {
+                                    ec::CostModel cost, ArpeParams arpe,
+                                    HedgeParams hedge) {
   switch (design) {
     case Design::kNoRep:
       return std::make_unique<AsyncReplicationEngine>(ctx, 1, arpe);
@@ -24,7 +25,8 @@ std::unique_ptr<Engine> make_engine(Design design, EngineContext ctx,
                            : design == Design::kEraSeSd ? EraMode::kSeSd
                            : design == Design::kEraSeCd ? EraMode::kSeCd
                                                         : EraMode::kCeSd;
-      return std::make_unique<ErasureEngine>(ctx, *codec, cost, mode, arpe);
+      return std::make_unique<ErasureEngine>(ctx, *codec, cost, mode, arpe,
+                                             hedge);
     }
   }
   return nullptr;

@@ -39,9 +39,11 @@ enum class Design : std::uint8_t {
 
 /// Creates an engine. `codec`/`cost` are required for erasure designs (the
 /// codec must outlive the engine); `rep_factor` applies to replication
-/// designs (ignored for kNoRep, which always stores one copy).
+/// designs (ignored for kNoRep, which always stores one copy). `hedge`
+/// configures hedged/load-aware reads and only applies to erasure designs.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     Design design, EngineContext ctx, std::uint32_t rep_factor,
-    const ec::Codec* codec, ec::CostModel cost, ArpeParams arpe = {});
+    const ec::Codec* codec, ec::CostModel cost, ArpeParams arpe = {},
+    HedgeParams hedge = {});
 
 }  // namespace hpres::resilience

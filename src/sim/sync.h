@@ -200,6 +200,9 @@ class Semaphore {
 
   [[nodiscard]] std::uint32_t available() const noexcept { return count_; }
 
+  /// Coroutines currently parked in acquire() (queue-depth signal).
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
   Task<void> acquire() {
     while (count_ == 0) co_await detail::ParkAwaiter{&waiters_};
     --count_;
@@ -284,6 +287,12 @@ class WorkerPool {
 
   [[nodiscard]] std::uint32_t size() const noexcept { return workers_; }
   [[nodiscard]] SimDur busy_time() const noexcept { return busy_ns_; }
+
+  /// Tasks queued behind busy workers right now. Servers piggyback this on
+  /// responses as a load signal for client-side read-set selection.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return sem_.waiting();
+  }
 
   Task<void> execute(SimDur duration) {
     co_await sem_.acquire();

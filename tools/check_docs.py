@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (stdlib only; CI runs this).
+
+Two checks over the user-facing markdown:
+
+1. Every relative link target in README.md / DESIGN.md / EXPERIMENTS.md /
+   docs/TUNING.md / ROADMAP.md resolves to a file or directory in the
+   repo (external http(s)/mailto links and pure #anchors are skipped).
+2. Every ``--flag`` mentioned in docs/TUNING.md is actually parsed
+   somewhere under bench/, tools/ or src/ — a renamed or removed flag
+   must take its documentation with it. Environment knobs (HPRES_*)
+   are held to the same rule.
+
+Exit code 0 = clean; 1 = problems (each printed one per line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/TUNING.md",
+]
+SOURCE_DIRS = ["bench", "tools", "src", "tests", "examples"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]+")
+ENV_RE = re.compile(r"\bHPRES_[A-Z0-9_]+\b")
+
+
+def check_links(errors: list) -> None:
+    for doc in DOCS:
+        path = REPO / doc
+        if not path.is_file():
+            errors.append(f"{doc}: file missing (listed in check_docs.py)")
+            continue
+        for n, line in enumerate(path.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if not (path.parent / rel).exists():
+                    errors.append(f"{doc}:{n}: broken link -> {target}")
+
+
+def source_corpus() -> str:
+    chunks = []
+    for d in SOURCE_DIRS:
+        for p in (REPO / d).rglob("*"):
+            if p.suffix in {".cpp", ".h", ".py", ".cmake", ".txt"}:
+                chunks.append(p.read_text(errors="replace"))
+    return "\n".join(chunks)
+
+
+def check_flags(errors: list) -> None:
+    tuning = REPO / "docs" / "TUNING.md"
+    if not tuning.is_file():
+        errors.append("docs/TUNING.md: missing, flag gate skipped")
+        return
+    text = tuning.read_text()
+    corpus = source_corpus()
+    for flag in sorted(set(FLAG_RE.findall(text))):
+        # The parsers match on "--flag=" or the bare token; either form in
+        # the sources counts.
+        if flag not in corpus:
+            errors.append(f"docs/TUNING.md: flag {flag} not found in sources")
+    for env in sorted(set(ENV_RE.findall(text))):
+        if env not in corpus:
+            errors.append(f"docs/TUNING.md: env var {env} not found in sources")
+
+
+def main() -> int:
+    errors = []
+    check_links(errors)
+    check_flags(errors)
+    for e in errors:
+        print(e)
+    print(f"check_docs: {len(DOCS)} files checked, {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

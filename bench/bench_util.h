@@ -19,6 +19,7 @@
 
 #include "cluster/testbeds.h"
 #include "ec/rs_vandermonde.h"
+#include "obs/flight_recorder.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
@@ -55,6 +56,12 @@ inline std::uint64_t scaled(std::uint64_t ops) {
 //                             ops slower than N microseconds
 //   --trace-tail-keep=N       tail sampling: always keep the slowest N ops
 //                             per {op, scheme, degraded} label
+//   --flight-out=FILE         flight-recorder dump target; enables the
+//                             always-on ring recorder (crash / timeout-burst
+//                             dumps overwrite FILE, freshest wins, and each
+//                             Testbench teardown writes a "finalize" dump)
+//   --flight-ring=N           flight-recorder ring size per node (default
+//                             256 records = 6 KiB/node)
 // With no flags everything is off and benchmarks run exactly as before —
 // observation never touches simulation state, so results are identical
 // either way. The latency recorder itself is always on (O(1) memory per
@@ -97,7 +104,15 @@ class ObsSession {
         tail_.threshold_ns = v * 1'000;
       } else if (int_flag("--trace-tail-keep=", &v)) {
         tail_.keep_slowest = v < 0 ? 0 : static_cast<std::size_t>(v);
+      } else if (arg.starts_with("--flight-out=")) {
+        flight_out_ = std::string(arg.substr(13));
+      } else if (int_flag("--flight-ring=", &v)) {
+        flight_ring_ = v < 1 ? 1 : static_cast<std::size_t>(v);
       }
+    }
+    if (!flight_out_.empty()) {
+      flight_ = std::make_unique<obs::FlightRecorder>(flight_ring_);
+      flight_->set_dump_path(flight_out_);
     }
     tracer_.set_enabled(!trace_out_.empty());
     recorder_.set_tail(tail_);
@@ -113,6 +128,8 @@ class ObsSession {
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] obs::LatencyRecorder& recorder() noexcept { return recorder_; }
+  /// Process-wide flight recorder, or nullptr when --flight-out is absent.
+  [[nodiscard]] obs::FlightRecorder* flight() noexcept { return flight_.get(); }
   [[nodiscard]] SimDur sample_interval_ns() const noexcept {
     return sample_interval_ns_;
   }
@@ -155,10 +172,13 @@ class ObsSession {
   obs::MetricsRegistry registry_;
   obs::LatencyRecorder recorder_;
   obs::LatencyRecorder::TailParams tail_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::string flight_out_;
   std::string metrics_out_;
   std::string trace_out_;
   std::string prom_out_;
   SimDur sample_interval_ns_ = 0;
+  std::size_t flight_ring_ = obs::FlightRecorder::kDefaultRingSize;
   std::uint64_t point_seq_ = 0;
 };
 
@@ -216,6 +236,7 @@ class Testbench {
     trace_pid_ = obs.tracer().declare_process(label_);
     recorder_.set_tail(obs.recorder().tail());
     cluster_.set_tracer(&obs.tracer(), trace_pid_);
+    if (obs.flight() != nullptr) cluster_.set_flight_recorder(obs.flight());
     cluster_.enable_server_ec(codec_, cost_, /*materialize=*/false);
     engines_.reserve(clients);
     for (std::size_t i = 0; i < clients; ++i) {
@@ -229,6 +250,7 @@ class Testbench {
       ctx.tracer = &obs.tracer();
       ctx.trace_pid = trace_pid_;
       ctx.recorder = &recorder_;
+      ctx.flight = obs.flight();
       engines_.push_back(resilience::make_engine(design, ctx, rep_factor,
                                                  &codec_, cost_, arpe, hedge));
     }
@@ -249,6 +271,13 @@ class Testbench {
   ~Testbench() {
     ObsSession& obs = ObsSession::instance();
     if (obs.metrics_enabled()) obs.registry().capture();
+    // On-demand dump at point teardown: the freshest ring window as of the
+    // last simulated instant. Later points overwrite, so the file always
+    // holds the most recent experiment's window (crash/timeout-burst dumps
+    // taken mid-run are overwritten too — the ring still covers them).
+    if (obs.flight() != nullptr) {
+      obs.flight()->dump_to_file("finalize", cluster_.sim().now());
+    }
     // Fold this point's percentiles (and tail-kept trace ids) into the
     // process-wide recorder that drives tail retention at finalize.
     obs.recorder().merge(recorder_);

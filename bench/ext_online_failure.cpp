@@ -10,6 +10,7 @@
 // the cost of the post-restart repair pass that restores full redundancy.
 #include "bench_util.h"
 #include "cluster/fault_schedule.h"
+#include "cluster/health_monitor.h"
 #include "resilience/repair.h"
 #include "workload/ycsb.h"
 
@@ -55,6 +56,9 @@ struct RunOut {
   std::uint64_t hedge_wasted_bytes = 0;
   double repair_ms = 0.0;
   std::uint64_t fragments_rebuilt = 0;
+  /// Closed detection loop: injected crash/restart stamps joined against
+  /// the health detector's transitions (empty for the fault-free baseline).
+  obs::DetectionReport detection;
   /// Measured-pass percentile rows; the {get, degraded=yes} row isolates
   /// the ops that paid failover/degraded-read costs from healthy Gets.
   std::vector<obs::LatencyRow> latency;
@@ -84,9 +88,10 @@ sim::Task<void> loader_proc(sim::Simulator* sim, resilience::Engine* engine,
 /// armed, stray timer events outlive the last op, so sim().run()'s return
 /// value overstates the makespan.
 sim::Task<void> supervisor(sim::Simulator* sim, sim::Latch* done,
-                           SimTime* end) {
+                           SimTime* end, cluster::HealthMonitor* monitor) {
   co_await done->wait();
   *end = sim->now();
+  monitor->request_stop();
 }
 
 sim::Task<void> repair_proc(resilience::RepairCoordinator* repair) {
@@ -105,6 +110,14 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
                   resilience::Design::kEraCeCd, 3, 2, 3, {}, hedge);
   if (inject) bench.cluster().set_rpc_policy(guard_policy());
   cluster::FaultSchedule faults(bench.cluster(), kDetectionLagNs);
+  obs::FaultLog fault_log;
+  faults.set_fault_log(&fault_log);
+  // Health plane armed on every run: the fault-free baseline doubles as
+  // the false-positive control, the crash runs measure detection latency.
+  cluster::HealthMonitorParams hm;
+  hm.interval_ns = 1 * units::kMillisecond;
+  hm.detector.min_samples = 6;
+  cluster::HealthMonitor monitor(bench.cluster(), hm);
 
   {  // Preload, partitioned across the clients.
     sim::Latch done(bench.sim(), kClients);
@@ -133,6 +146,7 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
     faults.add_restart(start + dry_makespan_ns * 3 / 4, kCrashedServer);
     faults.arm();
   }
+  monitor.arm();
 
   RunOut out;
   std::vector<workload::YcsbResult> results(kClients);
@@ -143,10 +157,15 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
       bench.spawn(client_proc(&bench.sim(), &bench.engine(c), cfg,
                               cfg.seed + 1000 + c, &results[c], &done));
     }
-    bench.spawn(supervisor(&bench.sim(), &done, &end));
+    bench.spawn(supervisor(&bench.sim(), &done, &end, &monitor));
     bench.sim().run();
   }
   out.makespan_ns = end - start;
+  // 10 ms symptom-propagation grace: the full RPC deadline ladder plus a
+  // couple of detector windows (see obs::analyze_detection).
+  out.detection = obs::analyze_detection(
+      fault_log, monitor.detector().transitions(), end,
+      10 * units::kMillisecond);
   out.latency = bench.recorder().rows();
   for (const auto& r : results) out.merged.merge(r);
   for (std::size_t c = 0; c < kClients; ++c) {
@@ -251,6 +270,30 @@ int main(int argc, char** argv) {
   print_cell(faulted.repair_ms);
   print_cell(static_cast<double>(faulted.fragments_rebuilt));
   end_row();
+
+  // Closed detection loop: the crash must surface as a kDown transition
+  // once membership learns of it; the fault-free baseline is the
+  // false-positive control.
+  print_header("crash detection (health plane)",
+               {"run", "fault", "node", "detected", "latency_ms"});
+  const auto detection_rows = [](const char* label, const RunOut& run) {
+    for (const obs::FaultDetection& d : run.detection.faults) {
+      print_cell(label);
+      print_cell(obs::fault_kind_name(d.fault.kind));
+      print_cell("server" + std::to_string(d.fault.node));
+      print_cell(d.detected ? "yes" : "MISSED");
+      print_cell(d.detected ? units::to_ms(d.latency_ns) : 0.0);
+      end_row();
+    }
+  };
+  detection_rows("crash+restart", faulted);
+  detection_rows("crash+hedged", hedged);
+  std::printf("injected faults detected: %zu/%zu\n",
+              faulted.detection.detected + hedged.detection.detected,
+              faulted.detection.faults.size() +
+                  hedged.detection.faults.size());
+  std::printf("false positives (fault-free control): %zu\n",
+              baseline.detection.false_positives);
 
   // Degraded-vs-healthy percentile split: in the crash run, Gets that paid
   // failure handling (failover fetches, T_check) surface as separate

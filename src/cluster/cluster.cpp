@@ -60,6 +60,23 @@ void Cluster::register_metrics(obs::MetricsRegistry& reg,
   }
 }
 
+void Cluster::set_flight_recorder(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight != nullptr) {
+    flight->ensure_nodes(servers_.size() + clients_.size());
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      flight->set_node_label(i, "server" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      flight->set_node_label(servers_.size() + i,
+                             "client" + std::to_string(i));
+    }
+  }
+  fabric_.set_flight_recorder(flight);
+  for (const auto& s : servers_) s->set_flight_recorder(flight);
+  for (const auto& c : clients_) c->set_flight_recorder(flight);
+}
+
 void Cluster::set_rpc_policy(const kv::RpcPolicy& policy) {
   for (const auto& s : servers_) s->set_policy(policy);
   for (const auto& c : clients_) c->set_policy(policy);

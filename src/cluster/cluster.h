@@ -12,6 +12,8 @@
 #include "kv/hash_ring.h"
 #include "kv/membership.h"
 #include "kv/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -84,6 +86,26 @@ class Cluster {
     for (const auto& c : clients_) c->set_rpc_tracer(tracer, pid);
   }
 
+  /// Attaches per-node health signal counters to every node's RPC layer
+  /// (response RTTs, deadline expiries, retries) and to the fabric (drops).
+  /// Observation-only; pass nullptr to detach.
+  void set_health_signals(obs::HealthSignals* signals) {
+    fabric_.set_health_signals(signals);
+    for (const auto& s : servers_) s->set_health_signals(signals);
+    for (const auto& c : clients_) c->set_health_signals(signals);
+  }
+
+  /// Attaches the flight recorder to every node and the fabric: sizes its
+  /// rings for all S+C nodes, labels them server0../client0.., and routes
+  /// timeout/retry/drop events into it. Observation-only.
+  void set_flight_recorder(obs::FlightRecorder* flight);
+
+  /// The attached flight recorder (nullptr when none) — FaultSchedule uses
+  /// this for automatic crash dumps.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const noexcept {
+    return flight_;
+  }
+
   /// Registers the fabric, every server store, and every client's stats
   /// into `reg`, labelled server0..N / client0..N / "fabric" with the given
   /// op label (the experiment point, e.g. "era-ce-cd/64K").
@@ -112,6 +134,7 @@ class Cluster {
   std::vector<net::NodeId> server_nodes_;
   std::vector<std::unique_ptr<kv::Server>> servers_;
   std::vector<std::unique_ptr<kv::Client>> clients_;
+  obs::FlightRecorder* flight_ = nullptr;
   bool started_ = false;
 };
 

@@ -26,6 +26,15 @@ void FaultSchedule::add_slowdown(SimTime at_ns, std::size_t server_index,
   events_.push_back(FaultEvent{at_ns, server_index, false, false, factor});
 }
 
+void FaultSchedule::add_loss(SimTime at_ns, std::size_t server_index,
+                             double probability) {
+  assert(!armed_ && "schedule is frozen once armed");
+  assert(server_index < cluster_->num_servers());
+  assert(probability >= 0.0 && probability <= 1.0);
+  events_.push_back(
+      FaultEvent{at_ns, server_index, false, false, 0.0, probability});
+}
+
 void FaultSchedule::arm() {
   assert(!armed_ && "FaultSchedule::arm called twice");
   armed_ = true;
@@ -39,12 +48,31 @@ void FaultSchedule::arm() {
 }
 
 void FaultSchedule::apply(const FaultEvent& ev) {
+  const SimTime now = cluster_->sim().now();
   kv::Server& server = cluster_->server(ev.server);
   if (ev.slow > 0.0) {
     // Gray failure: the node answers slowly but is never marked down, so
     // neither fabric fail-fast nor membership-driven degraded reads kick
     // in — only latency-side mechanisms (hedging) can mask it.
     server.set_slowdown(ev.slow);
+    if (fault_log_ != nullptr) {
+      fault_log_->stamp(now, ev.server,
+                        ev.slow > 1.0 ? obs::FaultKind::kSlowdown
+                                      : obs::FaultKind::kSlowdownClear);
+    }
+    ++fired_;
+    return;
+  }
+  if (ev.loss >= 0.0) {
+    // Gray-lossy failure: the fabric silently eats a fraction of this
+    // node's traffic; membership stays green and peers only see timeouts.
+    cluster_->fabric().set_node_loss(static_cast<net::NodeId>(ev.server),
+                                     ev.loss);
+    if (fault_log_ != nullptr) {
+      fault_log_->stamp(now, ev.server,
+                        ev.loss > 0.0 ? obs::FaultKind::kLoss
+                                      : obs::FaultKind::kLossClear);
+    }
     ++fired_;
     return;
   }
@@ -57,6 +85,19 @@ void FaultSchedule::apply(const FaultEvent& ev) {
     // dropped, in-flight callers resolve via their RPC deadlines.
     server.fail();
     if (ev.wipe) server.store().clear();
+    // Crash injection is one of the flight recorder's automatic dump
+    // triggers: snapshot every ring's window as of the crash instant.
+    if (obs::FlightRecorder* const flight = cluster_->flight_recorder();
+        flight != nullptr) {
+      flight->record(now, ev.server, obs::FlightEventType::kDump,
+                     flight->dumps_written());
+      flight->dump_to_file("crash", now);
+    }
+  }
+  if (fault_log_ != nullptr) {
+    fault_log_->stamp(now, ev.server,
+                      ev.restart ? obs::FaultKind::kRestart
+                                 : obs::FaultKind::kCrash);
   }
   ++fired_;
   if (detection_lag_ns_ <= 0) {

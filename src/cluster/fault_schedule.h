@@ -41,6 +41,21 @@ class FaultSchedule {
   /// exactly the straggler pattern hedged reads are built to mask.
   void add_slowdown(SimTime at_ns, std::size_t server_index, double factor);
 
+  /// Schedules a gray-lossy failure: from `at_ns` on, fabric messages to
+  /// or from `server_index` are silently dropped with `probability` (0.0
+  /// restores a clean link). Membership stays green — peers only see the
+  /// timeouts — which is the silent-loss pattern the health detector's
+  /// loss-rate rule exists for. Requires a nonzero RpcPolicy timeout or
+  /// affected callers park forever.
+  void add_loss(SimTime at_ns, std::size_t server_index, double probability);
+
+  /// Attaches the ground-truth log: every applied event is stamped with
+  /// its simulated time, node, and fault kind. The closed detection loop
+  /// joins these stamps against the detector's transitions. The log is
+  /// deliberately kept out of the flight recorder so post-mortem tooling
+  /// must infer the faulty node from symptoms.
+  void set_fault_log(obs::FaultLog* log) noexcept { fault_log_ = log; }
+
   /// Spawns the driver coroutine. Call exactly once, before running the
   /// simulation; the schedule must outlive the simulation.
   void arm();
@@ -54,7 +69,8 @@ class FaultSchedule {
     std::size_t server = 0;
     bool restart = false;
     bool wipe = false;
-    double slow = 0.0;  ///< > 0: gray-failure slowdown, not a crash/restart
+    double slow = 0.0;   ///< > 0: gray-failure slowdown, not a crash/restart
+    double loss = -1.0;  ///< >= 0: per-node silent-loss probability
   };
 
   static sim::Task<void> driver(FaultSchedule* self);
@@ -68,6 +84,7 @@ class FaultSchedule {
   std::vector<FaultEvent> events_;
   std::size_t fired_ = 0;
   bool armed_ = false;
+  obs::FaultLog* fault_log_ = nullptr;
 };
 
 }  // namespace hpres::cluster

@@ -1,0 +1,94 @@
+#include "cluster/health_monitor.h"
+
+namespace hpres::cluster {
+
+HealthMonitor::HealthMonitor(Cluster& cluster, HealthMonitorParams params)
+    : cluster_(&cluster),
+      params_(params),
+      signals_(cluster.num_servers(), params.slo_ns),
+      detector_(cluster.num_servers(), params.detector),
+      samples_(cluster.num_servers()) {}
+
+void HealthMonitor::arm() {
+  if (armed_) return;
+  armed_ = true;
+  cluster_->set_health_signals(&signals_);
+  cluster_->sim().spawn(run(this));
+}
+
+void HealthMonitor::request_stop() {
+  if (!armed_ || stop_) return;
+  // Final tick so symptoms in the last partial window are never dropped.
+  tick_once();
+  stop_ = true;
+}
+
+void HealthMonitor::register_gauges(obs::MetricsRegistry& reg,
+                                    const std::string& op_label) {
+  score_gauges_.clear();
+  state_gauges_.clear();
+  for (std::size_t i = 0; i < cluster_->num_servers(); ++i) {
+    const obs::MetricLabels labels{"health", "server" + std::to_string(i),
+                                   op_label};
+    score_gauges_.push_back(&reg.gauge("health.score_x1000", labels));
+    state_gauges_.push_back(&reg.gauge("health.node_state", labels));
+    score_gauges_.back()->set(1000);  // neutral score until the first tick
+  }
+}
+
+void HealthMonitor::tick_once() {
+  const SimTime now = cluster_->sim().now();
+  obs::FlightRecorder* const flight = cluster_->flight_recorder();
+  std::uint64_t window_timeouts = 0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    obs::HealthSample& s = samples_[i];
+    s.window = signals_.take_window(i);
+    s.queue_depth = cluster_->server(i).queue_depth();
+    s.up = cluster_->membership().up(i);
+    window_timeouts += s.window.timeouts;
+    if (flight != nullptr) {
+      flight->record(now, i, obs::FlightEventType::kQueueDepth,
+                     s.queue_depth,
+                     static_cast<std::uint32_t>(s.window.responses));
+    }
+  }
+  detector_.tick(now, samples_);
+
+  // Mirror new transitions into the flight recorder and the gauges.
+  const auto& transitions = detector_.transitions();
+  for (; seen_transitions_ < transitions.size(); ++seen_transitions_) {
+    const obs::HealthTransition& tr = transitions[seen_transitions_];
+    if (flight != nullptr) {
+      flight->record(tr.t_ns, tr.node, obs::FlightEventType::kHealthState,
+                     static_cast<std::uint64_t>(tr.to),
+                     static_cast<std::uint32_t>(tr.from));
+    }
+  }
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (i < score_gauges_.size()) {
+      score_gauges_[i]->set(
+          static_cast<std::int64_t>(detector_.score(i) * 1000.0));
+      state_gauges_[i]->set(static_cast<std::int64_t>(detector_.state(i)));
+    }
+  }
+
+  // A cluster-wide burst of deadline expiries in one window is the second
+  // automatic dump trigger (after crash injection): snapshot the freshest
+  // ring window while the symptoms are still in it.
+  if (flight != nullptr && params_.timeout_burst > 0 &&
+      window_timeouts >= params_.timeout_burst) {
+    flight->record(now, 0, obs::FlightEventType::kDump,
+                   flight->dumps_written());
+    if (flight->dump_to_file("timeout-burst", now)) ++burst_dumps_;
+  }
+}
+
+sim::Task<void> HealthMonitor::run(HealthMonitor* self) {
+  for (;;) {
+    co_await self->cluster_->sim().delay(self->params_.interval_ns);
+    if (self->stop_) break;
+    self->tick_once();
+  }
+}
+
+}  // namespace hpres::cluster

@@ -1,0 +1,92 @@
+// Cluster health plane: the active monitor that closes the loop between
+// the passive per-node signals (obs::HealthSignals, fed by rpc/fabric hot
+// paths) and the online anomaly detector (obs::HealthDetector).
+//
+// A spawned ticker process wakes every `interval_ns` of simulated time,
+// assembles one HealthSample per server (windowed signal deltas +
+// instantaneous handler queue depth + the membership oracle's view), and
+// runs one detector tick. Transitions are mirrored into the flight
+// recorder (kHealthState) and into owned Prometheus gauges
+// (health.score_x1000 / health.node_state); a cluster-wide burst of RPC
+// deadline expiries in one window triggers an automatic flight dump.
+//
+// Lifecycle mirrors obs::Sampler: the harness calls request_stop() when
+// the workload completes, the ticker takes one final tick and exits at its
+// next wakeup, and the event queue drains normally. Monitoring is
+// observation-only — it never perturbs workload timing, so a monitored run
+// produces byte-identical workload results to an unmonitored one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "obs/health.h"
+
+namespace hpres::cluster {
+
+struct HealthMonitorParams {
+  /// Detector tick period (simulated). 100µs ≈ a few hundred ops per
+  /// window at the simulated service rates — enough samples to clear
+  /// HealthParams::min_samples without detection lag suffering.
+  SimDur interval_ns = 100 * units::kMicrosecond;
+  /// Per-response latency SLO classifying over-SLO responses for the
+  /// burn-rate rule.
+  SimDur slo_ns = 2 * units::kMillisecond;
+  /// Cluster-wide RPC deadline expiries in a single window that trigger an
+  /// automatic flight-recorder dump ("timeout-burst"). 0 disables.
+  std::uint64_t timeout_burst = 8;
+  /// Detector thresholds and hysteresis.
+  obs::HealthParams detector;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(Cluster& cluster, HealthMonitorParams params = {});
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Wires the signal counters into the cluster's rpc/fabric layers and
+  /// spawns the ticker. Call once, before running the simulation; the
+  /// monitor must outlive it.
+  void arm();
+
+  /// Takes one final detector tick at the current instant and makes the
+  /// ticker exit at its next wakeup. Idempotent.
+  void request_stop();
+
+  /// Registers per-server owned gauges (health.score_x1000 as the
+  /// fixed-point composite score, health.node_state as the NodeHealthState
+  /// ordinal) under component "health". Owned, not bound: the values
+  /// survive registry capture() after the monitor is destroyed.
+  void register_gauges(obs::MetricsRegistry& reg, const std::string& op_label);
+
+  [[nodiscard]] const obs::HealthDetector& detector() const noexcept {
+    return detector_;
+  }
+  [[nodiscard]] obs::HealthSignals& signals() noexcept { return signals_; }
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return detector_.ticks();
+  }
+  [[nodiscard]] std::uint64_t flight_dumps_triggered() const noexcept {
+    return burst_dumps_;
+  }
+
+ private:
+  static sim::Task<void> run(HealthMonitor* self);
+  void tick_once();
+
+  Cluster* cluster_;
+  HealthMonitorParams params_;
+  obs::HealthSignals signals_;
+  obs::HealthDetector detector_;
+  std::vector<obs::HealthSample> samples_;   ///< reused per tick
+  std::vector<obs::Gauge*> score_gauges_;    ///< per server, when registered
+  std::vector<obs::Gauge*> state_gauges_;
+  std::size_t seen_transitions_ = 0;
+  std::uint64_t burst_dumps_ = 0;
+  bool stop_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace hpres::cluster

@@ -19,7 +19,8 @@ sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
   req.rpc_id = next_rpc_++;
   req.reply_to = id_;
   last_call_id_ = req.rpc_id;
-  pending_.emplace(req.rpc_id, std::move(promise));
+  pending_.emplace(req.rpc_id,
+                   PendingCall{std::move(promise), dst, sim_->now()});
   const std::size_t bytes = payload_bytes(req);
   const obs::TraceContext trace = req.trace;
   fabric_->send(id_, dst, WireBody{std::move(req)}, bytes, trace);
@@ -29,7 +30,7 @@ sim::Future<Response> RpcNode::call(NodeId dst, Request req) {
 void RpcNode::cancel_resolve(std::uint64_t rpc_id) {
   const auto it = pending_.find(rpc_id);
   if (it == pending_.end()) return;
-  sim::Promise<Response> promise = std::move(it->second);
+  sim::Promise<Response> promise = std::move(it->second.promise);
   pending_.erase(it);
   Response cancelled;
   cancelled.rpc_id = rpc_id;
@@ -50,6 +51,15 @@ sim::Task<Response> RpcNode::call_guarded(NodeId dst, Request req) {
 
     ++rpc_stats_.timeouts;
     cancel(rpc_id);  // a late response is dropped as stale by dispatch
+    if (health_ != nullptr) {
+      health_->on_timeout(static_cast<std::size_t>(dst));
+    }
+    if (flight_ != nullptr) {
+      flight_->record(sim_->now(), static_cast<std::size_t>(dst),
+                      obs::FlightEventType::kRpcTimeout,
+                      static_cast<std::uint64_t>(policy_.timeout_ns),
+                      static_cast<std::uint32_t>(id_));
+    }
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->complete(trace_pid_, obs::Tracer::kNicTidBase + id_,
                         "rpc/timeout", "rpc", sim_->now() - policy_.timeout_ns,
@@ -63,6 +73,14 @@ sim::Task<Response> RpcNode::call_guarded(NodeId dst, Request req) {
       co_return expired;
     }
     ++rpc_stats_.retries;
+    if (health_ != nullptr) {
+      health_->on_retry(static_cast<std::size_t>(dst));
+    }
+    if (flight_ != nullptr) {
+      flight_->record(sim_->now(), static_cast<std::size_t>(dst),
+                      obs::FlightEventType::kRpcRetry, attempt,
+                      static_cast<std::uint32_t>(id_));
+    }
     if (policy_.backoff_ns > 0) {
       co_await sim_->delay(policy_.backoff_ns << attempt);
     }
@@ -93,7 +111,11 @@ sim::Task<void> RpcNode::dispatch_loop(RpcNode* self) {
       auto& resp = std::get<Response>(env->body);
       const auto it = self->pending_.find(resp.rpc_id);
       if (it == self->pending_.end()) continue;  // stale/duplicate response
-      sim::Promise<Response> promise = std::move(it->second);
+      sim::Promise<Response> promise = std::move(it->second.promise);
+      if (self->health_ != nullptr) {
+        self->health_->on_response(static_cast<std::size_t>(it->second.dst),
+                                   self->sim_->now() - it->second.sent_at);
+      }
       self->pending_.erase(it);
       promise.set_value(std::move(resp));
     }

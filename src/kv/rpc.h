@@ -19,6 +19,8 @@
 #include <unordered_map>
 
 #include "kv/protocol.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/future.h"
@@ -78,6 +80,21 @@ class RpcNode {
   void set_rpc_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) noexcept {
     tracer_ = tracer;
     trace_pid_ = pid;
+  }
+
+  /// Attaches the cluster health plane: every matched response feeds the
+  /// destination server's RTT estimate, every guarded-call deadline expiry
+  /// feeds its timeout counter. Observation-only — never alters call
+  /// behaviour or timing.
+  void set_health_signals(obs::HealthSignals* signals) noexcept {
+    health_ = signals;
+  }
+
+  /// Attaches the flight recorder; timeout/retry events land in the ring
+  /// of the *destination* node (the node being suspected), with the caller
+  /// in the `b` field.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+    flight_ = flight;
   }
 
   /// Sends a request; the future resolves with the peer's response. A
@@ -141,16 +158,26 @@ class RpcNode {
   static sim::Task<void> guarded_coro(RpcNode* self, NodeId dst, Request req,
                                       sim::Promise<Response> out);
 
+  /// One in-flight call: the promise to resolve plus where/when it went,
+  /// so the dispatch loop can attribute the RTT to the destination.
+  struct PendingCall {
+    sim::Promise<Response> promise;
+    NodeId dst = 0;
+    SimTime sent_at = 0;
+  };
+
   sim::Simulator* sim_;
   KvFabric* fabric_;
   NodeId id_;
   std::uint64_t next_rpc_ = 1;
   std::uint64_t last_call_id_ = 0;  ///< rpc id issued by the latest call()
-  std::unordered_map<std::uint64_t, sim::Promise<Response>> pending_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
   RpcPolicy policy_;
   RpcStats rpc_stats_;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
+  obs::HealthSignals* health_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace hpres::kv

@@ -21,6 +21,8 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/params.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -144,6 +146,33 @@ class Fabric {
     loss_rng_ = Xoshiro256(seed);
   }
 
+  /// Per-node silent loss: messages to or from `id` are additionally
+  /// dropped with probability `probability` — a gray-lossy NIC whose peers
+  /// see timeouts while membership still says the node is alive. Shares
+  /// the set_loss RNG stream; with every probability at 0 the send path
+  /// draws no RNG at all, keeping loss-free runs bit-identical.
+  void set_node_loss(NodeId id, double probability) {
+    assert(id < nics_.size());
+    if (nics_[id].loss > 0.0 && probability <= 0.0) --lossy_nodes_;
+    if (nics_[id].loss <= 0.0 && probability > 0.0) ++lossy_nodes_;
+    nics_[id].loss = probability;
+  }
+  [[nodiscard]] double node_loss(NodeId id) const {
+    assert(id < nics_.size());
+    return nics_[id].loss;
+  }
+
+  /// Attaches the health plane: every drop involving a tracked node feeds
+  /// its drop counter. Purely observational.
+  void set_health_signals(obs::HealthSignals* signals) noexcept {
+    health_ = signals;
+  }
+  /// Attaches the flight recorder: drops land in the involved server's
+  /// ring as kNetDrop events. Purely observational.
+  void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
   /// Asynchronously transfers `body` with `payload_bytes` of payload.
   /// Returns immediately; delivery lands in the destination inbox at the
   /// modeled time. Loopback (src == dst) skips the NIC entirely and
@@ -170,22 +199,30 @@ class Fabric {
       } else {
         ++stats_.drops_src_down;
       }
+      record_drop(src, dst, payload_bytes, /*injected=*/false);
       if (tr != nullptr && trace.valid()) {
         tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
                     sim_->now(), trace.trace_id);
       }
       return;
     }
-    if (loss_probability_ > 0.0 &&
-        loss_rng_.next_double() < loss_probability_) {
-      ++stats_.messages_dropped;
-      ++stats_.drops_injected;
-      stats_.bytes_dropped += payload_bytes;
-      if (tr != nullptr && trace.valid()) {
-        tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
-                    sim_->now(), trace.trace_id);
+    // Injected loss: one combined-probability draw covers the global link
+    // rate and both endpoints' gray-lossy rates, so the RNG stream advances
+    // exactly once per at-risk message regardless of how many layers apply.
+    if (loss_probability_ > 0.0 || lossy_nodes_ > 0) {
+      const double keep = (1.0 - loss_probability_) *
+                          (1.0 - nics_[src].loss) * (1.0 - nics_[dst].loss);
+      if (keep < 1.0 && loss_rng_.next_double() >= keep) {
+        ++stats_.messages_dropped;
+        ++stats_.drops_injected;
+        stats_.bytes_dropped += payload_bytes;
+        record_drop(src, dst, payload_bytes, /*injected=*/true);
+        if (tr != nullptr && trace.valid()) {
+          tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
+                      sim_->now(), trace.trace_id);
+        }
+        return;
       }
-      return;
     }
     const SimTime now = sim_->now();
     Envelope<Body> env{src, dst, now, 0, payload_bytes + params_.header_bytes,
@@ -269,7 +306,25 @@ class Fabric {
     SimTime tx_busy_until = 0;
     SimTime rx_busy_until = 0;
     bool up = true;
+    double loss = 0.0;  ///< per-node injected silent-loss probability
   };
+
+  /// Feeds a drop into the health plane. Health counters are sized to
+  /// servers and attribute to whichever endpoint is one (the destination
+  /// when both are; out-of-range ids bounce off the bounds checks). The
+  /// flight event lands in the destination's ring with the source in `b`,
+  /// so per-ring drop tallies stay attributable either way.
+  void record_drop(NodeId src, NodeId dst, std::size_t payload_bytes,
+                   bool injected) {
+    if (health_ != nullptr) {
+      health_->on_drop(dst < health_->num_nodes() ? dst : src);
+    }
+    if (flight_ != nullptr) {
+      flight_->record(sim_->now(), dst, obs::FlightEventType::kNetDrop,
+                      payload_bytes, static_cast<std::uint32_t>(src),
+                      injected ? 1 : 0);
+    }
+  }
 
   void deliver_at(SimTime when, Envelope<Body> env) {
     const SimDur delay = when - sim_->now();
@@ -297,11 +352,14 @@ class Fabric {
   std::vector<std::unique_ptr<sim::Channel<Envelope<Body>>>> inboxes_;
   FabricStats stats_;
   double loss_probability_ = 0.0;
+  std::size_t lossy_nodes_ = 0;  ///< nodes with a nonzero per-node loss
   Xoshiro256 loss_rng_;
   std::uint64_t in_flight_bytes_ = 0;
   std::uint64_t in_flight_messages_ = 0;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
+  obs::HealthSignals* health_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace hpres::net

@@ -1,0 +1,116 @@
+#include "obs/flight_recorder.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace hpres::obs {
+
+const char* flight_event_name(FlightEventType type) noexcept {
+  switch (type) {
+    case FlightEventType::kOpStart: return "op_start";
+    case FlightEventType::kOpEnd: return "op_end";
+    case FlightEventType::kRpcTimeout: return "rpc_timeout";
+    case FlightEventType::kRpcRetry: return "rpc_retry";
+    case FlightEventType::kDegraded: return "degraded";
+    case FlightEventType::kFailover: return "failover";
+    case FlightEventType::kFallback: return "fallback";
+    case FlightEventType::kHedgeFired: return "hedge_fired";
+    case FlightEventType::kHedgeWon: return "hedge_won";
+    case FlightEventType::kRepairPhase: return "repair_phase";
+    case FlightEventType::kQueueDepth: return "queue_depth";
+    case FlightEventType::kNetDrop: return "net_drop";
+    case FlightEventType::kHealthState: return "health_state";
+    case FlightEventType::kDump: return "dump";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::ensure_nodes(std::size_t n) {
+  if (n <= rings_.size()) return;
+  const std::size_t old = rings_.size();
+  rings_.resize(n);
+  for (std::size_t i = old; i < n; ++i) {
+    rings_[i].buf.resize(ring_size_);
+    rings_[i].label = "node" + std::to_string(i);
+  }
+}
+
+void FlightRecorder::set_node_label(std::size_t node, std::string label) {
+  ensure_nodes(node + 1);
+  rings_[node].label = std::move(label);
+}
+
+std::vector<FlightRecord> FlightRecorder::events(std::size_t node) const {
+  std::vector<FlightRecord> out;
+  if (node >= rings_.size()) return out;
+  const Ring& ring = rings_[node];
+  const std::uint64_t kept =
+      ring.written < ring_size_ ? ring.written : ring_size_;
+  out.reserve(kept);
+  // Oldest retained record sits at written % ring_size_ once wrapped.
+  const std::uint64_t start = ring.written - kept;
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    out.push_back(ring.buf[(start + i) % ring_size_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump(std::string_view reason,
+                                 SimTime now_ns) const {
+  std::string out;
+  out.reserve(256 + rings_.size() * ring_size_ * 64);
+  out += "{\"flight\":{\"version\":1,\"reason\":";
+  json::append_string(out, reason);
+  out += ",\"dumped_at_ns\":";
+  json::append_i64(out, now_ns);
+  out += ",\"ring_size\":";
+  json::append_u64(out, ring_size_);
+  out += ",\"dropped_records\":";
+  json::append_u64(out, dropped_records_);
+  out += ",\"nodes\":[";
+  for (std::size_t node = 0; node < rings_.size(); ++node) {
+    if (node != 0) out.push_back(',');
+    const Ring& ring = rings_[node];
+    out += "\n{\"node\":";
+    json::append_u64(out, node);
+    out += ",\"label\":";
+    json::append_string(out, ring.label);
+    out += ",\"written\":";
+    json::append_u64(out, ring.written);
+    out += ",\"events\":[";
+    bool first = true;
+    for (const FlightRecord& rec : events(node)) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "\n{\"t\":";
+      json::append_i64(out, rec.t_ns);
+      out += ",\"e\":";
+      json::append_string(out, flight_event_name(rec.type));
+      out += ",\"a\":";
+      json::append_u64(out, rec.a);
+      out += ",\"b\":";
+      json::append_u64(out, rec.b);
+      out += ",\"c\":";
+      json::append_u64(out, rec.code);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "\n]}}\n";
+  return out;
+}
+
+bool FlightRecorder::dump_to_file(std::string_view reason, SimTime now_ns,
+                                  const std::string& path_override) {
+  const std::string& path = path_override.empty() ? dump_path_ : path_override;
+  if (path.empty()) return false;
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << dump(reason, now_ns);
+  if (!file.good()) return false;
+  ++dumps_written_;
+  return true;
+}
+
+}  // namespace hpres::obs

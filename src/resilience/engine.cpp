@@ -22,6 +22,10 @@ sim::Task<Status> Engine::set_impl(kv::Key key, SharedBytes value,
                        : obs::TraceContext{tr->new_trace_id(),
                                            phases.trace_tid, 0};
   }
+  if (!nested && ctx_.flight != nullptr) {
+    ctx_.flight->record(t0, client().id(), obs::FlightEventType::kOpStart, 0,
+                        0, /*code=*/0);
+  }
   const Status status = co_await do_set(std::move(key), std::move(value),
                                         &phases);
   const SimDur total = sim().now() - t0;
@@ -42,6 +46,16 @@ sim::Task<Status> Engine::set_impl(kv::Key key, SharedBytes value,
     ctx_.recorder->record("set", name(), phases.degraded, total,
                           phases.trace.trace_id);
   }
+  if (!nested && ctx_.flight != nullptr) {
+    if (phases.degraded) {
+      ctx_.flight->record(sim().now(), client().id(),
+                          obs::FlightEventType::kDegraded, 0, 0, /*code=*/0);
+    }
+    ctx_.flight->record(sim().now(), client().id(),
+                        obs::FlightEventType::kOpEnd,
+                        static_cast<std::uint64_t>(total),
+                        phases.degraded ? 1 : 0, /*code=*/0);
+  }
   co_return status;
 }
 
@@ -59,6 +73,10 @@ sim::Task<Result<Bytes>> Engine::get_impl(kv::Key key,
                        ? parent.child(phases.trace_tid)
                        : obs::TraceContext{tr->new_trace_id(),
                                            phases.trace_tid, 0};
+  }
+  if (!nested && ctx_.flight != nullptr) {
+    ctx_.flight->record(t0, client().id(), obs::FlightEventType::kOpStart, 0,
+                        0, /*code=*/1);
   }
   Result<Bytes> result = co_await do_get(std::move(key), &phases);
   const SimDur total = sim().now() - t0;
@@ -78,6 +96,16 @@ sim::Task<Result<Bytes>> Engine::get_impl(kv::Key key,
   if (!nested && ctx_.recorder != nullptr) {
     ctx_.recorder->record("get", name(), phases.degraded, total,
                           phases.trace.trace_id);
+  }
+  if (!nested && ctx_.flight != nullptr) {
+    if (phases.degraded) {
+      ctx_.flight->record(sim().now(), client().id(),
+                          obs::FlightEventType::kDegraded, 0, 0, /*code=*/1);
+    }
+    ctx_.flight->record(sim().now(), client().id(),
+                        obs::FlightEventType::kOpEnd,
+                        static_cast<std::uint64_t>(total),
+                        phases.degraded ? 1 : 0, /*code=*/1);
   }
   co_return result;
 }

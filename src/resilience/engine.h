@@ -10,6 +10,7 @@
 
 #include "common/histogram.h"
 #include "kv/client.h"
+#include "obs/flight_recorder.h"
 #include "kv/hash_ring.h"
 #include "kv/membership.h"
 #include "obs/latency.h"
@@ -130,6 +131,10 @@ struct EngineContext {
   /// latencies land here keyed by {op, scheme, degraded}; nested
   /// (composite-engine) calls do not record, so every op counts once.
   obs::LatencyRecorder* recorder = nullptr;
+  /// Optional flight recorder. Op start/end events land in this client's
+  /// ring; failure-handling events (failover, fallback, hedge) land in the
+  /// ring of the server they implicate. Purely observational.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class Engine {
@@ -247,6 +252,11 @@ class Engine {
     return client().params().issue_cpu_ns +
            static_cast<SimDur>(client().params().issue_ns_per_byte *
                                static_cast<double>(payload));
+  }
+
+  /// The attached flight recorder, nullptr when absent.
+  [[nodiscard]] obs::FlightRecorder* flight() const noexcept {
+    return ctx_.flight;
   }
 
   /// The attached tracer when it is live, nullptr otherwise — one branch on

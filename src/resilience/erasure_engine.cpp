@@ -285,7 +285,14 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
     pending.reserve(chosen.size());
     for (const std::size_t slot : chosen) {
       if (have[slot]) continue;
-      if (round > 0) ++stats().failover_fetches;
+      if (round > 0) {
+        ++stats().failover_fetches;
+        if (flight() != nullptr) {
+          flight()->record(sim().now(), node_of(ring().slot_index(key, slot)),
+                           obs::FlightEventType::kFailover, 0,
+                           static_cast<std::uint32_t>(client().id()));
+        }
+      }
       kv::Request req;
       req.verb = kv::Verb::kGet;
       req.key = kv::chunk_key(key, slot);
@@ -349,6 +356,10 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode(kv::Key key,
       // the stager holds the full value until every fragment is acked, so
       // one server-side aggregate resolves the race (read-after-write).
       ++stats().fallback_gets;
+      if (flight() != nullptr) {
+        flight()->record(sim().now(), client().id(),
+                         obs::FlightEventType::kFallback);
+      }
       co_return co_await get_server_decode(std::move(key), phases);
     }
     co_return Status{worst, "missing fragments"};
@@ -513,6 +524,11 @@ sim::Task<void> ErasureEngine::hedge_firer(
       tr->instant(self->trace_pid(), trace_tid, "hedge/fire", "engine",
                   self->sim().now(), trace.trace_id);
     }
+    if (obs::FlightRecorder* const fl = self->flight(); fl != nullptr) {
+      fl->record(self->sim().now(), self->node_of(st->owner[slot]),
+                 obs::FlightEventType::kHedgeFired, 0,
+                 static_cast<std::uint32_t>(self->client().id()));
+    }
     self->issue_hedged_fetch(key, st, slot, true, trace);
   }
   if (fired) ++self->stats().hedged_gets;
@@ -627,6 +643,11 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode_hedged(
         for (const std::size_t slot : *resel) {
           if (st->attempted[slot] || st->have[slot]) continue;
           ++stats().failover_fetches;
+          if (flight() != nullptr) {
+            flight()->record(sim().now(), node_of(st->owner[slot]),
+                             obs::FlightEventType::kFailover, 0,
+                             static_cast<std::uint32_t>(client().id()));
+          }
           issue_hedged_fetch(key, st, slot, false, phases->trace);
         }
       } else if (st->outstanding == 0) {
@@ -659,7 +680,14 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode_hedged(
   }
   if (complete) {
     for (const std::size_t slot : decode_set) {
-      if (st->hedge_slot[slot]) ++stats().hedge_wins;
+      if (st->hedge_slot[slot]) {
+        ++stats().hedge_wins;
+        if (flight() != nullptr) {
+          flight()->record(sim().now(), node_of(st->owner[slot]),
+                           obs::FlightEventType::kHedgeWon, 0,
+                           static_cast<std::uint32_t>(client().id()));
+        }
+      }
     }
     for (std::size_t slot = 0; slot < n; ++slot) {
       if (!st->have[slot]) continue;
@@ -680,6 +708,10 @@ sim::Task<Result<Bytes>> ErasureEngine::get_client_decode_hedged(
       // the stager resolves the race (read-after-write) — see
       // get_client_decode.
       ++stats().fallback_gets;
+      if (flight() != nullptr) {
+        flight()->record(sim().now(), client().id(),
+                         obs::FlightEventType::kFallback);
+      }
       co_return co_await get_server_decode(std::move(key), phases);
     }
     co_return Status{st->worst, "missing fragments"};

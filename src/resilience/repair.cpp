@@ -60,6 +60,12 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/probe", "repair",
                  probe_t0, ctx_.sim->now() - probe_t0, rtrace.trace_id);
   }
+  if (ctx_.flight != nullptr) {
+    ctx_.flight->record(
+        ctx_.sim->now(), ctx_.client->id(), obs::FlightEventType::kRepairPhase,
+        static_cast<std::uint64_t>(ctx_.sim->now() - probe_t0), 0,
+        /*code=*/0);
+  }
   const auto present_count = static_cast<std::size_t>(
       std::count(present.begin(), present.end(), true));
   if (present_count < k || !meta) {
@@ -125,6 +131,12 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/fetch", "repair",
                  fetch_t0, ctx_.sim->now() - fetch_t0, rtrace.trace_id);
   }
+  if (ctx_.flight != nullptr) {
+    ctx_.flight->record(
+        ctx_.sim->now(), ctx_.client->id(), obs::FlightEventType::kRepairPhase,
+        static_cast<std::uint64_t>(ctx_.sim->now() - fetch_t0), 0,
+        /*code=*/1);
+  }
 
   // Phase 3 — rebuild. Compute cost scales with the bytes actually read
   // (the locality saving the paper's future work is after).
@@ -136,6 +148,11 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/reconstruct", "repair",
                  ctx_.sim->now() - reconstruct_ns, reconstruct_ns,
                  rtrace.trace_id);
+  }
+  if (ctx_.flight != nullptr) {
+    ctx_.flight->record(
+        ctx_.sim->now(), ctx_.client->id(), obs::FlightEventType::kRepairPhase,
+        static_cast<std::uint64_t>(reconstruct_ns), 0, /*code=*/2);
   }
 
   std::vector<SharedBytes> rebuilt(n);
@@ -196,6 +213,12 @@ sim::Task<Status> RepairCoordinator::repair_key(kv::Key key) {
   if (tr != nullptr) {
     tr->complete(ctx_.trace_pid, trace_tid(), "repair/replace", "repair",
                  replace_t0, ctx_.sim->now() - replace_t0, rtrace.trace_id);
+  }
+  if (ctx_.flight != nullptr) {
+    ctx_.flight->record(
+        ctx_.sim->now(), ctx_.client->id(), obs::FlightEventType::kRepairPhase,
+        static_cast<std::uint64_t>(ctx_.sim->now() - replace_t0), 0,
+        /*code=*/3);
   }
   if (worst == StatusCode::kOk) {
     ++stats_.keys_repaired;

@@ -1,0 +1,68 @@
+// Prometheus text-exposition exporter: label values are escaped per the
+// exposition-format grammar (backslash, double-quote, newline), metric
+// names are sanitized, and hostile label values can never break a sample
+// line apart or smuggle in an extra one.
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hpres::obs {
+namespace {
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("health.score_x1000"), "hpres_health_score_x1000");
+  EXPECT_EQ(prometheus_name("rpc.timeouts"), "hpres_rpc_timeouts");
+  EXPECT_EQ(prometheus_name("a/b-c d"), "hpres_a_b_c_d");
+  EXPECT_EQ(prometheus_name("ok_name:sub"), "hpres_ok_name:sub");
+}
+
+TEST(Prometheus, HostileLabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.counter("evil", MetricLabels{"back\\slash", "quo\"te", "new\nline"})
+      .inc(7);
+  const std::string out = reg.to_prometheus();
+
+  EXPECT_NE(out.find("component=\"back\\\\slash\""), std::string::npos) << out;
+  EXPECT_NE(out.find("node=\"quo\\\"te\""), std::string::npos) << out;
+  EXPECT_NE(out.find("op=\"new\\nline\""), std::string::npos) << out;
+
+  // The raw hostile bytes must not survive unescaped: a literal newline
+  // inside a label would split the sample into two bogus lines, a literal
+  // quote would terminate the value early.
+  EXPECT_EQ(out.find("new\nline"), std::string::npos);
+  EXPECT_EQ(out.find("quo\"te\""), std::string::npos);
+
+  // Exactly one # TYPE line and one sample line — nothing leaked extra
+  // newlines into the body.
+  std::size_t lines = 0;
+  for (const char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u) << out;
+}
+
+TEST(Prometheus, HostileValueRoundTripsThroughAllThreeLabels) {
+  // The same worst-case value in every label slot renders one well-formed
+  // sample ending in the numeric value.
+  const std::string evil = "a\\\"\n";
+  MetricsRegistry reg;
+  reg.gauge("g", MetricLabels{evil, evil, evil}).set(42);
+  const std::string out = reg.to_prometheus();
+  const std::string escaped = "a\\\\\\\"\\n";
+  EXPECT_NE(out.find("component=\"" + escaped + "\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"} 42\n"), std::string::npos) << out;
+}
+
+TEST(Prometheus, EmptyLabelsOmitBraces) {
+  MetricsRegistry reg;
+  reg.counter("plain", MetricLabels{}).inc();
+  const std::string out = reg.to_prometheus();
+  EXPECT_NE(out.find("hpres_plain 1\n"), std::string::npos) << out;
+  EXPECT_EQ(out.find('{'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpres::obs

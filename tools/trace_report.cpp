@@ -9,12 +9,18 @@
 //   * the slowest individual ops with their full phase split,
 //   * a final "ops analyzed: N" summary line (CI greps for it).
 //
-// The parser is deliberately minimal but is a real tokenizer, not a
-// line-matcher: it streams the "traceEvents" array one event at a time, so
-// memory stays proportional to the tagged spans, not the file. Timestamps
-// are parsed exactly (the tracer writes fractional microseconds with three
-// decimals, i.e. integer nanoseconds), so the per-op phase sums reproduce
-// the in-process invariant phase_sum == total exactly.
+// The parser (tools/mini_json.h, shared with health_report) is
+// deliberately minimal but is a real tokenizer, not a line-matcher: it
+// streams the "traceEvents" array one event at a time, so memory stays
+// proportional to the tagged spans, not the file. Timestamps are parsed
+// exactly (the tracer writes fractional microseconds with three decimals,
+// i.e. integer nanoseconds), so the per-op phase sums reproduce the
+// in-process invariant phase_sum == total exactly.
+//
+// Truncated or garbage trailing input does not abort the report: events
+// harvested before the bad byte are analyzed as usual, with a warning on
+// stderr. A process killed mid-write (the exact situation a post-mortem
+// reader is for) still yields a useful partial report.
 //
 // Usage: trace_report <trace.json> [--tail-frac=F] [--slowest=N]
 #include <algorithm>
@@ -29,236 +35,18 @@
 #include <string_view>
 #include <vector>
 
+#include "mini_json.h"
 #include "obs/critical_path.h"
 #include "obs/trace.h"
 
 namespace {
 
 using namespace hpres;  // NOLINT(google-build-using-namespace)
-
-// ---------------------------------------------------------------- JSON ----
-
-/// One parsed JSON value. Numbers keep their raw token so time fields can be
-/// converted exactly (no double round-trip).
-struct JsonValue {
-  enum class Type : std::uint8_t {
-    kNull, kBool, kNumber, kString, kArray, kObject,
-  };
-  Type type = Type::kNull;
-  bool boolean = false;
-  std::string raw;  ///< number token or decoded string
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  [[nodiscard]] const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  [[nodiscard]] bool at_end() {
-    skip_ws();
-    return pos_ >= text_.size();
-  }
-  [[nodiscard]] std::size_t pos() const { return pos_; }
-
-  /// Parses one value at the cursor; exits with a message on malformed input
-  /// (this is a CLI reading a file we also validate with json.tool in CI —
-  /// a hard error beats limping on).
-  JsonValue parse_value() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    switch (text_[pos_]) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't': expect("true"); return make_bool(true);
-      case 'f': expect("false"); return make_bool(false);
-      case 'n': expect("null"); return JsonValue{};
-      default: return parse_number();
-    }
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  /// Consumes `c` if present; returns whether it was.
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  void require(char c) {
-    if (!consume(c)) fail("expected character");
-  }
-
-  std::string parse_key() {
-    JsonValue key = parse_string();
-    require(':');
-    return std::move(key.raw);
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) const {
-    std::fprintf(stderr, "trace_report: JSON error at byte %zu: %s\n", pos_,
-                 what);
-    std::exit(2);
-  }
-  void expect(std::string_view word) {
-    if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
-    pos_ += word.size();
-  }
-  static JsonValue make_bool(bool b) {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    v.boolean = b;
-    return v;
-  }
-
-  JsonValue parse_string() {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected string");
-    ++pos_;
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            unsigned cp = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              cp <<= 4U;
-              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad hex digit");
-            }
-            // Control-plane names are ASCII; encode BMP code points as UTF-8.
-            if (cp < 0x80) {
-              c = static_cast<char>(cp);
-            } else {
-              if (cp < 0x800) {
-                v.raw.push_back(static_cast<char>(0xC0U | (cp >> 6U)));
-              } else {
-                v.raw.push_back(static_cast<char>(0xE0U | (cp >> 12U)));
-                v.raw.push_back(
-                    static_cast<char>(0x80U | ((cp >> 6U) & 0x3FU)));
-              }
-              c = static_cast<char>(0x80U | (cp & 0x3FU));
-            }
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      }
-      v.raw.push_back(c);
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return v;
-  }
-
-  JsonValue parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.raw.assign(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  JsonValue parse_array() {
-    require('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (consume(']')) return v;
-    do {
-      v.items.push_back(parse_value());
-    } while (consume(','));
-    require(']');
-    return v;
-  }
-
-  JsonValue parse_object() {
-    require('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (consume('}')) return v;
-    do {
-      std::string key = parse_key();
-      v.members.emplace_back(std::move(key), parse_value());
-    } while (consume(','));
-    require('}');
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-/// Exact "us.nnn" -> integer nanoseconds (the tracer always writes three
-/// fractional digits; fewer/more are scaled, so hand-edited files work too).
-std::int64_t time_us_to_ns(const std::string& raw) {
-  const char* p = raw.c_str();
-  bool neg = false;
-  if (*p == '-') {
-    neg = true;
-    ++p;
-  }
-  std::int64_t whole = 0;
-  while (*p >= '0' && *p <= '9') whole = whole * 10 + (*p++ - '0');
-  std::int64_t frac = 0;
-  if (*p == '.') {
-    ++p;
-    int digits = 0;
-    while (*p >= '0' && *p <= '9' && digits < 3) {
-      frac = frac * 10 + (*p++ - '0');
-      ++digits;
-    }
-    while (digits++ < 3) frac *= 10;
-    while (*p >= '0' && *p <= '9') ++p;  // sub-ns digits: truncate
-  }
-  const std::int64_t ns = whole * 1000 + frac;
-  return neg ? -ns : ns;
-}
-
-std::uint64_t to_u64(const JsonValue* v) {
-  if (v == nullptr) return 0;
-  return std::strtoull(v->raw.c_str(), nullptr, 10);
-}
+using tools::JsonParser;
+using tools::JsonValue;
+using tools::ParseError;
+using tools::time_us_to_ns;
+using tools::to_u64;
 
 // ------------------------------------------------------- span rebuild ----
 
@@ -427,7 +215,7 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, ProcessTrace> procs;
   std::map<AsyncKey, AsyncOpen> open;
   std::size_t events = 0;
-  {
+  try {
     JsonParser parser(text);
     parser.require('{');
     if (!parser.consume('}')) {
@@ -448,6 +236,13 @@ int main(int argc, char** argv) {
       } while (parser.consume(','));
       parser.require('}');
     }
+  } catch (const ParseError& e) {
+    // Keep everything harvested before the bad byte: a truncated export
+    // (process killed mid-write) still yields a partial report.
+    std::fprintf(stderr,
+                 "trace_report: warning: malformed JSON at byte %zu (%s);"
+                 " continuing with %zu events parsed so far\n",
+                 e.byte(), e.what(), events);
   }
 
   std::size_t total_ops = 0;

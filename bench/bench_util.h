@@ -225,7 +225,8 @@ class Testbench {
             std::size_t clients, resilience::Design design, std::size_t k = 3,
             std::size_t m = 2, std::uint32_t rep_factor = 3,
             resilience::ArpeParams arpe = {},
-            resilience::HedgeParams hedge = {}, std::string point_label = {})
+            resilience::HedgeParams hedge = {}, std::string point_label = {},
+            resilience::PackParams pack = {})
       : codec_(k, m),
         cost_(ec::CostModel::defaults(ec::Scheme::kRsVandermonde, k, m,
                                       bed.cpu_factor)),
@@ -251,8 +252,8 @@ class Testbench {
       ctx.trace_pid = trace_pid_;
       ctx.recorder = &recorder_;
       ctx.flight = obs.flight();
-      engines_.push_back(resilience::make_engine(design, ctx, rep_factor,
-                                                 &codec_, cost_, arpe, hedge));
+      engines_.push_back(resilience::make_engine(
+          design, ctx, rep_factor, &codec_, cost_, arpe, hedge, pack));
     }
     cluster_.start();
     if (obs.metrics_enabled()) {

@@ -7,7 +7,10 @@
 // Expected shape (paper): Era uses ~56% of aggregate memory at 40 clients
 // (a ~1.8x saving) while Async-Rep saturates 100% and suffers ~GBs of data
 // loss.
+#include <cmath>
+
 #include "bench_util.h"
+#include "ec/stripe.h"
 
 namespace {
 
@@ -50,11 +53,48 @@ Point run_point(resilience::Design design, std::size_t clients,
   return p;
 }
 
+/// Accounting cross-check at an eviction-free point (1 client): the
+/// measured per-key stored bytes of the era design must match the
+/// ec::predict_footprint striped prediction to the byte. Guards the
+/// padding-overhead model the small-value sweep (ext_small_values) derives
+/// its packing crossover from.
+void check_footprint_accounting(std::uint64_t pairs) {
+  Testbench bench(cluster::ri_qdr(), /*servers=*/5, /*clients=*/1,
+                  resilience::Design::kEraCeCd);
+  sim::Latch done(bench.sim(), 1);
+  bench.spawn(writer(&bench.engine(0), 0, pairs, 1024 * 1024, &done));
+  bench.sim().run();
+  const double measured =
+      static_cast<double>(bench.cluster().total_bytes_used());
+  ec::FootprintParams p;
+  p.value_size = 1024 * 1024;
+  p.k = 3;
+  p.m = 2;
+  p.alignment = 1;
+  p.item_overhead = kv::StorageEngine::kItemOverhead;
+  p.chunk_info_bytes = sizeof(kv::ChunkInfo);
+  double predicted = 0.0;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    p.key_size = ("c0-" + std::to_string(i)).size();
+    predicted += ec::predict_footprint(p).striped_per_key;
+  }
+  if (std::abs(measured - predicted) > 0.5) {
+    std::fprintf(stderr,
+                 "FOOTPRINT MISMATCH: measured %.0f B != predicted %.0f B\n",
+                 measured, predicted);
+    std::exit(1);
+  }
+  std::printf("footprint accounting check: measured == predicted"
+              " (%.0f B over %llu keys)\n",
+              measured, static_cast<unsigned long long>(pairs));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
   const std::uint64_t pairs = scaled(1'000);
+  check_footprint_accounting(pairs);
   std::printf("FIG10 (paper Fig 10) — memory efficiency, 5 servers x 20 GB"
               " (100 GB aggregate), %llu x 1 MB pairs per client\n",
               static_cast<unsigned long long>(pairs));

@@ -26,9 +26,10 @@ enum class Verb : std::uint8_t {
   kSet,
   kGet,
   kDelete,
-  kSetEncode,  ///< server-side encode + fragment distribution
-  kGetDecode,  ///< server-side fragment aggregation + decode
-  kScan,       ///< enumerate stored keys (repair discovery)
+  kSetEncode,      ///< server-side encode + fragment distribution
+  kGetDecode,      ///< server-side fragment aggregation + decode
+  kScan,           ///< enumerate stored keys (repair discovery)
+  kSetStripeIndex, ///< install packed-stripe locator entries (batched)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Verb v) noexcept {
@@ -39,6 +40,7 @@ enum class Verb : std::uint8_t {
     case Verb::kSetEncode: return "SET_ENCODE";
     case Verb::kGetDecode: return "GET_DECODE";
     case Verb::kScan: return "SCAN";
+    case Verb::kSetStripeIndex: return "SET_STRIPE_INDEX";
   }
   return "?";
 }
@@ -54,6 +56,30 @@ struct ChunkInfo {
   [[nodiscard]] bool operator==(const ChunkInfo&) const = default;
 };
 
+/// Locator for a value packed into a shared stripe: which stripe holds it
+/// and where the value bytes sit inside the stripe payload. `stripe_bytes`
+/// (the pre-encode payload size of the whole stripe) rides along so a
+/// reader can compute the stripe's fragment layout without an extra probe.
+struct StripeLoc {
+  Key stripe;                     ///< stripe base key (fragment placement)
+  std::uint32_t offset = 0;       ///< value offset within stripe payload
+  std::uint32_t len = 0;          ///< value length in bytes
+  std::uint32_t stripe_bytes = 0; ///< total stripe payload size
+
+  [[nodiscard]] bool operator==(const StripeLoc&) const = default;
+};
+
+/// One entry of a batched kSetStripeIndex install: the user key plus its
+/// sub-slot range. The stripe base key and stripe_bytes are shared by the
+/// whole batch and ride in Request::key / Request::chunk->original_size.
+struct StripeIndexEntry {
+  Key key;
+  std::uint32_t offset = 0;
+  std::uint32_t len = 0;
+
+  [[nodiscard]] bool operator==(const StripeIndexEntry&) const = default;
+};
+
 struct Request {
   Verb verb = Verb::kGet;
   Key key;
@@ -62,6 +88,12 @@ struct Request {
   /// kGet only: return existence + ChunkInfo without the payload (cheap
   /// presence probe for repair discovery).
   bool head_only = false;
+  /// kSetStripeIndex: locator entries to install (Request::key is the
+  /// stripe base key, chunk->original_size the stripe payload size).
+  std::vector<StripeIndexEntry> stripe_index;
+  /// kGet/kDelete: operate on the server's stripe locator directory for
+  /// `key` instead of the value store (packed-path lookup / unlink).
+  bool stripe_lookup = false;
   std::uint64_t rpc_id = 0;
   NodeId reply_to = 0;
   /// Causal trace header: tags the fabric transfer and the server handler
@@ -76,6 +108,8 @@ struct Response {
   SharedBytes value;  ///< payload for successful gets; null otherwise
   std::optional<ChunkInfo> chunk;
   std::vector<Key> keys;  ///< kScan results
+  /// Successful stripe_lookup gets: the locator for the requested key.
+  std::optional<StripeLoc> stripe;
   /// Causal trace header (see Request::trace): the responder echoes the
   /// request's trace id with its handler span as the new parent.
   obs::TraceContext trace;
@@ -91,14 +125,20 @@ using KvFabric = net::Fabric<WireBody>;
 using KvEnvelope = net::Envelope<WireBody>;
 
 /// Payload size used for wire timing (key + value + fixed verb framing).
+/// Stripe-index batches and locator replies are charged per entry; both
+/// contribute zero bytes when absent, so the legacy paths are unchanged.
 [[nodiscard]] inline std::size_t payload_bytes(const Request& r) noexcept {
-  return r.key.size() + (r.value ? r.value->size() : 0) + 16;
+  std::size_t index_bytes = 0;
+  for (const auto& e : r.stripe_index) index_bytes += e.key.size() + 12;
+  return r.key.size() + (r.value ? r.value->size() : 0) + index_bytes + 16;
 }
 
 [[nodiscard]] inline std::size_t payload_bytes(const Response& r) noexcept {
   std::size_t keys_bytes = 0;
   for (const auto& k : r.keys) keys_bytes += k.size() + 4;
-  return (r.value ? r.value->size() : 0) + keys_bytes + 16;
+  const std::size_t loc_bytes =
+      r.stripe ? r.stripe->stripe.size() + 12 : 0;
+  return (r.value ? r.value->size() : 0) + keys_bytes + loc_bytes + 16;
 }
 
 /// Key under which fragment `index` of `key` is stored. The separator byte
@@ -126,6 +166,20 @@ struct ParsedChunkKey {
   ParsedChunkKey out;
   out.base = stored.substr(0, stored.size() - 2);
   out.slot = static_cast<std::size_t>(stored.back() - '0');
+  return out;
+}
+
+/// Synthetic base key for packed stripe `seq` minted by `client`. The
+/// leading '\x02' byte keeps stripe keys disjoint from user keys and from
+/// '\x01'-separated fragment keys; the client id makes concurrently packing
+/// clients mint non-colliding stripes.
+[[nodiscard]] inline Key stripe_key(NodeId client, std::uint64_t seq) {
+  Key out;
+  out.push_back('\x02');
+  out.push_back('s');
+  out += std::to_string(client);
+  out.push_back('.');
+  out += std::to_string(seq);
   return out;
 }
 

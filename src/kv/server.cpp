@@ -79,6 +79,7 @@ void Server::on_request(KvEnvelope env) {
     case Verb::kGet:
     case Verb::kDelete:
     case Verb::kScan:
+    case Verb::kSetStripeIndex:
       sim().spawn(handle_plain(this, std::move(env)));
       break;
     case Verb::kSetEncode:
@@ -95,9 +96,13 @@ void Server::on_request(KvEnvelope env) {
 sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
   auto& req = std::get<Request>(env.body);
   HandlerTrace ht(*self, req);
-  const std::size_t touched =
+  std::size_t touched =
       req.value ? req.value->size()
                 : (req.verb == Verb::kGet ? 0 : req.key.size());
+  if (req.verb == Verb::kSetStripeIndex) {
+    touched = 0;  // ingest cost scales with the locator batch, not the key
+    for (const auto& e : req.stripe_index) touched += e.key.size() + 12;
+  }
   const SimTime enqueued = self->sim().now();
   const SimDur first_cost = self->touch_cost(touched);
   co_await self->workers_.execute(first_cost);
@@ -122,6 +127,19 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
       break;
     }
     case Verb::kGet: {
+      if (req.stripe_lookup) {
+        // Locator directory probe: metadata only, never touches the LRU
+        // store (locators must survive value-eviction pressure).
+        auto it = self->stripe_dir_.find(req.key);
+        if (it != self->stripe_dir_.end()) {
+          resp.code = StatusCode::kOk;
+          resp.stripe = it->second;
+        } else {
+          resp.code = StatusCode::kNotFound;
+        }
+        co_await self->workers_.execute(self->read_cost(0));
+        break;
+      }
       auto got = self->store_.get(req.key);
       if (got.ok()) {
         resp.code = StatusCode::kOk;
@@ -149,6 +167,20 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
       break;
     }
     case Verb::kDelete: {
+      if (req.stripe_lookup) {
+        // Unlink the key's packed-stripe locator (overwrite-by-large-value
+        // or delete); the stripe bytes themselves become garbage in place.
+        auto it = self->stripe_dir_.find(req.key);
+        if (it != self->stripe_dir_.end()) {
+          self->stripe_dir_bytes_ -=
+              it->first.size() + it->second.stripe.size() + 12;
+          self->stripe_dir_.erase(it);
+          resp.code = StatusCode::kOk;
+        } else {
+          resp.code = StatusCode::kNotFound;
+        }
+        break;
+      }
       resp.code = self->store_.erase(req.key) ? StatusCode::kOk
                                               : StatusCode::kNotFound;
       break;
@@ -167,6 +199,25 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
           200 * bases.size()));  // index walk, ~200ns per item
       resp.code = StatusCode::kOk;
       resp.keys = std::move(bases);
+      break;
+    }
+    case Verb::kSetStripeIndex: {
+      // Batched locator install for one packed stripe: every record's user
+      // key maps to its sub-slot location inside the stripe named by
+      // req.key. Newer installs replace older ones (overwrite wins).
+      const std::uint32_t stripe_bytes = static_cast<std::uint32_t>(
+          req.chunk ? req.chunk->original_size : 0);
+      for (const auto& e : req.stripe_index) {
+        auto it = self->stripe_dir_.find(e.key);
+        if (it != self->stripe_dir_.end()) {
+          self->stripe_dir_bytes_ -=
+              it->first.size() + it->second.stripe.size() + 12;
+        }
+        self->stripe_dir_[e.key] =
+            StripeLoc{req.key, e.offset, e.len, stripe_bytes};
+        self->stripe_dir_bytes_ += e.key.size() + req.key.size() + 12;
+      }
+      resp.code = StatusCode::kOk;
       break;
     }
     default:

@@ -3,6 +3,7 @@
 // that implement the paper's Era-SE-* and Era-*-SD designs.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -59,6 +60,16 @@ class Server final : public RpcNode {
   [[nodiscard]] StorageEngine& store() noexcept { return store_; }
   [[nodiscard]] const StorageEngine& store() const noexcept { return store_; }
   [[nodiscard]] const ServerParams& params() const noexcept { return params_; }
+
+  /// Bytes held by the packed-stripe locator directory (key + stripe key +
+  /// offset/len per entry) — counted into the memory-efficiency accounting
+  /// alongside store().bytes_used().
+  [[nodiscard]] std::uint64_t stripe_index_bytes() const noexcept {
+    return stripe_dir_bytes_;
+  }
+  [[nodiscard]] std::size_t stripe_index_entries() const noexcept {
+    return stripe_dir_.size();
+  }
 
   /// Marks this server failed: it stops serving (requests are dropped) and
   /// the fabric refuses traffic to it. With no RpcPolicy armed, callers
@@ -163,6 +174,11 @@ class Server final : public RpcNode {
   ServerParams params_;
   StorageEngine store_;
   sim::WorkerPool workers_;
+  /// Packed-stripe locator directory: user key -> sub-slot location.
+  /// Deliberately outside the LRU store (locators must not be evicted
+  /// under value pressure); bytes are accounted separately.
+  std::map<Key, StripeLoc> stripe_dir_;
+  std::uint64_t stripe_dir_bytes_ = 0;
   std::optional<ServerEcContext> ec_;
   obs::LanePool handler_lanes_;
   bool failed_ = false;

@@ -7,7 +7,7 @@ namespace hpres::kv {
 Status StorageEngine::set(const Key& key, SharedBytes value,
                           std::optional<ChunkInfo> chunk) {
   ++stats_.set_ops;
-  const std::size_t charge = charge_for(key, value);
+  const std::size_t charge = charge_for(key, value, chunk);
   if (charge > capacity_) {
     ++stats_.rejected_sets;
     return Status{StatusCode::kOutOfMemory, "item exceeds server capacity"};

@@ -129,9 +129,13 @@ class StorageEngine {
     std::list<Key>::iterator lru_it;
   };
 
-  [[nodiscard]] static std::size_t charge_for(const Key& key,
-                                              const SharedBytes& value) {
-    return key.size() + (value ? value->size() : 0) + kItemOverhead;
+  /// Erasure-coded fragments carry a stored ChunkInfo; charge its bytes so
+  /// the memory-efficiency accounting sees per-fragment metadata too.
+  [[nodiscard]] static std::size_t charge_for(
+      const Key& key, const SharedBytes& value,
+      const std::optional<ChunkInfo>& chunk) {
+    return key.size() + (value ? value->size() : 0) + kItemOverhead +
+           (chunk ? sizeof(ChunkInfo) : 0);
   }
 
   void evict_one();

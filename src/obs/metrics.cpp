@@ -52,6 +52,24 @@ void MetricsRegistry::bind_gauge(std::string name, MetricLabels labels,
       std::move(fn);
 }
 
+void MetricsRegistry::bind_gauge(std::string name, MetricLabels labels,
+                                 const std::uint64_t* src) {
+  upsert(std::move(name), std::move(labels), Kind::kGauge).reader =
+      [src]() { return static_cast<std::int64_t>(*src); };
+}
+
+void MetricsRegistry::bind_gauge(std::string name, MetricLabels labels,
+                                 const std::int64_t* src) {
+  upsert(std::move(name), std::move(labels), Kind::kGauge).reader =
+      [src]() { return *src; };
+}
+
+void MetricsRegistry::bind_gauge(std::string name, MetricLabels labels,
+                                 const std::uint32_t* src) {
+  upsert(std::move(name), std::move(labels), Kind::kGauge).reader =
+      [src]() { return static_cast<std::int64_t>(*src); };
+}
+
 void MetricsRegistry::bind_histogram(std::string name, MetricLabels labels,
                                      const LatencyHistogram* src) {
   upsert(std::move(name), std::move(labels), Kind::kHistogram).hist_src = src;

@@ -81,6 +81,14 @@ class MetricsRegistry {
   void bind_counter(std::string name, MetricLabels labels,
                     const std::uint32_t* src);
   void bind_gauge(std::string name, MetricLabels labels, Reader fn);
+  /// Pointer forms for watermark/level fields living in stats structs —
+  /// gauge semantics (a point-in-time level, not a monotone count).
+  void bind_gauge(std::string name, MetricLabels labels,
+                  const std::uint64_t* src);
+  void bind_gauge(std::string name, MetricLabels labels,
+                  const std::int64_t* src);
+  void bind_gauge(std::string name, MetricLabels labels,
+                  const std::uint32_t* src);
   void bind_histogram(std::string name, MetricLabels labels,
                       const LatencyHistogram* src);
 

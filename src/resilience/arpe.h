@@ -29,6 +29,8 @@ struct ArpeStats {
   std::uint64_t window_waits = 0;  ///< admissions that queued on the window
   std::uint64_t hedge_buffers = 0;  ///< spare buffers lent to hedge fetches
   std::uint64_t hedge_denials = 0;  ///< hedge borrow refused (pool tight)
+  std::uint64_t commit_buffers = 0;  ///< buffers taken by group commits
+  std::uint64_t commit_buffer_waits = 0;  ///< group commits that queued
 
   /// Registers every field into `reg` under component "arpe".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -39,6 +41,9 @@ struct ArpeStats {
     reg.bind_counter("arpe.window_waits", labels, &window_waits);
     reg.bind_counter("arpe.hedge_buffers", labels, &hedge_buffers);
     reg.bind_counter("arpe.hedge_denials", labels, &hedge_denials);
+    reg.bind_counter("arpe.commit_buffers", labels, &commit_buffers);
+    reg.bind_counter("arpe.commit_buffer_waits", labels,
+                     &commit_buffer_waits);
   }
 };
 
@@ -114,6 +119,24 @@ class Arpe {
 
   /// Returns a buffer borrowed by try_acquire_hedge_buffer.
   void release_hedge_buffer() { buffers_.release(); }
+
+  /// Acquires one registered bounce buffer for a sealed stripe's group
+  /// commit. Durability work may never be dropped, so this BLOCKS under
+  /// exhaustion (unlike the hedge borrow) — and because a queued commit
+  /// raises the pool's waiting count, BufferPool::try_acquire's no-steal
+  /// rule guarantees no hedge can snatch a buffer ahead of it.
+  sim::Task<void> acquire_commit_buffer() {
+    ++stats_.commit_buffers;
+    const SimTime t0 = sim_->now();
+    const bool queued = buffers_.in_use() == buffers_.total();
+    if (queued) ++stats_.commit_buffer_waits;
+    co_await buffers_.acquire();
+    if (queued) trace_wait(stats_.commit_buffers * 2 + 1'000'000,
+                           "arpe/commit_buffer_wait", t0);
+  }
+
+  /// Returns a buffer taken by acquire_commit_buffer.
+  void release_commit_buffer() { buffers_.release(); }
 
   /// Retires one operation (memcached completion notification).
   void complete() {

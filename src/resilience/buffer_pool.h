@@ -25,7 +25,9 @@ struct BufferPoolStats {
     reg.bind_counter("bufpool.acquisitions", labels, &acquisitions);
     reg.bind_counter("bufpool.backpressure_waits", labels,
                      &backpressure_waits);
-    reg.bind_counter("bufpool.high_water", labels, &high_water);
+    // high_water is a watermark, not a monotone event count: export it
+    // with gauge semantics (rate() over a watermark is meaningless).
+    reg.bind_gauge("bufpool.high_water", labels, &high_water);
   }
 };
 

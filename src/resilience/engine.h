@@ -59,6 +59,26 @@ struct HedgeParams {
   }
 };
 
+/// Packed-stripe (batched small-object) write-path configuration. The
+/// default (pack_threshold 0) disables packing entirely and keeps the
+/// byte-exact legacy path — the determinism suite gates on it.
+struct PackParams {
+  /// Values strictly smaller than this are appended into shared stripes
+  /// instead of being striped per key. 0 = packing off. The value-size
+  /// sweep uses ~4 KiB, where per-key striping is dominated by padding
+  /// and per-fragment metadata.
+  std::size_t pack_threshold = 0;
+  /// Stripe payload budget: a stripe seals when the next record would
+  /// exceed it. Bigger stripes amortize fragment/key overhead over more
+  /// records but raise the group-commit batch latency.
+  std::size_t stripe_capacity = 16 * 1024;
+  /// A stripe also seals this long after its first append, so a trickle
+  /// of writes never waits for a full stripe (group commit timer).
+  SimDur group_commit_interval = 50'000;  // 50 us
+
+  [[nodiscard]] bool enabled() const noexcept { return pack_threshold > 0; }
+};
+
 struct EngineStats {
   LatencyHistogram set_latency;
   LatencyHistogram get_latency;
@@ -79,6 +99,15 @@ struct EngineStats {
   std::uint64_t hedge_wins = 0;      ///< hedge fetches that made the decode set
   std::uint64_t hedges_suppressed = 0;  ///< hedges skipped: no spare buffer
   std::uint64_t hedge_wasted_bytes = 0;  ///< fragment bytes fetched but unused
+  // Packed-stripe write path (zero when packing is off).
+  std::uint64_t packed_sets = 0;        ///< sets routed through stripe packing
+  std::uint64_t stripes_sealed = 0;     ///< stripes handed to group commit
+  std::uint64_t stripes_timer_sealed = 0;  ///< sealed by the commit timer
+  std::uint64_t stripe_record_bytes = 0;   ///< payload bytes packed (pre-code)
+  std::uint64_t stripe_fill_x1000 = 0;  ///< mean sealed fill ratio, per-mille
+  std::uint64_t packed_get_hits = 0;    ///< gets resolved via stripe locator
+  std::uint64_t packed_degraded_gets = 0;  ///< packed gets that decoded
+  std::uint64_t staged_reads = 0;       ///< gets served from the staging map
 
   /// Registers every field into `reg` under component "engine".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -98,6 +127,18 @@ struct EngineStats {
     reg.bind_counter("engine.hedge_wins", labels, &hedge_wins);
     reg.bind_counter("engine.hedges_suppressed", labels, &hedges_suppressed);
     reg.bind_counter("engine.hedge_wasted_bytes", labels, &hedge_wasted_bytes);
+    reg.bind_counter("engine.packed_sets", labels, &packed_sets);
+    reg.bind_counter("engine.stripes_sealed", labels, &stripes_sealed);
+    reg.bind_counter("engine.stripes_timer_sealed", labels,
+                     &stripes_timer_sealed);
+    reg.bind_counter("engine.stripe_record_bytes", labels,
+                     &stripe_record_bytes);
+    // Fill ratio is a level (running mean), not an event count.
+    reg.bind_gauge("engine.stripe_fill_x1000", labels, &stripe_fill_x1000);
+    reg.bind_counter("engine.packed_get_hits", labels, &packed_get_hits);
+    reg.bind_counter("engine.packed_degraded_gets", labels,
+                     &packed_degraded_gets);
+    reg.bind_counter("engine.staged_reads", labels, &staged_reads);
     reg.bind_counter("engine.set_phase.request_ns", labels,
                      &set_phases.request_ns);
     reg.bind_counter("engine.set_phase.compute_ns", labels,

@@ -10,12 +10,14 @@ namespace hpres::resilience {
 
 ErasureEngine::ErasureEngine(EngineContext ctx, const ec::Codec& codec,
                              ec::CostModel cost, EraMode mode,
-                             ArpeParams arpe, HedgeParams hedge)
+                             ArpeParams arpe, HedgeParams hedge,
+                             PackParams pack)
     : Engine(ctx, arpe),
       codec_(&codec),
       cost_(cost),
       mode_(mode),
       hedge_(hedge),
+      pack_(pack),
       load_(ctx.ring->num_servers(),
             splitmix64(static_cast<std::uint64_t>(ctx.client->id()))) {
   assert(codec.n() <= ring().num_servers() &&
@@ -24,6 +26,9 @@ ErasureEngine::ErasureEngine(EngineContext ctx, const ec::Codec& codec,
 
 sim::Task<Status> ErasureEngine::do_set(kv::Key key, SharedBytes value,
                                         OpPhases* phases) {
+  if (packing_active()) {
+    return set_routed_packed(std::move(key), std::move(value), phases);
+  }
   if (client_encodes(mode_)) {
     return set_client_encode(std::move(key), std::move(value), phases);
   }
@@ -33,8 +38,12 @@ sim::Task<Status> ErasureEngine::do_set(kv::Key key, SharedBytes value,
 sim::Task<Result<Bytes>> ErasureEngine::do_get(kv::Key key,
                                                OpPhases* phases) {
   if (client_decodes(mode_)) {
-    // Hedging / load-aware selection branches to a separate function so
-    // the default path stays byte-exact (no extra state, no RNG draws).
+    // Packing first (it falls back to the legacy paths below for keys
+    // without a locator), then hedging; the default path stays byte-exact
+    // (no extra state, no RNG draws).
+    if (packing_active()) {
+      return get_packed(std::move(key), phases);
+    }
     if (hedge_.enabled()) {
       return get_client_decode_hedged(std::move(key), phases);
     }
@@ -46,6 +55,13 @@ sim::Task<Result<Bytes>> ErasureEngine::do_get(kv::Key key,
 sim::Task<Status> ErasureEngine::do_del(kv::Key key) {
   std::vector<sim::Future<kv::Response>> pending;
   pending.reserve(codec_->n() + 1);
+  if (packing_active()) {
+    // Forget any staged (pre-durability) copy — the commit-time filter
+    // then drops the record's locator install — and unlink committed
+    // locator entries at the directory owners.
+    staging_.erase(key);
+    co_await unlink_locator(key, &pending);
+  }
   bool staged_sent = false;
   for (std::size_t slot = 0; slot < codec_->n(); ++slot) {
     const std::size_t owner = ring().slot_index(key, slot);
@@ -798,6 +814,542 @@ sim::Task<Result<Bytes>> ErasureEngine::get_server_decode(kv::Key key,
   }
   if (resp.code != StatusCode::kOk) co_return Status{resp.code};
   co_return resp.value ? Bytes(*resp.value) : Bytes{};
+}
+
+// ---- Packed-stripe (batched small-object) write path ------------------
+//
+// Small values append into a per-primary-server stripe buffer; the stripe
+// seals when full or when the group-commit timer fires, is encoded ONCE,
+// and its n fragments fan out under the stripe's own base key. The key ->
+// {stripe, offset, len} locator is installed, replicated m+1 ways, at the
+// key's natural owner set — which, because the ring places slot j at
+// (primary + j) % S, is shared by every record in the stripe: one batched
+// install RPC per directory owner.
+
+sim::Task<void> ErasureEngine::unlink_locator(
+    kv::Key key, std::vector<sim::Future<kv::Response>>* out) {
+  const std::size_t m = codec_->m();
+  for (std::size_t j = 0; j <= m; ++j) {
+    const std::size_t owner = ring().slot_index(key, j);
+    if (!membership().up(owner)) continue;
+    kv::Request req;
+    req.verb = kv::Verb::kDelete;
+    req.key = key;
+    req.stripe_lookup = true;
+    out->push_back(client().call_async(node_of(owner), std::move(req)));
+  }
+  co_return;
+}
+
+sim::Task<Status> ErasureEngine::set_routed_packed(kv::Key key,
+                                                   SharedBytes value,
+                                                   OpPhases* phases) {
+  const std::size_t value_size = value ? value->size() : 0;
+  const std::size_t rec = ec::stripe_record_bytes(key.size(), value_size);
+  if (value_size < pack_.pack_threshold && rec <= pack_.stripe_capacity) {
+    co_return co_await set_packed(std::move(key), std::move(value), phases);
+  }
+  // Large value while packing is on: the per-key path stores it. Any
+  // earlier packed life of this key must not resurrect — drop its staged
+  // copy (the commit-time filter then skips its locator install) and
+  // unlink committed locator entries.
+  staging_.erase(key);
+  std::vector<sim::Future<kv::Response>> unlink;
+  co_await unlink_locator(key, &unlink);
+  const Status s = co_await set_client_encode(key, std::move(value), phases);
+  for (auto& f : unlink) co_await f.wait();
+  co_return s;
+}
+
+sim::Task<Status> ErasureEngine::set_packed(kv::Key key, SharedBytes value,
+                                            OpPhases* phases) {
+  const std::size_t value_size = value ? value->size() : 0;
+  const std::size_t rec = ec::stripe_record_bytes(key.size(), value_size);
+  const std::size_t primary = ring().slot_index(key, 0);
+
+  if (const auto it = active_.find(primary);
+      it != active_.end() && it->second->used + rec > pack_.stripe_capacity) {
+    seal_stripe(primary, /*by_timer=*/false);
+  }
+  std::shared_ptr<StripeState>& slot = active_[primary];
+  if (!slot) {
+    slot = std::make_shared<StripeState>(sim());
+    slot->skey = kv::stripe_key(client().id(), stripe_seq_++);
+    sim().spawn(stripe_timer(this, slot, primary));
+  }
+  const std::shared_ptr<StripeState> st = slot;  // survives map rehash
+
+  kv::StripeIndexEntry entry;
+  entry.key = key;
+  entry.len = static_cast<std::uint32_t>(value_size);
+  if (ctx().materialize) {
+    const ConstByteSpan v =
+        value ? ConstByteSpan(*value) : ConstByteSpan{};
+    entry.offset =
+        static_cast<std::uint32_t>(ec::stripe_append(st->buffer, key, v));
+    st->used = st->buffer.size();
+  } else {
+    entry.offset = static_cast<std::uint32_t>(
+        st->used + ec::kStripeRecordHeader + key.size());
+    st->used += rec;
+  }
+  st->records.push_back(std::move(entry));
+  st->values.push_back(value);
+  staging_[key] = std::move(value);
+  ++stats().packed_sets;
+  stats().stripe_record_bytes += rec;
+
+  // The append itself (copy into the stripe buffer) is this op's only
+  // request-phase CPU; encode and fan-out are paid once per stripe by the
+  // commit coroutine.
+  const SimDur append_ns = issue_cost(rec);
+  co_await client().cpu().execute(append_ns);
+  phases->request_ns += append_ns;
+  if (obs::Tracer* const tr = tracer(); tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "set/append", "engine",
+                 sim().now() - append_ns, append_ns, phases->trace.trace_id);
+  }
+
+  // The Set future resolves at stripe durability (group commit).
+  co_await st->done.wait();
+  co_return st->result;
+}
+
+void ErasureEngine::seal_stripe(std::size_t primary, bool by_timer) {
+  const auto it = active_.find(primary);
+  if (it == active_.end()) return;
+  std::shared_ptr<StripeState> st = std::move(it->second);
+  active_.erase(it);
+  st->sealed = true;
+  ++stats().stripes_sealed;
+  if (by_timer) ++stats().stripes_timer_sealed;
+  fill_permille_sum_ += st->used * 1000 / pack_.stripe_capacity;
+  stats().stripe_fill_x1000 = fill_permille_sum_ / stats().stripes_sealed;
+  sim().spawn(commit_stripe(this, std::move(st)));
+}
+
+sim::Task<void> ErasureEngine::stripe_timer(ErasureEngine* self,
+                                            std::shared_ptr<StripeState> st,
+                                            std::size_t primary) {
+  co_await self->sim().delay(self->pack_.group_commit_interval);
+  if (st->sealed) co_return;  // a capacity seal beat the timer
+  assert(self->active_.count(primary) != 0 &&
+         self->active_[primary] == st && "unsealed stripe must be active");
+  self->seal_stripe(primary, /*by_timer=*/true);
+}
+
+sim::Task<void> ErasureEngine::commit_stripe(ErasureEngine* self,
+                                             std::shared_ptr<StripeState> st) {
+  // Durability work may never be dropped: block for a bounce buffer
+  // (BufferPool's no-steal rule keeps hedges from jumping this queue).
+  // Writers keep appending into the NEW active stripe meanwhile — the
+  // double-buffered group commit.
+  co_await self->arpe().acquire_commit_buffer();
+
+  const std::size_t k = self->codec_->k();
+  const std::size_t m = self->codec_->m();
+  const std::size_t n = self->codec_->n();
+  const std::size_t stripe_bytes = st->used;
+  const ec::ChunkLayout layout =
+      ec::make_layout(stripe_bytes, k, self->codec_->alignment());
+
+  // Records overwritten (or deleted) while the stripe was filling have a
+  // stale staged pointer; skip their locator installs so the newer value
+  // wins. The stripe bytes themselves become garbage.
+  std::vector<kv::StripeIndexEntry> live;
+  live.reserve(st->records.size());
+  for (std::size_t i = 0; i < st->records.size(); ++i) {
+    const auto sit = self->staging_.find(st->records[i].key);
+    if (sit != self->staging_.end() && sit->second == st->values[i]) {
+      live.push_back(st->records[i]);
+    }
+  }
+
+  // One contiguous CPU slice: encode the stripe, then post all fragment
+  // and locator-install sends back-to-back (same rationale as
+  // set_client_encode).
+  std::size_t index_payload = 0;
+  for (const auto& e : live) index_payload += e.key.size() + 12;
+  const SimDur encode_ns = self->cost_.encode_ns(stripe_bytes);
+  const SimDur post_ns =
+      static_cast<SimDur>(n) * self->issue_cost(layout.fragment_size) +
+      static_cast<SimDur>(m + 1) *
+          self->issue_cost(st->skey.size() + index_payload);
+  const SimTime cpu_t0 = self->sim().now();
+  co_await self->client().cpu().execute(encode_ns + post_ns);
+  if (obs::Tracer* const tr = self->tracer(); tr != nullptr) {
+    const std::uint64_t aid = std::hash<std::string>{}(st->skey);
+    tr->async_span(self->trace_pid(), aid, "stripe/encode", "engine", cpu_t0,
+                   encode_ns);
+    tr->async_span(self->trace_pid(), aid + 1, "stripe/post", "engine",
+                   cpu_t0 + encode_ns, post_ns);
+  }
+
+  std::vector<SharedBytes> fragments;
+  fragments.reserve(n);
+  if (self->ctx().materialize) {
+    std::vector<Bytes> data = ec::split_value(st->buffer, layout);
+    std::vector<ConstByteSpan> data_spans(data.begin(), data.end());
+    std::vector<Bytes> parity(m, Bytes(layout.fragment_size));
+    std::vector<ByteSpan> parity_spans(parity.begin(), parity.end());
+    self->codec_->encode(data_spans, parity_spans);
+    for (auto& f : data) fragments.push_back(make_shared_bytes(std::move(f)));
+    for (auto& p : parity) {
+      fragments.push_back(make_shared_bytes(std::move(p)));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      fragments.push_back(zero_bytes(layout.fragment_size));
+    }
+  }
+
+  // Fragment fan-out under the stripe's own base key (the repair
+  // coordinator discovers and rebuilds stripes through the same
+  // chunk-key scan as per-key fragments).
+  std::vector<sim::Future<kv::Response>> frag_pending;
+  std::vector<std::size_t> frag_owners;
+  frag_pending.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::size_t owner = self->ring().slot_index(st->skey, slot);
+    if (!self->membership().up(owner)) continue;
+    kv::Request req;
+    req.verb = kv::Verb::kSet;
+    req.key = kv::chunk_key(st->skey, slot);
+    req.value = fragments[slot];
+    req.chunk = kv::ChunkInfo{stripe_bytes,
+                              static_cast<std::uint32_t>(slot),
+                              static_cast<std::uint16_t>(k),
+                              static_cast<std::uint16_t>(m)};
+    frag_pending.push_back(
+        self->client().guarded_future(self->node_of(owner), std::move(req)));
+    frag_owners.push_back(owner);
+  }
+
+  // Batched locator installs: all records share their primary (that is
+  // how they were grouped), so they share the full m+1 directory owner
+  // set — one RPC per owner for the whole stripe.
+  std::vector<sim::Future<kv::Response>> dir_pending;
+  if (!live.empty()) {
+    const kv::Key& anchor = st->records.front().key;
+    for (std::size_t j = 0; j <= m; ++j) {
+      const std::size_t owner = self->ring().slot_index(anchor, j);
+      if (!self->membership().up(owner)) continue;
+      kv::Request req;
+      req.verb = kv::Verb::kSetStripeIndex;
+      req.key = st->skey;
+      req.chunk = kv::ChunkInfo{stripe_bytes, 0,
+                                static_cast<std::uint16_t>(k),
+                                static_cast<std::uint16_t>(m)};
+      req.stripe_index = live;
+      dir_pending.push_back(
+          self->client().guarded_future(self->node_of(owner),
+                                        std::move(req)));
+    }
+  }
+
+  std::size_t frag_ok = 0;
+  const SimTime fanout_t0 = self->sim().now();
+  for (std::size_t i = 0; i < frag_pending.size(); ++i) {
+    const kv::Response resp = co_await frag_pending[i].wait();
+    if (resp.code == StatusCode::kOk) {
+      ++frag_ok;
+      self->load_.observe_rtt(frag_owners[i], self->sim().now() - fanout_t0,
+                              resp.queue_depth);
+    }
+  }
+  std::size_t dir_ok = 0;
+  for (auto& f : dir_pending) {
+    const kv::Response resp = co_await f.wait();
+    if (resp.code == StatusCode::kOk) ++dir_ok;
+  }
+  if (obs::Tracer* const tr = self->tracer(); tr != nullptr) {
+    tr->async_span(self->trace_pid(),
+                   std::hash<std::string>{}(st->skey) + 2, "stripe/fanout",
+                   "engine", fanout_t0, self->sim().now() - fanout_t0);
+  }
+
+  // Durability: any k fragments reconstruct the stripe, and at least one
+  // directory owner can name it (the directory itself is recoverable from
+  // stripe contents — records embed their keys).
+  const bool durable =
+      frag_ok >= k && (live.empty() || dir_ok >= 1);
+  st->result = durable ? Status::Ok()
+                       : Status{StatusCode::kUnavailable,
+                                "stripe commit not durable"};
+
+  // Staged copies served read-your-writes until now; drop the ones this
+  // stripe owns (pointer match — overwrites keep their newer entry).
+  for (std::size_t i = 0; i < st->records.size(); ++i) {
+    const auto sit = self->staging_.find(st->records[i].key);
+    if (sit != self->staging_.end() && sit->second == st->values[i]) {
+      self->staging_.erase(sit);
+    }
+  }
+
+  self->arpe().release_commit_buffer();
+  st->done.set();
+}
+
+sim::Task<Result<Bytes>> ErasureEngine::get_packed(kv::Key key,
+                                                   OpPhases* phases) {
+  // Read-your-writes: a value whose stripe has not committed yet is served
+  // from the staged copy, exactly like the server-encode stager.
+  if (const auto it = staging_.find(key); it != staging_.end()) {
+    ++stats().staged_reads;
+    co_return it->second ? Bytes(*it->second) : Bytes{};
+  }
+
+  const std::size_t k = codec_->k();
+  const std::size_t m = codec_->m();
+  const std::size_t n = codec_->n();
+  bool degraded = false;
+
+  // Locator query at every live directory owner in parallel: any kOk with
+  // a locator wins; unanimous kNotFound means the key never packed (or was
+  // unlinked) and the legacy per-key path applies. Querying all owners
+  // (not just the first live one) tolerates an owner that missed its
+  // install while it was down.
+  std::vector<sim::Future<kv::Response>> lookups;
+  std::vector<std::size_t> lookup_owners;
+  for (std::size_t j = 0; j <= m; ++j) {
+    const std::size_t owner = ring().slot_index(key, j);
+    if (!membership().up(owner)) {
+      degraded = true;
+      continue;
+    }
+    kv::Request req;
+    req.verb = kv::Verb::kGet;
+    req.key = key;
+    req.stripe_lookup = true;
+    req.trace = phases->trace;
+    lookups.push_back(client().guarded_future(node_of(owner),
+                                              std::move(req)));
+    lookup_owners.push_back(owner);
+  }
+  if (degraded) {
+    ++stats().degraded_gets;
+    phases->degraded = true;
+    co_await sim().delay(membership().check_cost_ns());
+  }
+  if (lookups.empty()) {
+    co_return Status{StatusCode::kUnavailable, "no live directory owner"};
+  }
+  const SimDur lookup_post_ns =
+      static_cast<SimDur>(lookups.size()) * issue_cost(key.size());
+  co_await client().cpu().execute(lookup_post_ns);
+  phases->request_ns += lookup_post_ns;
+  obs::Tracer* const tr = tracer();
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/locator", "engine",
+                 sim().now() - lookup_post_ns, lookup_post_ns,
+                 phases->trace.trace_id);
+  }
+
+  std::optional<kv::StripeLoc> loc;
+  std::size_t notfound = 0;
+  const SimTime lookup_t0 = sim().now();
+  for (std::size_t i = 0; i < lookups.size(); ++i) {
+    const kv::Response resp = co_await lookups[i].wait();
+    if (resp.code == StatusCode::kOk && resp.stripe) {
+      if (!loc) loc = resp.stripe;
+      load_.observe_rtt(lookup_owners[i], sim().now() - lookup_t0,
+                        resp.queue_depth);
+    } else if (resp.code == StatusCode::kNotFound) {
+      ++notfound;
+    }
+  }
+  if (!loc) {
+    if (notfound == lookups.size()) {
+      // Definitively unpacked: legacy per-key path (hedged when on).
+      if (hedge_.enabled()) {
+        co_return co_await get_client_decode_hedged(std::move(key), phases);
+      }
+      co_return co_await get_client_decode(std::move(key), phases);
+    }
+    if (!degraded) {
+      ++stats().degraded_gets;
+      degraded = true;
+    }
+    phases->degraded = true;
+    co_return Status{StatusCode::kUnavailable, "locator unreachable"};
+  }
+  ++stats().packed_get_hits;
+  if (loc->len == 0) co_return Bytes{};
+
+  const ec::ChunkLayout layout =
+      ec::make_layout(loc->stripe_bytes, k, codec_->alignment());
+  const ec::FragmentRange range =
+      ec::owning_fragments(layout, loc->offset, loc->len);
+
+  // Healthy path: fetch only the whole data fragments covering the
+  // sub-slot range (usually one, at most two for threshold-sized values).
+  std::vector<SharedBytes> frag(n);
+  std::vector<bool> have(n, false);
+  bool healthy = true;
+  for (std::size_t slot = range.first; slot <= range.last; ++slot) {
+    if (!membership().up(ring().slot_index(loc->stripe, slot))) {
+      healthy = false;
+      break;
+    }
+  }
+  if (healthy) {
+    const SimDur post_ns = static_cast<SimDur>(range.count()) *
+                           issue_cost(loc->stripe.size() + 2);
+    co_await client().cpu().execute(post_ns);
+    phases->request_ns += post_ns;
+    const SimTime fetch_t0 = sim().now();
+    std::vector<sim::Future<kv::Response>> pending;
+    std::vector<std::size_t> pending_slots;
+    for (std::size_t slot = range.first; slot <= range.last; ++slot) {
+      kv::Request req;
+      req.verb = kv::Verb::kGet;
+      req.key = kv::chunk_key(loc->stripe, slot);
+      req.trace = phases->trace;
+      pending.push_back(client().guarded_future(
+          node_of(ring().slot_index(loc->stripe, slot)), std::move(req)));
+      pending_slots.push_back(slot);
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      kv::Response resp = co_await pending[i].wait();
+      const std::size_t slot = pending_slots[i];
+      if (resp.code == StatusCode::kOk) {
+        load_.observe_rtt(ring().slot_index(loc->stripe, slot),
+                          sim().now() - fetch_t0, resp.queue_depth);
+        frag[slot] = std::move(resp.value);
+        have[slot] = true;
+      } else {
+        healthy = false;
+      }
+    }
+    if (tr != nullptr) {
+      tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
+                   fetch_t0, sim().now() - fetch_t0, phases->trace.trace_id);
+    }
+    if (healthy) {
+      if (!ctx().materialize) co_return Bytes(loc->len);
+      std::vector<ConstByteSpan> spans;
+      spans.reserve(range.count());
+      for (std::size_t slot = range.first; slot <= range.last; ++slot) {
+        spans.push_back(*frag[slot]);
+      }
+      co_return ec::extract_from_fragments(spans, range, layout, loc->offset,
+                                           loc->len);
+    }
+  }
+
+  // Degraded: reconstruct the stripe's data from any k live fragments
+  // (whole-stripe decode), then splice the value out.
+  ++stats().packed_degraded_gets;
+  if (!degraded) ++stats().degraded_gets;
+  phases->degraded = true;
+  co_await sim().delay(membership().check_cost_ns());
+
+  std::vector<bool> available(n, false);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    available[slot] =
+        membership().up(ring().slot_index(loc->stripe, slot));
+  }
+  Result<std::vector<std::size_t>> selected =
+      codec_->select_read_set(available);
+  if (!selected.ok()) co_return selected.status();
+  std::vector<std::size_t> chosen = *selected;
+
+  StatusCode worst = StatusCode::kNotFound;
+  bool complete = false;
+  const SimTime fetch_t0 = sim().now();
+  for (;;) {
+    std::vector<sim::Future<kv::Response>> pending;
+    std::vector<std::size_t> pending_slots;
+    std::size_t to_fetch = 0;
+    for (const std::size_t slot : chosen) {
+      if (!have[slot]) ++to_fetch;
+    }
+    if (to_fetch > 0) {
+      const SimDur post_ns = static_cast<SimDur>(to_fetch) *
+                             issue_cost(loc->stripe.size() + 2);
+      co_await client().cpu().execute(post_ns);
+      phases->request_ns += post_ns;
+    }
+    for (const std::size_t slot : chosen) {
+      if (have[slot]) continue;
+      kv::Request req;
+      req.verb = kv::Verb::kGet;
+      req.key = kv::chunk_key(loc->stripe, slot);
+      req.trace = phases->trace;
+      pending.push_back(client().guarded_future(
+          node_of(ring().slot_index(loc->stripe, slot)), std::move(req)));
+      pending_slots.push_back(slot);
+    }
+    bool failure = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      kv::Response resp = co_await pending[i].wait();
+      const std::size_t slot = pending_slots[i];
+      if (resp.code == StatusCode::kOk) {
+        frag[slot] = std::move(resp.value);
+        have[slot] = true;
+      } else {
+        worst = resp.code;
+        available[slot] = false;
+        failure = true;
+      }
+    }
+    if (!failure) {
+      complete = true;
+      break;
+    }
+    co_await sim().delay(membership().check_cost_ns());
+    selected = codec_->select_read_set(available);
+    if (!selected.ok()) break;
+    chosen = *selected;
+  }
+  if (tr != nullptr) {
+    tr->complete(trace_pid(), phases->trace_tid, "get/fetch", "engine",
+                 fetch_t0, sim().now() - fetch_t0, phases->trace.trace_id);
+  }
+  if (!complete) co_return Status{worst, "missing stripe fragments"};
+
+  std::size_t missing_data = k;
+  for (const std::size_t slot : chosen) {
+    if (slot < k) --missing_data;
+  }
+  if (missing_data > 0) {
+    const SimDur decode_ns = cost_.decode_ns(
+        loc->stripe_bytes, static_cast<unsigned>(missing_data));
+    co_await client().cpu().execute(decode_ns);
+    phases->compute_ns += decode_ns;
+    if (tr != nullptr) {
+      tr->complete(trace_pid(), phases->trace_tid, "get/decode", "engine",
+                   sim().now() - decode_ns, decode_ns,
+                   phases->trace.trace_id);
+    }
+  }
+  if (!ctx().materialize) co_return Bytes(loc->len);
+
+  DecodeScratch& sc = scratch_;
+  sc.storage.resize(n);
+  sc.present.assign(n, false);
+  for (const std::size_t slot : chosen) {
+    if (!frag[slot]) continue;
+    sc.storage[slot] = *frag[slot];
+    sc.present[slot] = true;
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (!sc.present[slot]) {
+      sc.storage[slot].assign(layout.fragment_size, std::byte{0});
+    }
+  }
+  sc.spans.assign(sc.storage.begin(), sc.storage.end());
+  if (missing_data > 0) {
+    const Status s = codec_->reconstruct_data(sc.spans, sc.present);
+    if (!s.ok()) co_return s;
+  }
+  std::vector<ConstByteSpan> spans;
+  spans.reserve(range.count());
+  for (std::size_t slot = range.first; slot <= range.last; ++slot) {
+    spans.push_back(ConstByteSpan(sc.storage[slot]));
+  }
+  co_return ec::extract_from_fragments(spans, range, layout, loc->offset,
+                                       loc->len);
 }
 
 }  // namespace hpres::resilience

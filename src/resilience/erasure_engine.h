@@ -10,9 +10,12 @@
 //              included for completeness; the paper sets it aside)
 #pragma once
 
+#include <unordered_map>
+
 #include "ec/chunker.h"
 #include "ec/codec.h"
 #include "ec/cost_model.h"
+#include "ec/stripe.h"
 #include "resilience/engine.h"
 
 namespace hpres::resilience {
@@ -42,9 +45,13 @@ class ErasureEngine final : public Engine {
   /// require every server to have ServerEcContext enabled (see
   /// Cluster::enable_server_ec). `hedge` configures the hedged-read /
   /// load-aware Get path; the default keeps the legacy byte-exact path.
+  /// `pack` configures the batched small-object write path (stripe packing
+  /// + group commit); the default (threshold 0) keeps every Set on the
+  /// legacy per-key path. Packing requires client-side encode AND decode
+  /// (kCeCd) — other modes ignore it.
   ErasureEngine(EngineContext ctx, const ec::Codec& codec,
                 ec::CostModel cost, EraMode mode, ArpeParams arpe = {},
-                HedgeParams hedge = {});
+                HedgeParams hedge = {}, PackParams pack = {});
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return to_string(mode_);
@@ -55,6 +62,12 @@ class ErasureEngine final : public Engine {
   [[nodiscard]] EraMode mode() const noexcept { return mode_; }
   [[nodiscard]] const ec::Codec& codec() const noexcept { return *codec_; }
   [[nodiscard]] const HedgeParams& hedge() const noexcept { return hedge_; }
+  [[nodiscard]] const PackParams& pack() const noexcept { return pack_; }
+  /// Packing is live for this engine (configured on, and the mode is
+  /// client-encode + client-decode).
+  [[nodiscard]] bool packing_active() const noexcept {
+    return pack_.enabled() && mode_ == EraMode::kCeCd;
+  }
   [[nodiscard]] const NodeLoadTracker* load_tracker()
       const noexcept override {
     return &load_;
@@ -77,6 +90,61 @@ class ErasureEngine final : public Engine {
   // Get paths.
   sim::Task<Result<Bytes>> get_client_decode(kv::Key key, OpPhases* phases);
   sim::Task<Result<Bytes>> get_server_decode(kv::Key key, OpPhases* phases);
+
+  // ---- Packed-stripe (batched small-object) write path ----------------
+
+  /// One stripe being filled or committed. shared_ptr-held: the group
+  /// commit coroutine, the seal timer and every waiting Set all reference
+  /// it, and any of them can outlive the others.
+  struct StripeState {
+    explicit StripeState(sim::Simulator& s) : done(s) {}
+    kv::Key skey;                 ///< synthetic stripe base key
+    Bytes buffer;                 ///< packed records (materialize mode)
+    std::size_t used = 0;         ///< payload bytes appended so far
+    std::vector<kv::StripeIndexEntry> records;
+    std::vector<SharedBytes> values;  ///< staged copy per record
+    bool sealed = false;
+    sim::Event done;              ///< set at durability (or failure)
+    Status result = Status::Ok();
+  };
+
+  /// Set router when packing is active: small values append into stripes;
+  /// large values take the per-key path and unlink any stale locator left
+  /// by an earlier packed life of the key.
+  sim::Task<Status> set_routed_packed(kv::Key key, SharedBytes value,
+                                      OpPhases* phases);
+
+  /// Appends the record into the primary's active stripe (sealing and
+  /// rolling over when it would not fit) and waits for that stripe's group
+  /// commit to reach durability.
+  sim::Task<Status> set_packed(kv::Key key, SharedBytes value,
+                               OpPhases* phases);
+
+  /// Resolves a Get through the stripe locator directory: staging-map hit,
+  /// else locator query at the key's directory owners, then a sub-slot
+  /// fragment-range fetch (whole-stripe degraded decode when owners of the
+  /// needed range are unreachable). Falls back to the legacy per-key path
+  /// when no locator exists.
+  sim::Task<Result<Bytes>> get_packed(kv::Key key, OpPhases* phases);
+
+  /// Detaches the active stripe of `primary` and spawns its group commit.
+  void seal_stripe(std::size_t primary, bool by_timer);
+
+  /// Group-commit timer: seals `st` after pack().group_commit_interval if
+  /// a capacity seal has not beaten it to it.
+  static sim::Task<void> stripe_timer(ErasureEngine* self,
+                                      std::shared_ptr<StripeState> st,
+                                      std::size_t primary);
+
+  /// Encodes the sealed stripe once, fans fragments + locator installs
+  /// out, resolves durability and wakes every waiting Set.
+  static sim::Task<void> commit_stripe(ErasureEngine* self,
+                                       std::shared_ptr<StripeState> st);
+
+  /// Removes the key's locator entry from its live directory owners
+  /// (overwrite-by-large-value and deletes).
+  sim::Task<void> unlink_locator(kv::Key key,
+                                 std::vector<sim::Future<kv::Response>>* out);
 
   /// Late-binding variant of get_client_decode, taken when hedge().enabled():
   /// issues the (load-ranked) primary k fetches plus up to Δ delayed hedges,
@@ -156,6 +224,16 @@ class ErasureEngine final : public Engine {
   ec::CostModel cost_;
   EraMode mode_;
   HedgeParams hedge_;
+  PackParams pack_;
+  /// Active (filling) stripe per primary server index. Sealed stripes are
+  /// detached and live on only through their commit coroutine.
+  std::unordered_map<std::size_t, std::shared_ptr<StripeState>> active_;
+  /// Read-your-writes staging: key -> value appended to a stripe that has
+  /// not reached durability yet. Erased at commit only when the pointer
+  /// still matches (a newer overwrite keeps its own entry).
+  std::unordered_map<kv::Key, SharedBytes> staging_;
+  std::uint64_t stripe_seq_ = 0;
+  std::uint64_t fill_permille_sum_ = 0;  ///< feeds stripe_fill_x1000 mean
   /// Per-server queue-depth/RTT EWMAs, fed passively by every response this
   /// engine sees (piggybacked Server::queue_depth). Only consulted when a
   /// read path asks for a load preference.

@@ -8,7 +8,7 @@ std::unique_ptr<Engine> make_engine(Design design, EngineContext ctx,
                                     std::uint32_t rep_factor,
                                     const ec::Codec* codec,
                                     ec::CostModel cost, ArpeParams arpe,
-                                    HedgeParams hedge) {
+                                    HedgeParams hedge, PackParams pack) {
   switch (design) {
     case Design::kNoRep:
       return std::make_unique<AsyncReplicationEngine>(ctx, 1, arpe);
@@ -26,7 +26,7 @@ std::unique_ptr<Engine> make_engine(Design design, EngineContext ctx,
                            : design == Design::kEraSeCd ? EraMode::kSeCd
                                                         : EraMode::kCeSd;
       return std::make_unique<ErasureEngine>(ctx, *codec, cost, mode, arpe,
-                                             hedge);
+                                             hedge, pack);
     }
   }
   return nullptr;

@@ -55,7 +55,13 @@ class ScrambledZipfianGenerator {
       : zipf_(items, theta), items_(items) {}
 
   [[nodiscard]] std::uint64_t next(Xoshiro256& rng) const {
-    return splitmix64(zipf_.next(rng)) % items_;
+    // Lemire multiply-shift, not `% items_`: the modulo folds the hash's
+    // 2^64 range unevenly onto [0, items), systematically favouring low
+    // keys (and, worse, colliding distinct hot ranks more often there).
+    __extension__ using Uint128 = unsigned __int128;
+    const Uint128 product =
+        static_cast<Uint128>(splitmix64(zipf_.next(rng))) * items_;
+    return static_cast<std::uint64_t>(product >> 64);
   }
 
  private:

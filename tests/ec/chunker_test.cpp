@@ -33,6 +33,47 @@ TEST(Chunker, ZeroSizeValueStillHasNonEmptyFragments) {
   for (const auto& f : frags) EXPECT_EQ(f.size(), 8u);
 }
 
+TEST(Chunker, ValueSmallerThanAlignmentRoundTrips) {
+  // A 3-byte value with k=4, alignment 8: every fragment is one alignment
+  // unit and the value lives entirely inside fragment 0.
+  const Bytes value = make_pattern(3, 9);
+  const ChunkLayout layout = make_layout(3, 4, 8);
+  EXPECT_EQ(layout.fragment_size, 8u);
+  const std::vector<Bytes> frags = split_value(value, layout);
+  ASSERT_EQ(frags.size(), 4u);
+  const std::vector<ConstByteSpan> spans(frags.begin(), frags.end());
+  const Result<Bytes> joined = join_fragments(spans, layout);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, value);
+}
+
+TEST(Chunker, ValueSmallerThanKBytesRoundTrips) {
+  // Fewer bytes than data fragments: with alignment 1 each fragment is a
+  // single byte and the trailing ones are pure padding.
+  const Bytes value = make_pattern(2, 5);
+  const ChunkLayout layout = make_layout(2, 4, 1);
+  EXPECT_EQ(layout.fragment_size, 1u);
+  const std::vector<Bytes> frags = split_value(value, layout);
+  ASSERT_EQ(frags.size(), 4u);
+  EXPECT_EQ(frags[2][0], std::byte{0});
+  EXPECT_EQ(frags[3][0], std::byte{0});
+  const std::vector<ConstByteSpan> spans(frags.begin(), frags.end());
+  const Result<Bytes> joined = join_fragments(spans, layout);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, value);
+}
+
+TEST(Chunker, ExactlyKTimesAlignmentHasNoPadding) {
+  const ChunkLayout layout = make_layout(4 * 8, 4, 8);
+  EXPECT_EQ(layout.fragment_size, 8u);  // no rounding slack
+  const Bytes value = make_pattern(32, 2);
+  const std::vector<Bytes> frags = split_value(value, layout);
+  const std::vector<ConstByteSpan> spans(frags.begin(), frags.end());
+  const Result<Bytes> joined = join_fragments(spans, layout);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, value);
+}
+
 TEST(Chunker, SplitJoinRoundTripAcrossSizes) {
   for (const std::size_t size :
        {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{1024},

@@ -45,7 +45,8 @@ class FiveNodeClusterTest : public ::testing::Test {
   /// Builds an engine for client 0. Call before cluster_.start().
   std::unique_ptr<resilience::Engine> make_engine(
       resilience::Design design, std::uint32_t rep_factor = 3,
-      resilience::ArpeParams arpe = {}, resilience::HedgeParams hedge = {}) {
+      resilience::ArpeParams arpe = {}, resilience::HedgeParams hedge = {},
+      resilience::PackParams pack = {}) {
     resilience::EngineContext ctx;
     ctx.sim = &cluster_.sim();
     ctx.client = &cluster_.client(0);
@@ -54,7 +55,7 @@ class FiveNodeClusterTest : public ::testing::Test {
     ctx.server_nodes = &cluster_.server_nodes();
     ctx.materialize = true;
     return resilience::make_engine(design, ctx, rep_factor, &codec_, cost_,
-                                   arpe, hedge);
+                                   arpe, hedge, pack);
   }
 
   ec::RsVandermondeCodec codec_;

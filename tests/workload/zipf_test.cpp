@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <vector>
 
@@ -104,6 +105,35 @@ TEST(ScrambledZipfian, SpreadsHotKeysAcrossKeyspace) {
   // Scrambled: the low-id band holds no special mass (< 2% of draws).
   EXPECT_LT(low_range, 2'000);
   (void)top_key;
+}
+
+TEST(ScrambledZipfian, HottestKeyMatchesAnalyticZipfMass) {
+  // Scrambling permutes ranks but must preserve per-item mass: the hottest
+  // key's draw share should match rank 0's analytic probability
+  // p0 = 1 / zeta(n, theta). The old `hash % items` reduction folded the
+  // 64-bit hash range unevenly and collided hot ranks onto shared keys,
+  // inflating the observed head mass; the multiply-shift reduction keeps it
+  // within sampling noise of the analytic value.
+  constexpr std::uint64_t kItems = 10'000;
+  constexpr double kTheta = ZipfianGenerator::kYcsbTheta;
+  double zeta = 0.0;
+  for (std::uint64_t r = 0; r < kItems; ++r) {
+    zeta += 1.0 / std::pow(static_cast<double>(r + 1), kTheta);
+  }
+  const double p0 = 1.0 / zeta;
+
+  ScrambledZipfianGenerator gen(kItems);
+  Xoshiro256 rng(8);
+  constexpr int kDraws = 400'000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.next(rng)];
+  int top = 0;
+  for (const auto& [key, count] : counts) top = std::max(top, count);
+  const double observed = static_cast<double>(top) / kDraws;
+  // Allow +/-50%: scrambling can (rarely) land two hot ranks on one key,
+  // but the systematic pile-up of the modulo reduction sat far outside.
+  EXPECT_GT(observed, 0.5 * p0);
+  EXPECT_LT(observed, 1.5 * p0);
 }
 
 TEST(ScrambledZipfian, SkewStrongerThanUniform) {

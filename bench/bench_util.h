@@ -8,6 +8,8 @@
 // absolute microseconds — are the reproduction target (EXPERIMENTS.md).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "cluster/testbeds.h"
@@ -62,6 +65,12 @@ inline std::uint64_t scaled(std::uint64_t ops) {
 //                             Testbench teardown writes a "finalize" dump)
 //   --flight-ring=N           flight-recorder ring size per node (default
 //                             256 records = 6 KiB/node)
+//   --shards=N                event-loop shards for harnesses that opt in
+//                             (the YCSB runners and micro_shard_scaling);
+//                             overrides the HPRES_SHARDS env var. 1 = the
+//                             deterministic oracle mode (the default).
+//                             Tracing/flight recording force oracle mode —
+//                             their buffers are not shard-safe.
 // With no flags everything is off and benchmarks run exactly as before —
 // observation never touches simulation state, so results are identical
 // either way. The latency recorder itself is always on (O(1) memory per
@@ -75,6 +84,11 @@ class ObsSession {
 
   /// Parses the observability flags; unknown arguments are ignored.
   void init(int argc, char** argv) {
+    wall_start_ = std::chrono::steady_clock::now();
+    if (const char* env = std::getenv("HPRES_SHARDS")) {
+      const std::int64_t v = std::atoll(env);
+      shards_ = v < 1 ? 1 : static_cast<std::size_t>(v);
+    }
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       const auto int_flag = [&arg](std::string_view prefix,
@@ -108,6 +122,8 @@ class ObsSession {
         flight_out_ = std::string(arg.substr(13));
       } else if (int_flag("--flight-ring=", &v)) {
         flight_ring_ = v < 1 ? 1 : static_cast<std::size_t>(v);
+      } else if (int_flag("--shards=", &v)) {
+        shards_ = v < 1 ? 1 : static_cast<std::size_t>(v);
       }
     }
     if (!flight_out_.empty()) {
@@ -138,8 +154,43 @@ class ObsSession {
     return "pt" + std::to_string(point_seq_++);
   }
 
-  /// Writes the requested output files; returns a process exit code.
+  /// Requested shard count for harnesses that opt in (--shards /
+  /// HPRES_SHARDS), forced to 1 — the deterministic oracle — whenever a
+  /// non-shard-safe observation plane (tracing, flight recorder) is on.
+  [[nodiscard]] std::size_t effective_shards() const noexcept {
+    if (tracer_.enabled() || flight_ != nullptr) return 1;
+    return shards_;
+  }
+  /// The raw requested count, before the oracle-mode override.
+  [[nodiscard]] std::size_t requested_shards() const noexcept {
+    return shards_;
+  }
+
+  /// Folds a finished cluster's executed-event count into the process
+  /// total driving the sim-efficiency summary line.
+  void add_sim_events(std::uint64_t events) noexcept { sim_events_ += events; }
+  [[nodiscard]] std::uint64_t sim_events() const noexcept {
+    return sim_events_;
+  }
+
+  /// Writes the requested output files and prints the wall-clock /
+  /// sim-efficiency summary (stderr, so stdout stays byte-comparable
+  /// across instrumented and plain runs); returns a process exit code.
   [[nodiscard]] int finalize() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start_)
+            .count();
+    std::fprintf(stderr,
+                 "[bench] wall-clock %.3f s | %llu simulated events | "
+                 "%.3f M events/s | shards=%zu | hw_threads=%u\n",
+                 wall_s,
+                 static_cast<unsigned long long>(sim_events_),
+                 wall_s > 0.0
+                     ? static_cast<double>(sim_events_) / wall_s / 1e6
+                     : 0.0,
+                 effective_shards(),
+                 std::thread::hardware_concurrency());
     int rc = 0;
     if (metrics_enabled()) registry_.capture();
     if (!metrics_out_.empty() && !registry_.write_json(metrics_out_)) {
@@ -180,6 +231,10 @@ class ObsSession {
   SimDur sample_interval_ns_ = 0;
   std::size_t flight_ring_ = obs::FlightRecorder::kDefaultRingSize;
   std::uint64_t point_seq_ = 0;
+  std::size_t shards_ = 1;
+  std::uint64_t sim_events_ = 0;
+  std::chrono::steady_clock::time_point wall_start_ =
+      std::chrono::steady_clock::now();
 };
 
 inline void obs_init(int argc, char** argv) {
@@ -221,16 +276,21 @@ inline std::int64_t arg_int(int argc, char** argv, std::string_view prefix,
 /// (registry capture) so snapshots survive per-point teardown.
 class Testbench {
  public:
+  /// `shards` sentinel: take the process-wide --shards / HPRES_SHARDS
+  /// request (harnesses audited for shard safety pass this; everything
+  /// else defaults to the single-loop oracle).
+  static constexpr std::size_t kAutoShards = static_cast<std::size_t>(-1);
+
   Testbench(const cluster::Testbed& bed, std::size_t servers,
             std::size_t clients, resilience::Design design, std::size_t k = 3,
             std::size_t m = 2, std::uint32_t rep_factor = 3,
             resilience::ArpeParams arpe = {},
             resilience::HedgeParams hedge = {}, std::string point_label = {},
-            resilience::PackParams pack = {})
+            resilience::PackParams pack = {}, std::size_t shards = 1)
       : codec_(k, m),
         cost_(ec::CostModel::defaults(ec::Scheme::kRsVandermonde, k, m,
                                       bed.cpu_factor)),
-        cluster_(cluster::make_config(bed, servers, clients)) {
+        cluster_(shard_config(bed, servers, clients, shards)) {
     ObsSession& obs = ObsSession::instance();
     label_ = point_label.empty() ? obs.next_point_label()
                                  : std::move(point_label);
@@ -239,10 +299,22 @@ class Testbench {
     cluster_.set_tracer(&obs.tracer(), trace_pid_);
     if (obs.flight() != nullptr) cluster_.set_flight_recorder(obs.flight());
     cluster_.enable_server_ec(codec_, cost_, /*materialize=*/false);
+    // Sharded runs record latencies into one recorder per engine (merged
+    // on read) so engines on different shard threads never share one;
+    // oracle runs keep the single shared recorder, byte-identical to the
+    // pre-shard harness.
+    if (cluster_.num_shards() > 1) {
+      engine_recorders_.reserve(clients);
+      for (std::size_t i = 0; i < clients; ++i) {
+        engine_recorders_.push_back(
+            std::make_unique<obs::LatencyRecorder>());
+        engine_recorders_.back()->set_tail(obs.recorder().tail());
+      }
+    }
     engines_.reserve(clients);
     for (std::size_t i = 0; i < clients; ++i) {
       resilience::EngineContext ctx;
-      ctx.sim = &cluster_.sim();
+      ctx.sim = &cluster_.sim_for_client(i);
       ctx.client = &cluster_.client(i);
       ctx.ring = &cluster_.ring();
       ctx.membership = &cluster_.membership();
@@ -250,7 +322,8 @@ class Testbench {
       ctx.materialize = false;
       ctx.tracer = &obs.tracer();
       ctx.trace_pid = trace_pid_;
-      ctx.recorder = &recorder_;
+      ctx.recorder = engine_recorders_.empty() ? &recorder_
+                                               : engine_recorders_[i].get();
       ctx.flight = obs.flight();
       engines_.push_back(resilience::make_engine(
           design, ctx, rep_factor, &codec_, cost_, arpe, hedge, pack));
@@ -282,6 +355,9 @@ class Testbench {
     // Fold this point's percentiles (and tail-kept trace ids) into the
     // process-wide recorder that drives tail retention at finalize.
     obs.recorder().merge(recorder_);
+    for (const auto& r : engine_recorders_) obs.recorder().merge(*r);
+    // Sim-efficiency accounting for the [bench] summary line.
+    obs.add_sim_events(cluster_.runtime().events_executed());
   }
 
   [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
@@ -294,25 +370,69 @@ class Testbench {
   }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
   [[nodiscard]] std::uint32_t trace_pid() const noexcept { return trace_pid_; }
-  /// This point's always-on latency percentile recorder.
+  /// This point's always-on latency percentile recorder (the shared oracle
+  /// recorder; sharded points split per engine — use latency_rows()).
   [[nodiscard]] obs::LatencyRecorder& recorder() noexcept { return recorder_; }
   [[nodiscard]] const ec::CostModel& cost() const noexcept { return cost_; }
+
+  /// Percentile rows over every recorder this point owns (the shared one
+  /// plus per-engine recorders in sharded mode). Histogram merging
+  /// commutes, so oracle rows are identical to recorder().rows().
+  [[nodiscard]] std::vector<obs::LatencyRow> latency_rows() const {
+    if (engine_recorders_.empty()) return recorder_.rows();
+    obs::LatencyRecorder merged;
+    merged.merge(recorder_);
+    for (const auto& r : engine_recorders_) merged.merge(*r);
+    return merged.rows();
+  }
+
+  /// Drops recorded latencies (harnesses reset between preload and the
+  /// measured pass).
+  void clear_latency() {
+    recorder_.clear();
+    for (const auto& r : engine_recorders_) r->clear();
+  }
+
+  /// Runs the cluster to quiescence — all shards in parallel when sharded,
+  /// the classic single loop otherwise.
+  SimTime run() { return cluster_.run(); }
 
   /// Spawns a workload task, tracking it so the gauge sampler (when
   /// enabled) stops once every spawned task has completed — otherwise the
   /// sampler's periodic ticks would keep sim().run() from draining.
   void spawn(sim::Task<void> task) {
     maybe_start_sampler();
-    ++outstanding_;
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
     sim().spawn(tracked(this, std::move(task)));
+  }
+
+  /// Spawns a workload task onto client `i`'s own shard loop. Sharded
+  /// harnesses must use this — a task driving engine `i` has to run on the
+  /// engine's shard. In oracle mode this is exactly spawn().
+  void spawn_client(std::size_t i, sim::Task<void> task) {
+    maybe_start_sampler();
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    cluster_.sim_for_client(i).spawn(tracked(this, std::move(task)));
   }
 
  private:
   static sim::Task<void> tracked(Testbench* self, sim::Task<void> inner) {
     co_await std::move(inner);
-    if (--self->outstanding_ == 0 && self->sampler_ != nullptr) {
+    if (self->outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        self->sampler_ != nullptr) {
       self->sampler_->request_stop();
     }
+  }
+
+  static cluster::ClusterConfig shard_config(const cluster::Testbed& bed,
+                                             std::size_t servers,
+                                             std::size_t clients,
+                                             std::size_t shards) {
+    cluster::ClusterConfig cfg = cluster::make_config(bed, servers, clients);
+    cfg.shards = shards == kAutoShards
+                     ? ObsSession::instance().effective_shards()
+                     : shards;
+    return cfg;
   }
 
   void maybe_start_sampler() {
@@ -364,10 +484,11 @@ class Testbench {
   ec::CostModel cost_;
   cluster::Cluster cluster_;
   obs::LatencyRecorder recorder_;  // outlives the engines that record into it
+  std::vector<std::unique_ptr<obs::LatencyRecorder>> engine_recorders_;
   std::vector<std::unique_ptr<resilience::Engine>> engines_;
   std::string label_;
   std::uint32_t trace_pid_ = 0;
-  std::uint64_t outstanding_ = 0;
+  std::atomic<std::uint64_t> outstanding_{0};
   std::unique_ptr<obs::Sampler> sampler_;  // declared last: destroyed first
 };
 

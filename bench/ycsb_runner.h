@@ -31,6 +31,11 @@ struct YcsbRun {
   std::uint64_t hedge_wasted_bytes = 0;
   std::uint64_t failover_fetches = 0;
   std::uint64_t degraded_gets = 0;
+  /// Fabric counters at quiescence, merged over all shards (conservation
+  /// identities: sent == delivered + dropped, in bytes and messages).
+  net::FabricStats fabric;
+  /// Simulator events executed over the whole run (all shards).
+  std::uint64_t sim_events = 0;
 
   [[nodiscard]] double throughput_ops_s() const {
     return merged.throughput_ops_per_s(makespan_ns);
@@ -47,23 +52,23 @@ struct YcsbRun {
 
 namespace detail {
 
+// Completion is tracked by the harness running every shard loop to
+// quiescence (Testbench::run); the per-proc latch the runner once counted
+// down was never awaited, and a shared latch would not be shard-safe.
+
 inline sim::Task<void> client_proc(sim::Simulator* sim,
                                    resilience::Engine* engine,
                                    workload::YcsbConfig cfg,
                                    std::uint64_t seed,
-                                   workload::YcsbResult* result,
-                                   sim::Latch* done) {
+                                   workload::YcsbResult* result) {
   co_await workload::ycsb_client(sim, engine, cfg, seed, result);
-  done->count_down();
 }
 
 inline sim::Task<void> loader_proc(sim::Simulator* sim,
                                    resilience::Engine* engine,
                                    workload::YcsbConfig cfg,
-                                   std::uint64_t first, std::uint64_t last,
-                                   sim::Latch* done) {
+                                   std::uint64_t first, std::uint64_t last) {
   co_await workload::ycsb_load(sim, engine, cfg, first, last);
-  done->count_down();
 }
 
 }  // namespace detail
@@ -83,39 +88,44 @@ struct YcsbRunOpts {
   double slow_factor = 1.0;
   std::size_t slow_server = 0;
   std::string point_label = {};
+  /// Shard count for the parallel runtime. Defaults to the harness-wide
+  /// resolution (--shards / HPRES_SHARDS, oracle when unset). Runs that arm
+  /// a FaultSchedule (slow_factor > 1) are forced back to oracle mode.
+  std::size_t shards = Testbench::kAutoShards;
 };
 
 inline YcsbRun run_ycsb(const cluster::Testbed& bed,
                         resilience::Design design, workload::YcsbConfig cfg,
                         const YcsbRunOpts& opts) {
   const std::size_t clients = opts.clients;
+  // Fault injection mutates shared topology state, so a gray-slow run is
+  // pinned to the deterministic oracle regardless of the requested shards.
+  const std::size_t shards = opts.slow_factor > 1.0 ? 1 : opts.shards;
   Testbench bench(bed, opts.servers, clients, design, 3, 2, opts.rep_factor,
-                  opts.arpe, opts.hedge, opts.point_label);
+                  opts.arpe, opts.hedge, opts.point_label, {}, shards);
   if (opts.policy) bench.cluster().set_rpc_policy(*opts.policy);
   cluster::FaultSchedule faults(bench.cluster());
 
-  // Preload, partitioned over a handful of loader clients.
+  // Preload, partitioned over a handful of loader clients. Each loader runs
+  // on its own client's shard; run() drives every shard loop to quiescence.
   const std::size_t loaders = std::min<std::size_t>(8, clients);
   {
-    sim::Latch done(bench.sim(), static_cast<std::uint32_t>(loaders));
     const std::uint64_t stride =
         (cfg.record_count + loaders - 1) / loaders;
     for (std::size_t l = 0; l < loaders; ++l) {
       const std::uint64_t first = static_cast<std::uint64_t>(l) * stride;
       const std::uint64_t last = std::min<std::uint64_t>(
           first + stride, cfg.record_count);
-      if (first >= last) {
-        done.count_down();
-        continue;
-      }
-      bench.spawn(detail::loader_proc(&bench.sim(), &bench.engine(l),
-                                      cfg, first, last, &done));
+      if (first >= last) continue;
+      bench.spawn_client(
+          l, detail::loader_proc(&bench.cluster().sim_for_client(l),
+                                 &bench.engine(l), cfg, first, last));
     }
-    bench.sim().run();
+    bench.run();
   }
   // Percentiles cover the measured pass only (preload ops dropped; their
   // span detail is also not tail-kept, which is the point of the preload).
-  bench.recorder().clear();
+  bench.clear_latency();
 
   // Measured phase: every client runs its stream concurrently.
   YcsbRun run;
@@ -125,18 +135,18 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
     faults.add_slowdown(start, opts.slow_server, opts.slow_factor);
     faults.arm();
   }
-  {
-    sim::Latch done(bench.sim(), static_cast<std::uint32_t>(clients));
-    for (std::size_t c = 0; c < clients; ++c) {
-      bench.spawn(detail::client_proc(&bench.sim(), &bench.engine(c),
-                                      cfg, cfg.seed + 1000 + c,
-                                      &results[c], &done));
-    }
-    bench.sim().run();
+  for (std::size_t c = 0; c < clients; ++c) {
+    bench.spawn_client(
+        c, detail::client_proc(&bench.cluster().sim_for_client(c),
+                               &bench.engine(c), cfg, cfg.seed + 1000 + c,
+                               &results[c]));
   }
+  bench.run();
   run.makespan_ns = bench.sim().now() - start;
   for (const auto& r : results) run.merged.merge(r);
-  run.latency = bench.recorder().rows();
+  run.latency = bench.latency_rows();
+  run.fabric = bench.cluster().fabric().stats();
+  run.sim_events = bench.cluster().runtime().events_executed();
   for (std::size_t c = 0; c < clients; ++c) {
     const resilience::EngineStats& eng = bench.engine(c).stats();
     run.hedged_gets += eng.hedged_gets;

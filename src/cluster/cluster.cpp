@@ -5,9 +5,32 @@
 
 namespace hpres::cluster {
 
+std::size_t Cluster::effective_shards(const ClusterConfig& config) {
+  const std::size_t nodes = config.num_servers + config.num_clients;
+  std::size_t shards = config.shards == 0 ? 1 : config.shards;
+  if (shards > nodes && nodes > 0) shards = nodes;
+  return shards;
+}
+
+std::vector<std::uint32_t> Cluster::shard_map(const ClusterConfig& config) {
+  const std::size_t shards = effective_shards(config);
+  std::vector<std::uint32_t> map;
+  map.reserve(config.num_servers + config.num_clients);
+  for (std::size_t i = 0; i < config.num_servers; ++i) {
+    map.push_back(static_cast<std::uint32_t>(i % shards));
+  }
+  for (std::size_t i = 0; i < config.num_clients; ++i) {
+    map.push_back(static_cast<std::uint32_t>(i % shards));
+  }
+  return map;
+}
+
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
-      fabric_(sim_, config.fabric, config.num_servers + config.num_clients),
+      // Lookahead = wire latency: a cross-shard message's first bit cannot
+      // reach its destination sooner than one latency after the send.
+      runtime_(effective_shards(config), config.fabric.latency_ns),
+      fabric_(runtime_, config.fabric, shard_map(config)),
       ring_(config.num_servers, config.ring_vnodes, config.ring_seed),
       membership_(config.num_servers, config.membership_check_ns) {
   servers_.reserve(config.num_servers);
@@ -15,14 +38,14 @@ Cluster::Cluster(ClusterConfig config)
   for (std::size_t i = 0; i < config.num_servers; ++i) {
     const auto node = static_cast<net::NodeId>(i);
     server_nodes_.push_back(node);
-    servers_.push_back(
-        std::make_unique<kv::Server>(sim_, fabric_, node, config.server));
+    servers_.push_back(std::make_unique<kv::Server>(
+        fabric_.sim_of(node), fabric_, node, config.server));
   }
   clients_.reserve(config.num_clients);
   for (std::size_t i = 0; i < config.num_clients; ++i) {
     const auto node = static_cast<net::NodeId>(config.num_servers + i);
-    clients_.push_back(
-        std::make_unique<kv::Client>(sim_, fabric_, node, config.client));
+    clients_.push_back(std::make_unique<kv::Client>(
+        fabric_.sim_of(node), fabric_, node, config.client));
   }
 }
 

@@ -16,6 +16,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/shard_runtime.h"
 
 namespace hpres::cluster {
 
@@ -28,6 +29,12 @@ struct ClusterConfig {
   SimDur membership_check_ns = 1'500;
   std::size_t ring_vnodes = 128;
   std::uint64_t ring_seed = 0x5eed;
+  /// Event-loop shards for the parallel runtime. 0 or 1 = the
+  /// deterministic single-threaded oracle mode; N > 1 partitions servers
+  /// and clients round-robin over N event loops run by real threads
+  /// (capped to num_servers + num_clients). Fault injection, tracing, and
+  /// the flight recorder require oracle mode.
+  std::size_t shards = 1;
 };
 
 class Cluster {
@@ -36,7 +43,24 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  /// The shard runtime driving every event loop (one loop in oracle mode).
+  [[nodiscard]] sim::ShardRuntime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return runtime_.num_shards();
+  }
+  /// Shard 0's event loop — the only loop in oracle mode, where this is
+  /// exactly the classic single-simulator API. Harness code driving a
+  /// multi-shard cluster must spawn onto each node's own loop instead
+  /// (sim_for_node) and run via Cluster::run().
+  [[nodiscard]] sim::Simulator& sim() noexcept { return runtime_.shard(0); }
+  /// The event loop that drives `node`'s coroutines (its shard's loop).
+  [[nodiscard]] sim::Simulator& sim_for_node(net::NodeId node) noexcept {
+    return fabric_.sim_of(node);
+  }
+  /// The event loop for client index `i` (node id num_servers + i).
+  [[nodiscard]] sim::Simulator& sim_for_client(std::size_t i) noexcept {
+    return sim_for_node(static_cast<net::NodeId>(config_.num_servers + i));
+  }
   [[nodiscard]] kv::KvFabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] const kv::HashRing& ring() const noexcept { return ring_; }
   [[nodiscard]] kv::Membership& membership() noexcept { return membership_; }
@@ -115,8 +139,15 @@ class Cluster {
   /// Starts every node's dispatch loop. Call once, before running.
   void start();
 
-  /// Runs the simulation to quiescence; returns final simulated time.
-  SimTime run() { return sim_.run(); }
+  /// Runs the simulation to quiescence; returns final simulated time. In
+  /// oracle mode this is the classic single event loop; with shards > 1 it
+  /// runs all shard loops conservatively in parallel and refreshes the
+  /// merged fabric counters afterwards.
+  SimTime run() {
+    const SimTime end = runtime_.run();
+    fabric_.merge_stats();
+    return end;
+  }
 
   /// Sum of bytes_used across all server stores (memory-efficiency metric).
   [[nodiscard]] std::uint64_t total_bytes_used() const;
@@ -126,8 +157,15 @@ class Cluster {
   [[nodiscard]] std::uint64_t total_capacity() const;
 
  private:
+  /// Shard of node `i` under `config`: servers and clients are each dealt
+  /// round-robin so every shard carries a balanced slice of both roles.
+  [[nodiscard]] static std::vector<std::uint32_t> shard_map(
+      const ClusterConfig& config);
+  [[nodiscard]] static std::size_t effective_shards(
+      const ClusterConfig& config);
+
   ClusterConfig config_;
-  sim::Simulator sim_;
+  sim::ShardRuntime runtime_;
   kv::KvFabric fabric_;
   kv::HashRing ring_;
   kv::Membership membership_;

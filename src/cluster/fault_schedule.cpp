@@ -37,6 +37,10 @@ void FaultSchedule::add_loss(SimTime at_ns, std::size_t server_index,
 
 void FaultSchedule::arm() {
   assert(!armed_ && "FaultSchedule::arm called twice");
+  // Fault application mutates fabric topology flags and membership, which
+  // every shard reads without locks — injection is an oracle-mode feature.
+  assert(cluster_->num_shards() == 1 &&
+         "FaultSchedule requires oracle mode (shards <= 1)");
   armed_ = true;
   // Stable sort: same-instant events apply in insertion order, keeping the
   // schedule deterministic.

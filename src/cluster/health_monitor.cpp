@@ -11,6 +11,11 @@ HealthMonitor::HealthMonitor(Cluster& cluster, HealthMonitorParams params)
 
 void HealthMonitor::arm() {
   if (armed_) return;
+  // The monitor samples every server's rpc/store state from one ticker
+  // coroutine — an oracle-mode feature (the detector's inputs are not
+  // shard-safe).
+  assert(cluster_->num_shards() == 1 &&
+         "HealthMonitor requires oracle mode (shards <= 1)");
   armed_ = true;
   cluster_->set_health_signals(&signals_);
   cluster_->sim().spawn(run(this));

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <span>
 #include <string_view>
@@ -30,9 +31,13 @@ inline SharedBytes make_shared_bytes(Bytes b) {
 /// cache. Benchmarks run "size-only" (DESIGN.md): payload content is
 /// irrelevant, so every op can alias one buffer per distinct size instead
 /// of allocating per-op — a simulated 100 GB experiment costs megabytes of
-/// host memory. Single-threaded by design, like the simulator.
+/// host memory. Mutex-guarded: workload generators on different shard
+/// threads hit this concurrently under the parallel runtime, and the
+/// distinct-size count is tiny so the lock never contends meaningfully.
 inline SharedBytes zero_bytes(std::size_t size) {
+  static std::mutex mu;
   static std::unordered_map<std::size_t, SharedBytes> cache;
+  const std::lock_guard<std::mutex> lock(mu);
   auto& slot = cache[size];
   if (!slot) slot = std::make_shared<const Bytes>(size);
   return slot;

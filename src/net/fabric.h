@@ -11,11 +11,26 @@
 // for its serialization time (this is what creates incast queueing when K
 // chunk responses converge on one client). An unloaded transfer completes
 // in per_message + L + s/B — the paper's Equation 1.
+//
+// Sharding: the fabric is also the shard boundary of the parallel runtime
+// (DESIGN.md "Shard runtime"). Every node lives on exactly one shard; a
+// send between nodes on the same shard takes the classic inline path
+// (byte-identical to the single-threaded fabric), while a cross-shard send
+// resolves the sender's NIC locally and posts the arrival to the receiving
+// shard, which claims the receive NIC in arrival order at least one wire
+// latency later — the lookahead bound the conservative scheduler runs on.
+// Mutable state is strictly shard-owned during parallel runs: the sender's
+// shard owns tx NIC state and send-side counters, the receiver's shard owns
+// rx NIC state, inboxes, and delivery counters. Topology state (up/loss
+// flags) is read-only while shards run; fault injection requires oracle
+// mode.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -25,6 +40,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/shard_runtime.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 
@@ -78,47 +94,118 @@ struct FabricStats {
                      &messages_delivered);
     reg.bind_counter("fabric.bytes_delivered", labels, &bytes_delivered);
   }
+
+  void accumulate(const FabricStats& other) noexcept {
+    messages_sent += other.messages_sent;
+    messages_dropped += other.messages_dropped;
+    drops_dst_down += other.drops_dst_down;
+    drops_src_down += other.drops_src_down;
+    drops_injected += other.drops_injected;
+    bytes_sent += other.bytes_sent;
+    bytes_dropped += other.bytes_dropped;
+    rendezvous_handshakes += other.rendezvous_handshakes;
+    messages_delivered += other.messages_delivered;
+    bytes_delivered += other.bytes_delivered;
+  }
 };
 
 template <typename Body>
 class Fabric {
  public:
+  /// Single-loop fabric: every node on one simulator (the deterministic
+  /// oracle configuration, and the only constructor tests existed with
+  /// before sharding).
   Fabric(sim::Simulator& sim, FabricParams params, std::size_t num_nodes)
-      : sim_(&sim), params_(params), nics_(num_nodes) {
-    inboxes_.reserve(num_nodes);
-    for (std::size_t i = 0; i < num_nodes; ++i) {
-      inboxes_.push_back(std::make_unique<sim::Channel<Envelope<Body>>>(sim));
+      : params_(params), nics_(num_nodes) {
+    node_sim_.assign(num_nodes, &sim);
+    node_shard_.assign(num_nodes, 0);
+    shard_state_.push_back(std::make_unique<ShardState>());
+    init_inboxes();
+  }
+
+  /// Shard-aware fabric: node `i` lives on `runtime.shard(node_shard[i])`.
+  /// With one shard this is exactly the oracle configuration above.
+  Fabric(sim::ShardRuntime& runtime, FabricParams params,
+         std::vector<std::uint32_t> node_shard)
+      : params_(params),
+        nics_(node_shard.size()),
+        runtime_(&runtime),
+        node_shard_(std::move(node_shard)) {
+    node_sim_.reserve(node_shard_.size());
+    for (const std::uint32_t s : node_shard_) {
+      assert(s < runtime.num_shards());
+      node_sim_.push_back(&runtime.shard(s));
     }
+    for (std::size_t s = 0; s < runtime.num_shards(); ++s) {
+      shard_state_.push_back(std::make_unique<ShardState>());
+    }
+    init_inboxes();
   }
 
   [[nodiscard]] std::size_t num_nodes() const noexcept {
     return inboxes_.size();
   }
   [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
-  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+
+  /// Transfer counters. Single-shard fabrics return the live struct (the
+  /// metrics registry binds its fields by pointer); multi-shard fabrics
+  /// return the merged snapshot, refreshed by merge_stats() — the cluster
+  /// refreshes it after every run, so bound pointers read current sums at
+  /// capture time.
+  [[nodiscard]] const FabricStats& stats() const noexcept {
+    return shard_state_.size() == 1 ? shard_state_[0]->stats : merged_stats_;
+  }
+
+  /// Recomputes the merged multi-shard counter snapshot. Call at
+  /// quiescence (between runs); a no-op for single-shard fabrics.
+  void merge_stats() noexcept {
+    if (shard_state_.size() == 1) return;
+    merged_stats_ = FabricStats{};
+    merged_in_flight_bytes_ = 0;
+    merged_in_flight_messages_ = 0;
+    for (const auto& st : shard_state_) {
+      merged_stats_.accumulate(st->stats);
+      merged_in_flight_bytes_ += st->in_flight_bytes;
+      merged_in_flight_messages_ += st->in_flight_messages;
+    }
+  }
 
   /// Wire bytes sent but not yet delivered (time-series gauge for the
-  /// periodic sampler).
+  /// periodic sampler; multi-shard values are snapshots from merge_stats).
   [[nodiscard]] std::uint64_t in_flight_bytes() const noexcept {
-    return in_flight_bytes_;
+    return shard_state_.size() == 1 ? shard_state_[0]->in_flight_bytes
+                                    : merged_in_flight_bytes_;
   }
   [[nodiscard]] std::uint64_t in_flight_messages() const noexcept {
-    return in_flight_messages_;
+    return shard_state_.size() == 1 ? shard_state_[0]->in_flight_messages
+                                    : merged_in_flight_messages_;
   }
 
   /// Attaches a span tracer: NIC occupancy spans ("fabric/send" on the
   /// sender's NIC track, "fabric/recv" on the receiver's) are emitted under
-  /// process `pid`. Pass nullptr to detach. Purely observational.
+  /// process `pid`. Pass nullptr to detach. Purely observational. Tracing
+  /// is an oracle-mode feature: the tracer buffer is not shard-safe, so
+  /// harnesses force a single shard whenever tracing is enabled.
   void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) noexcept {
     tracer_ = tracer;
     trace_pid_ = pid;
   }
 
   /// The receive queue for a node; server/client processes loop on
-  /// `co_await fabric.inbox(id).recv()`.
+  /// `co_await fabric.inbox(id).recv()`. Owned by the node's shard.
   [[nodiscard]] sim::Channel<Envelope<Body>>& inbox(NodeId id) {
     assert(id < inboxes_.size());
     return *inboxes_[id];
+  }
+
+  /// The simulator that drives `id`'s events (its shard's event loop).
+  [[nodiscard]] sim::Simulator& sim_of(NodeId id) {
+    assert(id < node_sim_.size());
+    return *node_sim_[id];
+  }
+  [[nodiscard]] std::uint32_t shard_of(NodeId id) const {
+    assert(id < node_shard_.size());
+    return node_shard_[id];
   }
 
   /// Marks a node up/down. Messages to or from a down node are dropped
@@ -127,7 +214,8 @@ class Fabric {
   /// model): requests in flight at crash time resolve through RPC deadlines
   /// (RpcPolicy timeouts), and later placement decisions consult the
   /// membership oracle once it observes the failure after the configured
-  /// detection lag (FaultSchedule).
+  /// detection lag (FaultSchedule). Topology flags are read by every shard:
+  /// mutate only in oracle mode or between runs.
   void set_node_up(NodeId id, bool up) {
     assert(id < nics_.size());
     nics_[id].up = up;
@@ -141,9 +229,14 @@ class Fabric {
   /// with probability `probability` (counted under drops_injected). Models
   /// a flaky link for timeout/retry experiments; deterministic per seed.
   /// Pass 0 to disable (the default — no RNG draw on the send path).
+  /// Each shard draws from its own stream (shard 0 keeps the seed's
+  /// classic stream, so oracle runs are byte-identical to pre-shard code).
   void set_loss(double probability, std::uint64_t seed = 0x10553) {
     loss_probability_ = probability;
-    loss_rng_ = Xoshiro256(seed);
+    for (std::size_t s = 0; s < shard_state_.size(); ++s) {
+      shard_state_[s]->loss_rng =
+          Xoshiro256(seed + s * 0x9E3779B97F4A7C15ULL);
+    }
   }
 
   /// Per-node silent loss: messages to or from `id` are additionally
@@ -163,20 +256,25 @@ class Fabric {
   }
 
   /// Attaches the health plane: every drop involving a tracked node feeds
-  /// its drop counter. Purely observational.
+  /// its drop counter. Purely observational; oracle-mode only.
   void set_health_signals(obs::HealthSignals* signals) noexcept {
+    assert((signals == nullptr || shard_state_.size() == 1) &&
+           "health signals require oracle mode");
     health_ = signals;
   }
   /// Attaches the flight recorder: drops land in the involved server's
-  /// ring as kNetDrop events. Purely observational.
+  /// ring as kNetDrop events. Purely observational; oracle-mode only.
   void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
+    assert((flight == nullptr || shard_state_.size() == 1) &&
+           "flight recorder requires oracle mode");
     flight_ = flight;
   }
 
   /// Asynchronously transfers `body` with `payload_bytes` of payload.
   /// Returns immediately; delivery lands in the destination inbox at the
   /// modeled time. Loopback (src == dst) skips the NIC entirely and
-  /// delivers after a fixed small local latency.
+  /// delivers after a fixed small local latency. Must be called from the
+  /// source node's shard (all senders are coroutines on their own shard).
   ///
   /// `trace` (optional, purely observational) tags the NIC spans with the
   /// causal trace id and emits one flow-event triple — "s" on the sender's
@@ -187,22 +285,24 @@ class Fabric {
   void send(NodeId src, NodeId dst, Body body, std::size_t payload_bytes,
             const obs::TraceContext& trace = {}) {
     assert(src < nics_.size() && dst < nics_.size());
+    ShardState& ss = *shard_state_[node_shard_[src]];
+    sim::Simulator* ssim = node_sim_[src];
     obs::Tracer* tr =
         (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
-    ++stats_.messages_sent;
-    stats_.bytes_sent += payload_bytes;
+    ++ss.stats.messages_sent;
+    ss.stats.bytes_sent += payload_bytes;
     if (!nics_[dst].up || !nics_[src].up) {
-      ++stats_.messages_dropped;
-      stats_.bytes_dropped += payload_bytes;
+      ++ss.stats.messages_dropped;
+      ss.stats.bytes_dropped += payload_bytes;
       if (!nics_[dst].up) {
-        ++stats_.drops_dst_down;
+        ++ss.stats.drops_dst_down;
       } else {
-        ++stats_.drops_src_down;
+        ++ss.stats.drops_src_down;
       }
       record_drop(src, dst, payload_bytes, /*injected=*/false);
       if (tr != nullptr && trace.valid()) {
         tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
-                    sim_->now(), trace.trace_id);
+                    ssim->now(), trace.trace_id);
       }
       return;
     }
@@ -212,19 +312,19 @@ class Fabric {
     if (loss_probability_ > 0.0 || lossy_nodes_ > 0) {
       const double keep = (1.0 - loss_probability_) *
                           (1.0 - nics_[src].loss) * (1.0 - nics_[dst].loss);
-      if (keep < 1.0 && loss_rng_.next_double() >= keep) {
-        ++stats_.messages_dropped;
-        ++stats_.drops_injected;
-        stats_.bytes_dropped += payload_bytes;
+      if (keep < 1.0 && ss.loss_rng.next_double() >= keep) {
+        ++ss.stats.messages_dropped;
+        ++ss.stats.drops_injected;
+        ss.stats.bytes_dropped += payload_bytes;
         record_drop(src, dst, payload_bytes, /*injected=*/true);
         if (tr != nullptr && trace.valid()) {
           tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
-                      sim_->now(), trace.trace_id);
+                      ssim->now(), trace.trace_id);
         }
         return;
       }
     }
-    const SimTime now = sim_->now();
+    const SimTime now = ssim->now();
     Envelope<Body> env{src, dst, now, 0, payload_bytes + params_.header_bytes,
                        std::move(body)};
 
@@ -239,7 +339,7 @@ class Fabric {
     if (rendezvous) {
       // RTS/CTS control round trip before the zero-copy transfer.
       pre_tx += 2 * params_.latency_ns;
-      ++stats_.rendezvous_handshakes;
+      ++ss.stats.rendezvous_handshakes;
     } else {
       // Eager: copy into pre-registered bounce buffers.
       pre_tx += static_cast<SimDur>(params_.eager_copy_ns_per_byte *
@@ -254,6 +354,27 @@ class Fabric {
     const SimTime tx_start = std::max(now + pre_tx, src_nic.tx_busy_until);
     const SimTime tx_end = tx_start + ser;
     src_nic.tx_busy_until = tx_end;
+
+    if (node_shard_[dst] != node_shard_[src]) {
+      // Cross-shard: the first bit reaches the receiver at tx_start +
+      // latency >= now + latency — at least one lookahead in the future,
+      // which is exactly the window bound the runtime synchronizes on. The
+      // receive NIC is claimed on its own shard at arrival time (arrival
+      // order, where the oracle claims in send order — statistically
+      // equivalent contention, not bit-identical across shard counts).
+      // In-flight accounting for the wire leg starts at arrival on the
+      // destination shard (receive_cross_shard): each shard's counters are
+      // touched only by its own thread, which is what keeps this path free
+      // of atomics and data races.
+      const SimTime arrival = tx_end + params_.latency_ns - ser;
+      assert(runtime_ != nullptr);
+      runtime_->post(
+          node_shard_[src], node_shard_[dst], arrival,
+          [this, ser, e = std::move(env)]() mutable {
+            receive_cross_shard(std::move(e), ser);
+          });
+      return;
+    }
 
     // Receiver NIC: the stream could start landing `ser` before its last
     // bit (cut-through); queue behind other arrivals.
@@ -309,6 +430,26 @@ class Fabric {
     double loss = 0.0;  ///< per-node injected silent-loss probability
   };
 
+  /// Shard-owned mutable fabric state: send-side counters and the loss RNG
+  /// belong to the sending shard; delivery and in-flight counters to the
+  /// receiving one. Every field is single-writer (only its shard's thread
+  /// touches it); a cross-shard message charges in-flight from wire arrival
+  /// to inbox delivery, so the merged gauges read zero at quiescence.
+  struct ShardState {
+    FabricStats stats;
+    Xoshiro256 loss_rng;
+    std::uint64_t in_flight_bytes = 0;
+    std::uint64_t in_flight_messages = 0;
+  };
+
+  void init_inboxes() {
+    inboxes_.reserve(node_sim_.size());
+    for (std::size_t i = 0; i < node_sim_.size(); ++i) {
+      inboxes_.push_back(
+          std::make_unique<sim::Channel<Envelope<Body>>>(*node_sim_[i]));
+    }
+  }
+
   /// Feeds a drop into the health plane. Health counters are sized to
   /// servers and attribute to whichever endpoint is one (the destination
   /// when both are; out-of-range ids bounce off the bounds checks). The
@@ -320,42 +461,72 @@ class Fabric {
       health_->on_drop(dst < health_->num_nodes() ? dst : src);
     }
     if (flight_ != nullptr) {
-      flight_->record(sim_->now(), dst, obs::FlightEventType::kNetDrop,
-                      payload_bytes, static_cast<std::uint32_t>(src),
-                      injected ? 1 : 0);
+      flight_->record(node_sim_[src]->now(), dst,
+                      obs::FlightEventType::kNetDrop, payload_bytes,
+                      static_cast<std::uint32_t>(src), injected ? 1 : 0);
     }
   }
 
+  /// Runs on the destination shard at wire-arrival time: claims the
+  /// receive NIC in arrival order, then delivers at serialization end.
+  void receive_cross_shard(Envelope<Body> env, SimDur ser) {
+    sim::Simulator* dsim = node_sim_[env.dst];
+    NicState& dst_nic = nics_[env.dst];
+    const SimTime rx_start = std::max(dsim->now(), dst_nic.rx_busy_until);
+    const SimTime rx_end = rx_start + ser;
+    dst_nic.rx_busy_until = rx_end;
+    env.delivered_at = rx_end;
+    // The in-flight charge for a cross-shard message begins here, at wire
+    // arrival, and is settled by deliver_coro — both on this (the
+    // destination) shard's thread. The post->arrival wire leg is therefore
+    // uncounted; gauges at quiescence still read zero, and per-shard
+    // counters are single-writer by construction.
+    ShardState& ds = *shard_state_[node_shard_[env.dst]];
+    ds.in_flight_bytes += env.wire_bytes;
+    ++ds.in_flight_messages;
+    dsim->spawn(deliver_coro(this, &ds, dsim, rx_end - dsim->now(),
+                             std::move(env)));
+  }
+
+  [[nodiscard]] ShardState& ss_of(NodeId node) {
+    return *shard_state_[node_shard_[node]];
+  }
+
   void deliver_at(SimTime when, Envelope<Body> env) {
-    const SimDur delay = when - sim_->now();
-    in_flight_bytes_ += env.wire_bytes;
-    ++in_flight_messages_;
-    sim_->spawn(deliver_coro(this, delay, std::move(env)));
+    sim::Simulator* dsim = node_sim_[env.dst];
+    ShardState& st = ss_of(env.dst);
+    const SimDur delay = when - dsim->now();
+    st.in_flight_bytes += env.wire_bytes;
+    ++st.in_flight_messages;
+    dsim->spawn(deliver_coro(this, &st, dsim, delay, std::move(env)));
   }
 
   // Free coroutine per CP.51/CP.53: parameters by value / a raw pointer to
   // the fabric, which owns the inboxes and must outlive every in-flight
   // message (it does: the cluster drains the simulator before teardown).
-  static sim::Task<void> deliver_coro(Fabric* self, SimDur delay,
+  static sim::Task<void> deliver_coro(Fabric* self, ShardState* st,
+                                      sim::Simulator* dsim, SimDur delay,
                                       Envelope<Body> env) {
-    co_await self->sim_->delay(delay);
-    self->in_flight_bytes_ -= env.wire_bytes;
-    --self->in_flight_messages_;
-    ++self->stats_.messages_delivered;
-    self->stats_.bytes_delivered += env.wire_bytes - self->params_.header_bytes;
+    co_await dsim->delay(delay);
+    st->in_flight_bytes -= env.wire_bytes;
+    --st->in_flight_messages;
+    ++st->stats.messages_delivered;
+    st->stats.bytes_delivered += env.wire_bytes - self->params_.header_bytes;
     self->inboxes_[env.dst]->send(std::move(env));
   }
 
-  sim::Simulator* sim_;
   FabricParams params_;
   std::vector<NicState> nics_;
+  sim::ShardRuntime* runtime_ = nullptr;
+  std::vector<std::uint32_t> node_shard_;
+  std::vector<sim::Simulator*> node_sim_;
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
+  FabricStats merged_stats_;
+  std::uint64_t merged_in_flight_bytes_ = 0;
+  std::uint64_t merged_in_flight_messages_ = 0;
   std::vector<std::unique_ptr<sim::Channel<Envelope<Body>>>> inboxes_;
-  FabricStats stats_;
   double loss_probability_ = 0.0;
   std::size_t lossy_nodes_ = 0;  ///< nodes with a nonzero per-node loss
-  Xoshiro256 loss_rng_;
-  std::uint64_t in_flight_bytes_ = 0;
-  std::uint64_t in_flight_messages_ = 0;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
   obs::HealthSignals* health_ = nullptr;

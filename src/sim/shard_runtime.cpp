@@ -1,0 +1,141 @@
+#include "sim/shard_runtime.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "sim/task.h"
+
+namespace hpres::sim {
+namespace {
+
+/// Cross-shard message body, run on the destination shard at its due time.
+Task<void> apply_msg(std::function<void()> fn) {
+  fn();
+  co_return;
+}
+
+}  // namespace
+
+ShardRuntime::ShardRuntime(std::size_t shards, SimDur lookahead_ns)
+    : lookahead_(lookahead_ns) {
+  const std::size_t n = shards == 0 ? 1 : shards;
+  assert((n == 1 || lookahead_ns > 0) &&
+         "parallel shards need a positive lookahead to make progress");
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  lanes_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(kLaneCapacity));
+  }
+  scratch_.resize(n);
+  next_time_ = std::make_unique<std::atomic<SimTime>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) next_time_[i] = Simulator::kNever;
+}
+
+std::uint64_t ShardRuntime::events_executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_executed();
+  return total;
+}
+
+void ShardRuntime::post(std::size_t from, std::size_t to, SimTime due,
+                        std::function<void()> fn) {
+  assert(from < shards_.size() && to < shards_.size());
+  Lane& ln = lane(from, to);
+  Msg m{due, static_cast<std::uint32_t>(from), std::move(fn)};
+  if (ln.ring.try_push(std::move(m))) return;
+  // Ring full: spill under a lock. The spill preserves lane FIFO order
+  // because a full ring stays full until the next barrier drain, so all
+  // later pushes in this window spill too.
+  const std::lock_guard<std::mutex> lock(ln.spill_mu);
+  ln.spill.push_back(std::move(m));
+}
+
+void ShardRuntime::drain(std::size_t s) {
+  std::vector<Msg>& msgs = scratch_[s];
+  msgs.clear();
+  for (std::size_t from = 0; from < shards_.size(); ++from) {
+    Lane& ln = lane(from, s);
+    Msg m;
+    while (ln.ring.try_pop(m)) msgs.push_back(std::move(m));
+    const std::lock_guard<std::mutex> lock(ln.spill_mu);
+    for (Msg& sp : ln.spill) msgs.push_back(std::move(sp));
+    ln.spill.clear();
+  }
+  if (msgs.empty()) return;
+  // Canonical merge order — independent of thread interleaving: due time,
+  // then source shard, then per-lane FIFO (stable sort keeps push order).
+  std::stable_sort(msgs.begin(), msgs.end(), [](const Msg& a, const Msg& b) {
+    if (a.due != b.due) return a.due < b.due;
+    return a.from < b.from;
+  });
+  for (Msg& m : msgs) {
+    shards_[s]->spawn_at(m.due, apply_msg(std::move(m.fn)));
+  }
+  msgs.clear();
+}
+
+void ShardRuntime::compute_window() noexcept {
+  SimTime min_next = Simulator::kNever;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    min_next =
+        std::min(min_next, next_time_[i].load(std::memory_order_relaxed));
+  }
+  if (min_next == Simulator::kNever) {
+    done_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  const SimTime end = min_next > Simulator::kNever - lookahead_
+                          ? Simulator::kNever
+                          : min_next + lookahead_;
+  window_.store(end, std::memory_order_relaxed);
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SimTime ShardRuntime::run() {
+  if (!parallel()) {
+    // Oracle mode: the plain single-threaded event loop, byte-identical to
+    // the pre-shard runtime. Posts (none from the fabric in this mode) are
+    // still honoured so tests can exercise the API uniformly.
+    drain(0);
+    return shards_[0]->run();
+  }
+  const std::size_t n = shards_.size();
+  done_.store(false, std::memory_order_relaxed);
+
+  const auto completion = [this]() noexcept { compute_window(); };
+  std::barrier<std::decay_t<decltype(completion)>> horizon(
+      static_cast<std::ptrdiff_t>(n), completion);
+  std::barrier<> window_done(static_cast<std::ptrdiff_t>(n));
+
+  const auto worker = [&](std::size_t s) {
+    Simulator& sim = *shards_[s];
+    while (true) {
+      // Phase A: merge inbound messages, publish this shard's horizon.
+      drain(s);
+      next_time_[s].store(sim.next_event_time(), std::memory_order_relaxed);
+      horizon.arrive_and_wait();  // completion computes window_ / done_
+      if (done_.load(std::memory_order_relaxed)) break;
+      // Phase B: run the window in parallel. Cross-shard sends land in the
+      // lanes and are merged by their targets at the next Phase A.
+      sim.run_window(window_.load(std::memory_order_relaxed));
+      window_done.arrive_and_wait();  // all sends visible before next drain
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::size_t s = 1; s < n; ++s) threads.emplace_back(worker, s);
+  worker(0);  // the calling thread drives shard 0
+  for (std::thread& t : threads) t.join();
+
+  SimTime end = 0;
+  for (const auto& s : shards_) end = std::max(end, s->now());
+  return end;
+}
+
+}  // namespace hpres::sim

@@ -1,0 +1,164 @@
+// Conservative parallel discrete-event runtime: N independent Simulator
+// shards advanced in lockstep windows by real threads.
+//
+// Synchronization model (classic conservative PDES with lookahead):
+// execution proceeds in rounds. In each round every shard first drains its
+// inbound cross-shard queues — merging each message into its own event
+// queue at the message's exact due time — and publishes the timestamp of
+// its earliest pending event. A barrier then computes the global window
+//   window_end = min over shards of next_event_time + lookahead
+// and every shard runs all events strictly before window_end in parallel.
+// Safety: a cross-shard message sent at local time t is due at >= t + L
+// (L = lookahead, derived from the minimum fabric wire latency), and every
+// event executed this round has t >= min(next_event_time), so every message
+// produced inside a window is due at or after the window's end — it is
+// always merged before the receiver's clock reaches it, and simulated
+// causality holds without rollback.
+//
+// Determinism: for a fixed (program, seeds, shard count) the execution is
+// bit-reproducible. Each shard's event loop is deterministic, and inbound
+// messages are merged in a canonical order (due time, then source shard,
+// then per-lane FIFO), independent of thread interleaving. Different shard
+// counts are statistically equivalent, not bit-identical: cross-shard
+// receive-side NIC contention resolves in arrival order rather than send
+// order. `shards == 1` is the deterministic oracle mode — a single inline
+// event loop, zero threads, byte-identical to the pre-shard runtime.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace hpres::sim {
+
+class ShardRuntime {
+ public:
+  /// `shards` event loops (0 is normalized to 1 — oracle mode) connected by
+  /// channels with `lookahead_ns` of guaranteed cross-shard delay. Every
+  /// cross-shard message posted from a shard at local time t must be due at
+  /// >= t + lookahead_ns; the fabric derives the bound from its wire
+  /// latency. Must be > 0 when shards > 1 or windows cannot advance.
+  ShardRuntime(std::size_t shards, SimDur lookahead_ns);
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  /// True when more than one shard exists (worker threads will be used).
+  [[nodiscard]] bool parallel() const noexcept { return shards_.size() > 1; }
+  [[nodiscard]] SimDur lookahead_ns() const noexcept { return lookahead_; }
+
+  [[nodiscard]] Simulator& shard(std::size_t s) {
+    assert(s < shards_.size());
+    return *shards_[s];
+  }
+
+  /// Sum of events executed across all shards (diagnostic; read at
+  /// quiescence).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+
+  /// Barrier rounds completed by parallel runs (diagnostic).
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueues `fn` to run on shard `to` at simulated time `due`. Must be
+  /// called from shard `from`'s thread (each (from, to) lane is a bounded
+  /// SPSC ring; overflow falls back to a mutexed spill vector). The due
+  /// time must respect the lookahead contract: due >= sender now + L.
+  void post(std::size_t from, std::size_t to, SimTime due,
+            std::function<void()> fn);
+
+  /// Runs every shard to global quiescence: no shard has a pending event
+  /// and no cross-shard message is in flight. Returns the final simulated
+  /// time (identical on every shard up to the last window boundary).
+  /// Callable repeatedly — the harness pattern "spawn, run, spawn, run"
+  /// works exactly as with a single Simulator.
+  SimTime run();
+
+ private:
+  struct Msg {
+    SimTime due = 0;
+    std::uint32_t from = 0;
+    std::function<void()> fn;
+  };
+
+  /// Bounded single-producer/single-consumer ring; the producer is the
+  /// `from` shard's thread (run phase), the consumer the `to` shard's
+  /// thread (drain phase). Rounds are barrier-separated so the two never
+  /// overlap, but the ring stays correct even if draining ever becomes
+  /// opportunistic mid-window.
+  class SpscRing {
+   public:
+    explicit SpscRing(std::size_t capacity) : slots_(capacity) {}
+
+    [[nodiscard]] bool try_push(Msg&& m) {
+      const std::size_t t = tail_.load(std::memory_order_relaxed);
+      if (t - head_.load(std::memory_order_acquire) == slots_.size()) {
+        return false;
+      }
+      slots_[t % slots_.size()] = std::move(m);
+      tail_.store(t + 1, std::memory_order_release);
+      return true;
+    }
+
+    [[nodiscard]] bool try_pop(Msg& out) {
+      const std::size_t h = head_.load(std::memory_order_relaxed);
+      if (tail_.load(std::memory_order_acquire) == h) return false;
+      out = std::move(slots_[h % slots_.size()]);
+      head_.store(h + 1, std::memory_order_release);
+      return true;
+    }
+
+   private:
+    std::vector<Msg> slots_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+  };
+
+  /// One inbound lane per (from, to) shard pair.
+  struct Lane {
+    explicit Lane(std::size_t capacity) : ring(capacity) {}
+    SpscRing ring;
+    std::mutex spill_mu;
+    std::vector<Msg> spill;  ///< unbounded fallback when the ring is full
+  };
+
+  static constexpr std::size_t kLaneCapacity = 256;
+
+  [[nodiscard]] Lane& lane(std::size_t from, std::size_t to) {
+    return *lanes_[from * shards_.size() + to];
+  }
+
+  /// Merges every queued inbound message into shard `s`'s event queue at
+  /// its due time, in canonical (due, source shard, FIFO) order.
+  void drain(std::size_t s);
+
+  /// Barrier completion step: computes the next window (or termination)
+  /// from the published per-shard horizons. Runs on exactly one thread
+  /// while the others are blocked in the barrier.
+  void compute_window() noexcept;
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // [from * n + to]
+  std::vector<std::vector<Msg>> scratch_;     // per-shard drain buffer
+  SimDur lookahead_;
+
+  // Round state. Plain-ish values written either before a barrier arrival
+  // or inside its completion step; the barrier's phase transition provides
+  // the happens-before edges. Relaxed atomics keep TSan provably quiet.
+  std::unique_ptr<std::atomic<SimTime>[]> next_time_;
+  std::atomic<SimTime> window_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> rounds_{0};
+};
+
+}  // namespace hpres::sim

@@ -39,6 +39,12 @@ void Simulator::spawn(Task<void> task) {
   schedule(run_detached(std::move(task)).handle, 0);
 }
 
+void Simulator::spawn_at(SimTime at, Task<void> task) {
+  if (!task.valid()) return;
+  assert(at >= now_ && "spawn_at in the past");
+  schedule(run_detached(std::move(task)).handle, at - now_);
+}
+
 SimTime Simulator::run() {
   while (!queue_.empty()) {
     const Scheduled item = queue_.top();
@@ -59,6 +65,18 @@ SimTime Simulator::run_until(SimTime deadline) {
     item.handle.resume();
   }
   if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+SimTime Simulator::run_window(SimTime end) {
+  while (!queue_.empty() && queue_.top().at < end) {
+    const Scheduled item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    ++executed_;
+    item.handle.resume();
+  }
+  if (now_ < end) now_ = end;
   return now_;
 }
 

@@ -7,8 +7,10 @@
 // repository is reproducible bit-for-bit.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -19,6 +21,9 @@ namespace hpres::sim {
 
 class Simulator {
  public:
+  /// next_event_time() sentinel for an empty queue.
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -32,8 +37,12 @@ class Simulator {
   }
 
   /// Schedules `h` to resume after `delay` (>= 0) simulated nanoseconds.
-  /// Events at equal times run in scheduling (FIFO) order.
+  /// Events at equal times run in scheduling (FIFO) order. A negative delay
+  /// is a bug in the caller — typically a cross-shard message stamped
+  /// before the receiver's clock — and asserts in debug builds; release
+  /// builds keep the historical clamp-to-now behaviour.
   void schedule(std::coroutine_handle<> h, SimDur delay = 0) {
+    assert(delay >= 0 && "negative schedule() delay (stale timestamp?)");
     queue_.push(Scheduled{now_ + (delay < 0 ? 0 : delay), next_seq_++, h});
   }
 
@@ -42,6 +51,11 @@ class Simulator {
   /// A process must run to completion before the Simulator is destroyed
   /// (drain with run()).
   void spawn(Task<void> task);
+
+  /// Starts a detached process at absolute simulated time `at` (>= now).
+  /// Used by the shard runtime to merge cross-shard messages at their due
+  /// time without disturbing the window computation.
+  void spawn_at(SimTime at, Task<void> task);
 
   /// Awaitable: suspends the caller for `d` simulated nanoseconds.
   [[nodiscard]] auto delay(SimDur d) noexcept {
@@ -63,6 +77,19 @@ class Simulator {
   /// Runs until the queue is empty or simulated time would exceed
   /// `deadline`; events after the deadline stay queued.
   SimTime run_until(SimTime deadline);
+
+  /// Conservative-window run: executes every event strictly before `end`,
+  /// leaves events at or after `end` queued, then advances the clock to
+  /// `end`. The strict bound is what makes the shard lookahead proof work:
+  /// a message sent by a peer shard inside the same window is due at
+  /// >= `end`, so it can still be merged at its exact timestamp afterwards.
+  SimTime run_window(SimTime end);
+
+  /// Timestamp of the earliest queued event, or kNever when idle. This is
+  /// the per-shard horizon the conservative scheduler synchronizes on.
+  [[nodiscard]] SimTime next_event_time() const noexcept {
+    return queue_.empty() ? kNever : queue_.top().at;
+  }
 
   /// True if no events remain.
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }

@@ -1,0 +1,182 @@
+// Oracle-vs-parallel equivalence gates for the shard runtime: identical op
+// counts, fabric conservation at quiescence, bit-identical repeats for a
+// fixed shard count, and latency magnitudes within tolerance. These are the
+// statistical-equivalence checks the multi-shard mode ships behind.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/testbeds.h"
+#include "ec/cost_model.h"
+#include "ec/rs_vandermonde.h"
+#include "resilience/factory.h"
+#include "workload/ycsb.h"
+
+namespace hpres {
+namespace {
+
+struct ShardedOutcome {
+  SimTime makespan = 0;
+  std::uint64_t events = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t failures = 0;
+  std::int64_t read_latency_sum = 0;
+  double read_latency_mean = 0.0;
+  net::FabricStats fabric;
+  std::uint64_t in_flight_bytes = 0;
+  std::uint64_t in_flight_messages = 0;
+};
+
+/// One small YCSB-A run at the given shard count: 8 servers, 8 clients,
+/// era-ce-cd, engines and workload procs pinned to their client's shard.
+ShardedOutcome run_sharded_ycsb(std::size_t shards, std::uint64_t seed) {
+  constexpr std::size_t kClients = 8;
+  ec::RsVandermondeCodec codec(3, 2);
+  const auto cost = ec::CostModel::defaults(ec::Scheme::kRsVandermonde, 3, 2);
+  cluster::ClusterConfig config{.num_servers = 8, .num_clients = kClients};
+  config.shards = shards;
+  cluster::Cluster cl(config);
+  cl.enable_server_ec(codec, cost, false);
+  std::vector<std::unique_ptr<resilience::Engine>> engines;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    resilience::EngineContext ctx;
+    ctx.sim = &cl.sim_for_client(c);
+    ctx.client = &cl.client(c);
+    ctx.ring = &cl.ring();
+    ctx.membership = &cl.membership();
+    ctx.server_nodes = &cl.server_nodes();
+    ctx.materialize = false;
+    engines.push_back(resilience::make_engine(resilience::Design::kEraCeCd,
+                                              ctx, 3, &codec, cost));
+  }
+  cl.start();
+
+  workload::YcsbConfig cfg;
+  cfg.record_count = 400;
+  cfg.ops_per_client = 150;
+  cfg.value_size = 8192;
+  cfg.seed = seed;
+
+  // Preload to quiescence first: a client racing the loader turns missing
+  // keys into timing-dependent failures, which would break the exact-count
+  // gates below.
+  {
+    sim::Simulator& lsim = cl.sim_for_client(0);
+    struct Loader {
+      static sim::Task<void> run(sim::Simulator* sim, resilience::Engine* e,
+                                 workload::YcsbConfig c) {
+        co_await workload::ycsb_load(sim, e, c, 0, c.record_count);
+      }
+    };
+    lsim.spawn(Loader::run(&lsim, engines[0].get(), cfg));
+    cl.run();
+  }
+
+  std::vector<workload::YcsbResult> results(kClients);
+  struct Proc {
+    static sim::Task<void> run(sim::Simulator* sim, resilience::Engine* e,
+                               workload::YcsbConfig c, std::uint64_t s,
+                               workload::YcsbResult* r) {
+      co_await workload::ycsb_client(sim, e, c, s, r);
+    }
+  };
+  const SimTime start = cl.sim().now();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    sim::Simulator& csim = cl.sim_for_client(c);
+    csim.spawn(Proc::run(&csim, engines[c].get(), cfg, seed + 13 * c,
+                         &results[c]));
+  }
+  ShardedOutcome out;
+  out.makespan = cl.run() - start;
+  out.events = cl.runtime().events_executed();
+  for (const auto& r : results) {
+    out.reads += r.reads;
+    out.writes += r.writes;
+    out.failures += r.failures;
+    out.read_latency_sum += r.read_latency.sum();
+  }
+  out.read_latency_mean =
+      out.reads > 0
+          ? static_cast<double>(out.read_latency_sum) /
+                static_cast<double>(out.reads)
+          : 0.0;
+  out.fabric = cl.fabric().stats();
+  out.in_flight_bytes = cl.fabric().in_flight_bytes();
+  out.in_flight_messages = cl.fabric().in_flight_messages();
+  return out;
+}
+
+TEST(ShardEquivalence, OpCountsAndByteTotalsMatchOracle) {
+  const ShardedOutcome oracle = run_sharded_ycsb(1, 42);
+  for (const std::size_t shards : {2u, 4u}) {
+    const ShardedOutcome p = run_sharded_ycsb(shards, 42);
+    // The op mix is derived from seed-fixed RNG streams: any count drift is
+    // a lost or duplicated message, not noise.
+    EXPECT_EQ(p.reads, oracle.reads) << "shards=" << shards;
+    EXPECT_EQ(p.writes, oracle.writes) << "shards=" << shards;
+    EXPECT_EQ(p.failures, oracle.failures) << "shards=" << shards;
+    // No faults and no hedging: the message set is timing-independent.
+    EXPECT_EQ(p.fabric.bytes_sent, oracle.fabric.bytes_sent)
+        << "shards=" << shards;
+    EXPECT_EQ(p.fabric.bytes_delivered, oracle.fabric.bytes_delivered)
+        << "shards=" << shards;
+    EXPECT_EQ(p.fabric.messages_sent, oracle.fabric.messages_sent)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardEquivalence, FabricConservationAtQuiescence) {
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const ShardedOutcome o = run_sharded_ycsb(shards, 7);
+    EXPECT_EQ(o.fabric.messages_sent,
+              o.fabric.messages_delivered + o.fabric.messages_dropped)
+        << "shards=" << shards;
+    EXPECT_EQ(o.fabric.bytes_sent,
+              o.fabric.bytes_delivered + o.fabric.bytes_dropped)
+        << "shards=" << shards;
+    EXPECT_EQ(o.in_flight_bytes, 0u) << "shards=" << shards;
+    EXPECT_EQ(o.in_flight_messages, 0u) << "shards=" << shards;
+  }
+}
+
+TEST(ShardEquivalence, FixedShardCountIsBitReproducible) {
+  const ShardedOutcome a = run_sharded_ycsb(4, 99);
+  const ShardedOutcome b = run_sharded_ycsb(4, 99);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.read_latency_sum, b.read_latency_sum);
+}
+
+TEST(ShardEquivalence, LatencyMagnitudesWithinTolerance) {
+  const ShardedOutcome oracle = run_sharded_ycsb(1, 5);
+  for (const std::size_t shards : {2u, 4u}) {
+    const ShardedOutcome p = run_sharded_ycsb(shards, 5);
+    // Cross-shard rx-NIC contention resolves in arrival order rather than
+    // send order, so individual latencies shift; the distribution must not.
+    ASSERT_GT(oracle.read_latency_mean, 0.0);
+    const double rel = p.read_latency_mean / oracle.read_latency_mean;
+    EXPECT_GT(rel, 0.7) << "shards=" << shards;
+    EXPECT_LT(rel, 1.3) << "shards=" << shards;
+    const double mksp = static_cast<double>(p.makespan) /
+                        static_cast<double>(oracle.makespan);
+    EXPECT_GT(mksp, 0.85) << "shards=" << shards;
+    EXPECT_LT(mksp, 1.15) << "shards=" << shards;
+  }
+}
+
+TEST(ShardEquivalence, OracleMatchesLegacySingleLoop) {
+  // shards=0 and shards=1 are the same oracle: one inline event loop.
+  const ShardedOutcome zero = run_sharded_ycsb(0, 3);
+  const ShardedOutcome one = run_sharded_ycsb(1, 3);
+  EXPECT_EQ(zero.makespan, one.makespan);
+  EXPECT_EQ(zero.events, one.events);
+  EXPECT_EQ(zero.read_latency_sum, one.read_latency_sum);
+}
+
+}  // namespace
+}  // namespace hpres

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <coroutine>
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -125,6 +129,9 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(log.size(), 2u);
 }
 
+#ifdef NDEBUG
+// Release builds keep the defensive clamp: a stale-timestamp delay never
+// schedules into the past.
 TEST(Simulator, NegativeDelayClampsToNow) {
   Simulator sim;
   std::vector<SimTime> log;
@@ -133,6 +140,20 @@ TEST(Simulator, NegativeDelayClampsToNow) {
   ASSERT_EQ(log.size(), 1u);
   EXPECT_EQ(log[0], 0);
 }
+#else
+// Debug builds assert instead of silently clamping — a negative delay means
+// the caller computed a deadline from a stale timestamp (the class of bug
+// the clamp used to hide).
+TEST(SimulatorDeathTest, NegativeDelayAssertsInDebug) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        sim.schedule(std::noop_coroutine(), -50);
+      },
+      "negative schedule\\(\\) delay");
+}
+#endif
 
 TEST(Simulator, CountsExecutedEvents) {
   Simulator sim;
@@ -141,6 +162,66 @@ TEST(Simulator, CountsExecutedEvents) {
   sim.spawn(record_at(&sim, 2, &log));
   sim.run();
   EXPECT_GE(sim.events_executed(), 2u);
+}
+
+Task<void> record_seq(Simulator* sim, SimDur delay, std::size_t seq,
+                      std::vector<std::pair<SimTime, std::size_t>>* log) {
+  co_await sim->delay(delay);
+  log->emplace_back(sim->now(), seq);
+}
+
+// Property: over many events with heavy timestamp collisions, execution is
+// sorted by time, and equal-time events run in exact spawn (FIFO) order —
+// the tie-break the whole replay/trace layer depends on.
+TEST(Simulator, EqualTimeFifoProperty) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, std::size_t>> log;
+  constexpr std::size_t kEvents = 500;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    // Only 7 distinct timestamps for 500 events: every bucket collides.
+    sim.spawn(record_seq(&sim, static_cast<SimDur>((i * 13) % 7), i, &log));
+  }
+  sim.run();
+  ASSERT_EQ(log.size(), kEvents);
+  std::vector<std::pair<SimTime, std::size_t>> expected = log;
+  // Stable sort by time alone: within a timestamp, spawn order survives.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  // The log must already be sorted by (time, spawn order) — i.e. equal to
+  // its own stable sort by time, with seq strictly increasing per bucket.
+  EXPECT_EQ(log, expected);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    if (log[i].first == log[i - 1].first) {
+      EXPECT_LT(log[i - 1].second, log[i].second);
+    }
+  }
+}
+
+// Property: run_until(D) executes exactly the events due at or before D and
+// leaves every later event queued and runnable — nothing is dropped.
+TEST(Simulator, RunUntilLeavesPostDeadlineEventsQueued) {
+  Simulator sim;
+  std::vector<SimTime> log;
+  constexpr SimTime kDeadline = 1'000;
+  std::size_t due_before = 0;
+  std::size_t total = 0;
+  for (SimDur d = 100; d <= 2'000; d += 100) {
+    sim.spawn(record_at(&sim, d, &log));
+    ++total;
+    if (d <= kDeadline) ++due_before;
+  }
+  sim.run_until(kDeadline);
+  EXPECT_EQ(log.size(), due_before);
+  EXPECT_EQ(sim.now(), kDeadline);
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.next_event_time(), kDeadline + 100);
+  sim.run();
+  ASSERT_EQ(log.size(), total);
+  EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.next_event_time(), Simulator::kNever);
 }
 
 TEST(Simulator, DeterministicAcrossRuns) {

@@ -37,6 +37,7 @@ double set_latency_us(const cluster::Testbed& bed, resilience::Design design,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("abl_eager_threshold", "its sweep drives every client from shard 0's loop");
   std::printf("ABL2 — rendezvous-threshold sweep, RI-QDR, blocking sets\n");
   print_header("Set latency (us): era-ce-cd vs async-rep per threshold",
                {"threshold", "value", "era-ce-cd", "async-rep", "rep/era"});

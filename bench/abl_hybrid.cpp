@@ -58,6 +58,7 @@ Point run_engine(resilience::Engine* engine, cluster::Cluster* cluster,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("abl_hybrid", "its sweep drives every client from shard 0's loop");
   const std::uint64_t ops = scaled(300);
   std::printf("ABL4 — hybrid threshold sweep: 50/50 mix of 2 KB and 256 KB"
               " values, %llu ops, RS(3,2) / Rep=3, RI-QDR\n",

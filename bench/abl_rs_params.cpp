@@ -23,6 +23,7 @@ sim::Task<void> run_point(sim::Simulator* sim, resilience::Engine* engine,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("abl_rs_params", "its sweep drives every client from shard 0's loop");
   constexpr std::size_t kValue = 256 * 1024;
   std::printf("ABL3 — RS(K,M) sweep, Era-CE-CD on 12 servers, 256 KB"
               " values\n");

@@ -87,6 +87,7 @@ Point run_point(resilience::Design design, bool with_ssd,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("abl_ssd", "its sweep drives every client from shard 0's loop");
   const std::uint64_t pairs = scaled(1'000);
   std::printf("ABL5 — SSD-assisted tier at the Fig 10 overload point"
               " (40 clients x %llu x 1 MB, 5 x 20 GB servers)\n",

@@ -25,6 +25,7 @@ sim::Task<void> pipelined_sets(resilience::Engine* engine, std::uint64_t ops,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("abl_window", "its sweep drives every client from shard 0's loop");
   const std::uint64_t ops = scaled(500);
   constexpr std::size_t kValue = 64 * 1024;
   std::printf("ABL1 — ARPE window sweep, Era-CE-CD, RI-QDR, %llu x 64 KB"

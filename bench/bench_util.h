@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -23,12 +24,14 @@
 #include "cluster/testbeds.h"
 #include "ec/rs_vandermonde.h"
 #include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "resilience/factory.h"
+#include "sim/shard_runtime.h"
 
 namespace hpres::bench {
 
@@ -66,11 +69,20 @@ inline std::uint64_t scaled(std::uint64_t ops) {
 //   --flight-ring=N           flight-recorder ring size per node (default
 //                             256 records = 6 KiB/node)
 //   --shards=N                event-loop shards for harnesses that opt in
-//                             (the YCSB runners and micro_shard_scaling);
-//                             overrides the HPRES_SHARDS env var. 1 = the
-//                             deterministic oracle mode (the default).
-//                             Tracing/flight recording force oracle mode —
-//                             their buffers are not shard-safe.
+//                             (the YCSB runners, micro_shard_scaling, and
+//                             the ext failure harnesses); overrides the
+//                             HPRES_SHARDS env var. 1 = the deterministic
+//                             oracle mode (the default). The whole
+//                             observability stack works at any shard
+//                             count: parallel runs record into per-shard
+//                             domains merged deterministically at
+//                             quiescence, so exports are bit-reproducible
+//                             for a fixed (seed, shard count) and
+//                             byte-identical to oracle output at N <= 1.
+//   --shard-profile-out=FILE  per-shard runtime profile JSON (window
+//                             counts/lengths, barrier stall vs busy wall
+//                             time, cross-shard message rates, lane
+//                             occupancy/spills) for every Testbench point
 // With no flags everything is off and benchmarks run exactly as before —
 // observation never touches simulation state, so results are identical
 // either way. The latency recorder itself is always on (O(1) memory per
@@ -124,6 +136,8 @@ class ObsSession {
         flight_ring_ = v < 1 ? 1 : static_cast<std::size_t>(v);
       } else if (int_flag("--shards=", &v)) {
         shards_ = v < 1 ? 1 : static_cast<std::size_t>(v);
+      } else if (arg.starts_with("--shard-profile-out=")) {
+        shard_profile_out_ = std::string(arg.substr(20));
       }
     }
     if (!flight_out_.empty()) {
@@ -155,15 +169,27 @@ class ObsSession {
   }
 
   /// Requested shard count for harnesses that opt in (--shards /
-  /// HPRES_SHARDS), forced to 1 — the deterministic oracle — whenever a
-  /// non-shard-safe observation plane (tracing, flight recorder) is on.
+  /// HPRES_SHARDS). Observability no longer forces oracle mode: tracing,
+  /// flight recording and the health monitor all run shard-safe through
+  /// per-shard domains.
   [[nodiscard]] std::size_t effective_shards() const noexcept {
-    if (tracer_.enabled() || flight_ != nullptr) return 1;
     return shards_;
   }
-  /// The raw requested count, before the oracle-mode override.
+  /// Alias kept for harnesses that report the requested count.
   [[nodiscard]] std::size_t requested_shards() const noexcept {
     return shards_;
+  }
+
+  [[nodiscard]] bool shard_profile_enabled() const noexcept {
+    return !shard_profile_out_.empty();
+  }
+
+  /// Folds one finished Testbench point's runtime profile into the
+  /// --shard-profile-out report (no-op when the flag is absent).
+  void add_profile_point(const std::string& label,
+                         const sim::RuntimeProfile& prof) {
+    if (shard_profile_out_.empty()) return;
+    profile_points_.push_back(ProfilePoint{label, prof});
   }
 
   /// Folds a finished cluster's executed-event count into the process
@@ -213,21 +239,88 @@ class ObsSession {
         rc = 1;
       }
     }
+    if (!shard_profile_out_.empty() &&
+        !write_shard_profile(shard_profile_out_)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   shard_profile_out_.c_str());
+      rc = 1;
+    }
     return rc;
   }
 
  private:
   ObsSession() = default;
 
+  struct ProfilePoint {
+    std::string label;
+    sim::RuntimeProfile prof;
+  };
+
+  [[nodiscard]] bool write_shard_profile(const std::string& path) const {
+    std::string out;
+    out += "{\"shard_profile\":{\"version\":1,\"points\":[";
+    for (std::size_t p = 0; p < profile_points_.size(); ++p) {
+      const ProfilePoint& pt = profile_points_[p];
+      if (p != 0) out.push_back(',');
+      out += "\n{\"label\":";
+      obs::json::append_string(out, pt.label);
+      out += ",\"shards\":";
+      obs::json::append_u64(out, pt.prof.shards);
+      out += ",\"lookahead_ns\":";
+      obs::json::append_i64(out, pt.prof.lookahead_ns);
+      out += ",\"rounds\":";
+      obs::json::append_u64(out, pt.prof.rounds);
+      out += ",\"advance_ns\":{\"min\":";
+      obs::json::append_i64(out, pt.prof.min_advance_ns);
+      out += ",\"max\":";
+      obs::json::append_i64(out, pt.prof.max_advance_ns);
+      out += ",\"mean\":";
+      obs::json::append_fixed(out, pt.prof.mean_advance_ns, 1);
+      out += "},\"per_shard\":[";
+      for (std::size_t s = 0; s < pt.prof.per_shard.size(); ++s) {
+        const sim::ShardProfile& sp = pt.prof.per_shard[s];
+        if (s != 0) out.push_back(',');
+        out += "\n{\"shard\":";
+        obs::json::append_u64(out, s);
+        out += ",\"events\":";
+        obs::json::append_u64(out, sp.events);
+        out += ",\"msgs_out\":";
+        obs::json::append_u64(out, sp.msgs_out);
+        out += ",\"msgs_in\":";
+        obs::json::append_u64(out, sp.msgs_in);
+        out += ",\"spills_out\":";
+        obs::json::append_u64(out, sp.spills_out);
+        out += ",\"lane_occupancy_hw\":";
+        obs::json::append_u64(out, sp.lane_occupancy_hw);
+        out += ",\"busy_wall_ns\":";
+        obs::json::append_u64(out, sp.busy_wall_ns);
+        out += ",\"stall_wall_ns\":";
+        obs::json::append_u64(out, sp.stall_wall_ns);
+        out += ",\"stall_fraction\":";
+        obs::json::append_fixed(
+            out, sim::RuntimeProfile::stall_fraction(sp), 4);
+        out.push_back('}');
+      }
+      out += "]}";
+    }
+    out += "\n]}}\n";
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) return false;
+    file << out;
+    return file.good();
+  }
+
   obs::Tracer tracer_;
   obs::MetricsRegistry registry_;
   obs::LatencyRecorder recorder_;
   obs::LatencyRecorder::TailParams tail_;
   std::unique_ptr<obs::FlightRecorder> flight_;
+  std::vector<ProfilePoint> profile_points_;
   std::string flight_out_;
   std::string metrics_out_;
   std::string trace_out_;
   std::string prom_out_;
+  std::string shard_profile_out_;
   SimDur sample_interval_ns_ = 0;
   std::size_t flight_ring_ = obs::FlightRecorder::kDefaultRingSize;
   std::uint64_t point_seq_ = 0;
@@ -263,6 +356,22 @@ inline std::int64_t arg_int(int argc, char** argv, std::string_view prefix,
 }
 [[nodiscard]] inline int obs_finalize() {
   return ObsSession::instance().finalize();
+}
+
+/// Guard for harnesses whose drivers have not been audited for shard
+/// safety (they share RNGs or counters across client coroutines, or call
+/// cross-shard APIs mid-run). Fails fast with a clear diagnostic instead
+/// of racing. Call right after obs_init().
+inline void require_oracle_shards(const char* harness, const char* why) {
+  const std::size_t n = ObsSession::instance().effective_shards();
+  if (n <= 1) return;
+  std::fprintf(stderr,
+               "error: %s is oracle-only: %s. Requested --shards=%zu; "
+               "re-run without --shards / HPRES_SHARDS, or use a sharded "
+               "harness (ycsb runners, micro_shard_scaling, "
+               "ext_gray_failure, ext_online_failure).\n",
+               harness, why, n);
+  std::exit(2);
 }
 
 /// A cluster plus one resilience engine per client, all sharing one codec
@@ -320,11 +429,14 @@ class Testbench {
       ctx.membership = &cluster_.membership();
       ctx.server_nodes = &cluster_.server_nodes();
       ctx.materialize = false;
-      ctx.tracer = &obs.tracer();
+      // Each engine records into its own shard's observability domains
+      // (the process-wide instruments themselves in oracle mode).
+      ctx.tracer = cluster_.tracer_for_client(i);
       ctx.trace_pid = trace_pid_;
       ctx.recorder = engine_recorders_.empty() ? &recorder_
                                                : engine_recorders_[i].get();
-      ctx.flight = obs.flight();
+      ctx.flight = cluster_.flight_domain_of(
+          static_cast<net::NodeId>(servers + i));
       engines_.push_back(resilience::make_engine(
           design, ctx, rep_factor, &codec_, cost_, arpe, hedge, pack));
     }
@@ -344,13 +456,25 @@ class Testbench {
 
   ~Testbench() {
     ObsSession& obs = ObsSession::instance();
+    // Quiesced teardown order: final gauge sample, then fold the per-shard
+    // observability domains into the process instruments (canonical shard
+    // order), then snapshot/export — so every export sees the merged view.
+    if (wsampler_ != nullptr) wsampler_->flush(cluster_.now_quiesced());
+    cluster_.merge_obs_domains();
+    const sim::RuntimeProfile prof = cluster_.runtime().profile();
+    // shard.* runtime gauges only exist for parallel points: an oracle
+    // point's metrics output stays byte-identical to the pre-shard bench.
+    if (obs.metrics_enabled() && cluster_.num_shards() > 1) {
+      register_shard_metrics(obs.registry(), prof);
+    }
+    obs.add_profile_point(label_, prof);
     if (obs.metrics_enabled()) obs.registry().capture();
     // On-demand dump at point teardown: the freshest ring window as of the
     // last simulated instant. Later points overwrite, so the file always
     // holds the most recent experiment's window (crash/timeout-burst dumps
     // taken mid-run are overwritten too — the ring still covers them).
     if (obs.flight() != nullptr) {
-      obs.flight()->dump_to_file("finalize", cluster_.sim().now());
+      obs.flight()->dump_to_file("finalize", cluster_.now_quiesced());
     }
     // Fold this point's percentiles (and tail-kept trace ids) into the
     // process-wide recorder that drives tail retention at finalize.
@@ -435,10 +559,43 @@ class Testbench {
     return cfg;
   }
 
+  /// Only sim-deterministic profile fields become shard.* gauges: the
+  /// metrics/prometheus exports are byte-diffed across repeat runs, so the
+  /// wall-clock fields (busy/stall) live only in --shard-profile-out and
+  /// the harness stall tables.
+  void register_shard_metrics(obs::MetricsRegistry& reg,
+                              const sim::RuntimeProfile& prof) {
+    const auto i64 = [](std::uint64_t v) {
+      return static_cast<std::int64_t>(v);
+    };
+    const obs::MetricLabels rt{"shard", "runtime", label_};
+    reg.gauge("shard.rounds", rt).set(i64(prof.rounds));
+    reg.gauge("shard.lookahead_ns", rt).set(prof.lookahead_ns);
+    reg.gauge("shard.min_advance_ns", rt).set(prof.min_advance_ns);
+    reg.gauge("shard.max_advance_ns", rt).set(prof.max_advance_ns);
+    reg.gauge("shard.mean_advance_ns", rt)
+        .set(static_cast<std::int64_t>(prof.mean_advance_ns));
+    for (std::size_t s = 0; s < prof.per_shard.size(); ++s) {
+      const sim::ShardProfile& sp = prof.per_shard[s];
+      const obs::MetricLabels labels{"shard", "shard" + std::to_string(s),
+                                     label_};
+      reg.gauge("shard.events", labels).set(i64(sp.events));
+      reg.gauge("shard.msgs_out", labels).set(i64(sp.msgs_out));
+      reg.gauge("shard.msgs_in", labels).set(i64(sp.msgs_in));
+      reg.gauge("shard.spills_out", labels).set(i64(sp.spills_out));
+      reg.gauge("shard.lane_occupancy_hw", labels)
+          .set(i64(sp.lane_occupancy_hw));
+    }
+  }
+
   void maybe_start_sampler() {
     ObsSession& obs = ObsSession::instance();
-    if (sampler_ != nullptr || !obs.tracer().enabled() ||
-        obs.sample_interval_ns() <= 0) {
+    if (sampler_ != nullptr || wsampler_ != nullptr ||
+        !obs.tracer().enabled() || obs.sample_interval_ns() <= 0) {
+      return;
+    }
+    if (cluster_.num_shards() > 1) {
+      start_window_sampler(obs);
       return;
     }
     sampler_ = std::make_unique<obs::Sampler>(sim(), obs.tracer(), trace_pid_,
@@ -480,6 +637,60 @@ class Testbench {
     sampler_->start();
   }
 
+  /// Sharded counterpart of the block above: the same gauges, but sampled
+  /// at runtime quiesce points and recorded into each owner's shard
+  /// domain. Extra per-shard fabric/in-flight gauges replace the global
+  /// one (the merged counter is only refreshed after run()).
+  void start_window_sampler(ObsSession& obs) {
+    wsampler_ = std::make_unique<obs::WindowSampler>(
+        cluster_.runtime(), obs.sample_interval_ns());
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      resilience::Engine* engine = engines_[i].get();
+      obs::Tracer* const dom = cluster_.tracer_for_client(i);
+      const std::string node = "client" + std::to_string(i);
+      wsampler_->add_gauge(dom, trace_pid_, node + "/arpe.in_flight",
+                           [engine] {
+                             return static_cast<std::int64_t>(
+                                 engine->arpe().in_flight());
+                           });
+      wsampler_->add_gauge(dom, trace_pid_, node + "/bufpool.in_use",
+                           [engine] {
+                             return static_cast<std::int64_t>(
+                                 engine->arpe().buffers_in_use());
+                           });
+    }
+    if (const resilience::NodeLoadTracker* lt = engines_[0]->load_tracker();
+        lt != nullptr) {
+      obs::Tracer* const dom = cluster_.tracer_for_client(0);
+      for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
+        wsampler_->add_gauge(
+            dom, trace_pid_,
+            "server" + std::to_string(s) + "/load_score_x1000", [lt, s] {
+              return static_cast<std::int64_t>(lt->score(s) * 1000.0);
+            });
+      }
+    }
+    cluster::Cluster* cl = &cluster_;
+    for (std::size_t s = 0; s < cluster_.num_shards(); ++s) {
+      wsampler_->add_gauge(
+          cluster_.tracer_domain(s), trace_pid_,
+          "fabric/shard" + std::to_string(s) + "/in_flight_bytes", [cl, s] {
+            return static_cast<std::int64_t>(
+                cl->fabric().in_flight_bytes_of_shard(s));
+          });
+    }
+    for (std::size_t i = 0; i < cluster_.num_servers(); ++i) {
+      const net::NodeId node = cluster_.server_nodes()[i];
+      wsampler_->add_gauge(cluster_.tracer_for_node(node), trace_pid_,
+                           "server" + std::to_string(i) + "/inbox_depth",
+                           [cl, node] {
+                             return static_cast<std::int64_t>(
+                                 cl->fabric().inbox(node).size());
+                           });
+    }
+    wsampler_->start();
+  }
+
   ec::RsVandermondeCodec codec_;
   ec::CostModel cost_;
   cluster::Cluster cluster_;
@@ -490,6 +701,7 @@ class Testbench {
   std::uint32_t trace_pid_ = 0;
   std::atomic<std::uint64_t> outstanding_{0};
   std::unique_ptr<obs::Sampler> sampler_;  // declared last: destroyed first
+  std::unique_ptr<obs::WindowSampler> wsampler_;  // sharded runs only
 };
 
 // --- Table printing -----------------------------------------------------------

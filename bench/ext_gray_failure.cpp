@@ -12,6 +12,14 @@
 // plus false positives on a healthy control run of the same seed (must be
 // zero). Run with --flight-out=FILE to also exercise the flight-recorder
 // dump triggers (crash + timeout burst) for tools/health_report.
+//
+// Shard-audited: with --shards=N the clients spawn onto their own shard
+// loops, fault injection and the health monitor run from runtime quiesce
+// hooks, and the workload-end stamp is the quiesced clock. Oracle runs
+// (the default) keep the original latch/supervisor driver, byte-identical
+// to the pre-shard harness.
+#include <optional>
+
 #include "bench_util.h"
 #include "cluster/fault_schedule.h"
 #include "cluster/health_monitor.h"
@@ -79,18 +87,20 @@ struct RunOut {
   }
 };
 
+// `done` is null in sharded runs: completion is the runtime reaching
+// quiescence, and a latch shared across shard loops would not be safe.
 sim::Task<void> client_proc(sim::Simulator* sim, resilience::Engine* engine,
                             workload::YcsbConfig cfg, std::uint64_t seed,
                             workload::YcsbResult* result, sim::Latch* done) {
   co_await workload::ycsb_client(sim, engine, cfg, seed, result);
-  done->count_down();
+  if (done != nullptr) done->count_down();
 }
 
 sim::Task<void> loader_proc(sim::Simulator* sim, resilience::Engine* engine,
                             workload::YcsbConfig cfg, std::uint64_t first,
                             std::uint64_t last, sim::Latch* done) {
   co_await workload::ycsb_load(sim, engine, cfg, first, last);
-  done->count_down();
+  if (done != nullptr) done->count_down();
 }
 
 /// Stamps the workload end time and stops the health monitor there, so
@@ -109,7 +119,9 @@ sim::Task<void> supervisor(sim::Simulator* sim, sim::Latch* done, SimTime* end,
 RunOut run_once(FaultMode mode, SimDur dry_makespan_ns) {
   const workload::YcsbConfig cfg = bench_config();
   Testbench bench(cluster::ri_qdr(), kServers, kClients,
-                  resilience::Design::kEraCeCd);
+                  resilience::Design::kEraCeCd, 3, 2, 3, {}, {}, {}, {},
+                  Testbench::kAutoShards);
+  const bool sharded = bench.cluster().num_shards() > 1;
   bench.cluster().set_rpc_policy(guard_policy());
   cluster::FaultSchedule faults(bench.cluster(), kDetectionLagNs);
   obs::FaultLog fault_log;
@@ -123,24 +135,35 @@ RunOut run_once(FaultMode mode, SimDur dry_makespan_ns) {
   }
 
   {  // Preload, partitioned across the clients.
-    sim::Latch done(bench.sim(), kClients);
+    std::optional<sim::Latch> done;
+    if (!sharded) done.emplace(bench.sim(), kClients);
     const std::uint64_t stride = (cfg.record_count + kClients - 1) / kClients;
     for (std::size_t l = 0; l < kClients; ++l) {
       const std::uint64_t first = static_cast<std::uint64_t>(l) * stride;
       const std::uint64_t last =
           std::min<std::uint64_t>(first + stride, cfg.record_count);
       if (first >= last) {
-        done.count_down();
+        if (done) done->count_down();
         continue;
       }
-      bench.spawn(loader_proc(&bench.sim(), &bench.engine(l), cfg, first,
-                              last, &done));
+      if (sharded) {
+        bench.spawn_client(
+            l, loader_proc(&bench.cluster().sim_for_client(l),
+                           &bench.engine(l), cfg, first, last, nullptr));
+      } else {
+        bench.spawn(loader_proc(&bench.sim(), &bench.engine(l), cfg, first,
+                                last, &*done));
+      }
     }
-    bench.sim().run();
+    if (sharded) {
+      bench.run();
+    } else {
+      bench.sim().run();
+    }
   }
-  bench.recorder().clear();  // percentiles cover the measured pass only
+  bench.clear_latency();  // percentiles cover the measured pass only
 
-  const SimTime start = bench.sim().now();
+  const SimTime start = bench.cluster().now_quiesced();
   if (mode != FaultMode::kNone) {
     const SimTime onset = start + dry_makespan_ns * 35 / 100;
     const SimTime clear = start + dry_makespan_ns * 75 / 100;
@@ -167,7 +190,19 @@ RunOut run_once(FaultMode mode, SimDur dry_makespan_ns) {
   RunOut out;
   std::vector<workload::YcsbResult> results(kClients);
   SimTime end = start;
-  {
+  if (sharded) {
+    // No latch/supervisor: completion is runtime quiescence, and the
+    // monitor's final tick runs from the main thread once all shards park.
+    for (std::size_t c = 0; c < kClients; ++c) {
+      bench.spawn_client(
+          c, client_proc(&bench.cluster().sim_for_client(c),
+                         &bench.engine(c), cfg, cfg.seed + 1000 + c,
+                         &results[c], nullptr));
+    }
+    bench.run();
+    end = bench.cluster().now_quiesced();
+    monitor.request_stop();
+  } else {
     sim::Latch done(bench.sim(), kClients);
     for (std::size_t c = 0; c < kClients; ++c) {
       bench.spawn(client_proc(&bench.sim(), &bench.engine(c), cfg,

@@ -97,6 +97,7 @@ Point run_code(const ec::Codec& codec, std::uint64_t keys,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("ext_lrc_repair", "its repair coordinator drives cross-node reads from one loop");
   const std::uint64_t keys = scaled(150);
   constexpr std::size_t kValue = 256 * 1024;
   std::printf("EXT2 — repair locality, node rejoin with %llu x 256 KB keys,"

@@ -8,6 +8,15 @@
 // read latency, availability (ops resolved OK / ops issued), per-code
 // failure counts, RPC timeout/retry totals, degraded-path counters, and
 // the cost of the post-restart repair pass that restores full redundancy.
+//
+// Shard-audited: with --shards=N the clients spawn onto their own shard
+// loops, crash/restart injection and the health monitor run from runtime
+// quiesce hooks, and the workload-end stamp is the quiesced clock. The
+// repair pass stays a single coroutine on client 0's loop. Oracle runs
+// (the default) keep the original latch/supervisor driver, byte-identical
+// to the pre-shard harness.
+#include <optional>
+
 #include "bench_util.h"
 #include "cluster/fault_schedule.h"
 #include "cluster/health_monitor.h"
@@ -70,18 +79,20 @@ struct RunOut {
   }
 };
 
+// `done` is null in sharded runs: completion is the runtime reaching
+// quiescence, and a latch shared across shard loops would not be safe.
 sim::Task<void> client_proc(sim::Simulator* sim, resilience::Engine* engine,
                             workload::YcsbConfig cfg, std::uint64_t seed,
                             workload::YcsbResult* result, sim::Latch* done) {
   co_await workload::ycsb_client(sim, engine, cfg, seed, result);
-  done->count_down();
+  if (done != nullptr) done->count_down();
 }
 
 sim::Task<void> loader_proc(sim::Simulator* sim, resilience::Engine* engine,
                             workload::YcsbConfig cfg, std::uint64_t first,
                             std::uint64_t last, sim::Latch* done) {
   co_await workload::ycsb_load(sim, engine, cfg, first, last);
-  done->count_down();
+  if (done != nullptr) done->count_down();
 }
 
 /// Awaits workload completion and stamps the end time: with deadlines
@@ -107,7 +118,9 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
   const bool inject = dry_makespan_ns > 0;
   const workload::YcsbConfig cfg = bench_config();
   Testbench bench(cluster::ri_qdr(), kServers, kClients,
-                  resilience::Design::kEraCeCd, 3, 2, 3, {}, hedge);
+                  resilience::Design::kEraCeCd, 3, 2, 3, {}, hedge, {}, {},
+                  Testbench::kAutoShards);
+  const bool sharded = bench.cluster().num_shards() > 1;
   if (inject) bench.cluster().set_rpc_policy(guard_policy());
   cluster::FaultSchedule faults(bench.cluster(), kDetectionLagNs);
   obs::FaultLog fault_log;
@@ -120,24 +133,35 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
   cluster::HealthMonitor monitor(bench.cluster(), hm);
 
   {  // Preload, partitioned across the clients.
-    sim::Latch done(bench.sim(), kClients);
+    std::optional<sim::Latch> done;
+    if (!sharded) done.emplace(bench.sim(), kClients);
     const std::uint64_t stride = (cfg.record_count + kClients - 1) / kClients;
     for (std::size_t l = 0; l < kClients; ++l) {
       const std::uint64_t first = static_cast<std::uint64_t>(l) * stride;
       const std::uint64_t last =
           std::min<std::uint64_t>(first + stride, cfg.record_count);
       if (first >= last) {
-        done.count_down();
+        if (done) done->count_down();
         continue;
       }
-      bench.spawn(loader_proc(&bench.sim(), &bench.engine(l), cfg, first,
-                              last, &done));
+      if (sharded) {
+        bench.spawn_client(
+            l, loader_proc(&bench.cluster().sim_for_client(l),
+                           &bench.engine(l), cfg, first, last, nullptr));
+      } else {
+        bench.spawn(loader_proc(&bench.sim(), &bench.engine(l), cfg, first,
+                                last, &*done));
+      }
     }
-    bench.sim().run();
+    if (sharded) {
+      bench.run();
+    } else {
+      bench.sim().run();
+    }
   }
-  bench.recorder().clear();  // percentiles cover the measured pass only
+  bench.clear_latency();  // percentiles cover the measured pass only
 
-  const SimTime start = bench.sim().now();
+  const SimTime start = bench.cluster().now_quiesced();
   if (inject) {
     // The crashed node loses its store (replacement semantics): reads
     // fail over to alternate fragments until repair rebuilds it.
@@ -151,7 +175,19 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
   RunOut out;
   std::vector<workload::YcsbResult> results(kClients);
   SimTime end = start;
-  {
+  if (sharded) {
+    // No latch/supervisor: completion is runtime quiescence, and the
+    // monitor's final tick runs from the main thread once all shards park.
+    for (std::size_t c = 0; c < kClients; ++c) {
+      bench.spawn_client(
+          c, client_proc(&bench.cluster().sim_for_client(c),
+                         &bench.engine(c), cfg, cfg.seed + 1000 + c,
+                         &results[c], nullptr));
+    }
+    bench.run();
+    end = bench.cluster().now_quiesced();
+    monitor.request_stop();
+  } else {
     sim::Latch done(bench.sim(), kClients);
     for (std::size_t c = 0; c < kClients; ++c) {
       bench.spawn(client_proc(&bench.sim(), &bench.engine(c), cfg,
@@ -166,7 +202,7 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
   out.detection = obs::analyze_detection(
       fault_log, monitor.detector().transitions(), end,
       10 * units::kMillisecond);
-  out.latency = bench.recorder().rows();
+  out.latency = bench.latency_rows();
   for (const auto& r : results) out.merged.merge(r);
   for (std::size_t c = 0; c < kClients; ++c) {
     const kv::RpcStats& rpc = bench.cluster().client(c).rpc_stats();
@@ -197,10 +233,14 @@ RunOut run_once(SimDur dry_makespan_ns, resilience::HedgeParams hedge = {}) {
     resilience::RepairCoordinator repair(
         ctx, codec, ec::CostModel::defaults(ec::Scheme::kRsVandermonde, 3, 2));
     repair.set_purge_orphans(true);
-    const SimTime t0 = bench.sim().now();
+    const SimTime t0 = bench.cluster().now_quiesced();
     bench.spawn(repair_proc(&repair));
-    bench.sim().run();
-    out.repair_ms = units::to_ms(bench.sim().now() - t0);
+    if (sharded) {
+      bench.run();
+    } else {
+      bench.sim().run();
+    }
+    out.repair_ms = units::to_ms(bench.cluster().now_quiesced() - t0);
     out.fragments_rebuilt = repair.stats().fragments_rebuilt;
   }
   return out;

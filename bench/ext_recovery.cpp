@@ -67,6 +67,7 @@ sim::Task<void> scenario(sim::Simulator* sim, resilience::Engine* engine,
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("ext_recovery", "its repair coordinator drives cross-node reads from one loop");
   const std::uint64_t keys = scaled(200);
   std::printf("EXT1 — recovery overhead: node rejoins empty, RS(3,2),"
               " RI-QDR, %llu keys per point\n",

@@ -94,6 +94,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("ext_small_values", "its loader/client drivers all run on shard 0's loop");
   const std::size_t pack_threshold = static_cast<std::size_t>(
       arg_int(argc, argv, "--pack-threshold=", 4096));
   std::string out_path = "BENCH_small_values.json";

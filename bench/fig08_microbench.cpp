@@ -78,6 +78,7 @@ void run_table(const char* title, Exp exp) {
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("fig08_microbench", "its point drivers all run on shard 0's loop");
   std::printf("FIG8 (paper Fig 8) — OHB Set/Get latency, RI-QDR, 5 servers,"
               " RS(3,2) / Rep=3, avg us per op\n");
   run_table("Fig 8(a): Set latency (us)", Exp::kSet);

@@ -294,6 +294,7 @@ int run_table(const char* title, bool get_with_failures) {
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("fig09_breakdown", "its phase-breakdown probes run on shard 0's loop");
   // Phase numbers come from the span tracer, so it is always on here
   // (recording is passive — simulated results are identical either way).
   ObsSession::instance().tracer().set_enabled(true);

@@ -93,6 +93,7 @@ void check_footprint_accounting(std::uint64_t pairs) {
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("fig10_memory", "its loaders all run on shard 0's loop");
   const std::uint64_t pairs = scaled(1'000);
   check_footprint_accounting(pairs);
   std::printf("FIG10 (paper Fig 10) — memory efficiency, 5 servers x 20 GB"

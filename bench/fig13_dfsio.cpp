@@ -114,6 +114,7 @@ BoldioOutcome run_direct(std::uint64_t data_bytes) {
 
 int main(int argc, char** argv) {
   obs_init(argc, argv);
+  require_oracle_shards("fig13_dfsio", "its file streams all run on shard 0's loop");
   std::printf("FIG13 (paper Fig 13) — TestDFSIO throughput, Boldio"
               " (8 hosts x 4 maps, 5 x 24 GB servers) vs Lustre-Direct"
               " (12 hosts x 4 maps)\n");

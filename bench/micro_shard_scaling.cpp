@@ -2,6 +2,10 @@
 // era-ce-cd) run at shard counts {1, 2, 4, 8}, timing the wall clock of each
 // run and gating statistical equivalence against the shards=1 oracle.
 //
+// Also prints a per-shard imbalance table (events, barrier-stall %, lane
+// traffic) for the largest point and embeds each point's runtime profile
+// in the JSON under "profile".
+//
 // Writes BENCH_shard_scaling.json (override with --out=FILE). Flags:
 //   --out=FILE        JSON path (default BENCH_shard_scaling.json)
 //   --max-shards=N    largest shard count swept (default 8)
@@ -128,6 +132,29 @@ int main(int argc, char** argv) {
     end_row();
   }
 
+  // Per-shard runtime profile for the largest sweep point: where wall time
+  // went (busy vs barrier stall) and how balanced the partition is.
+  {
+    const Point& last = points.back();
+    const sim::RuntimeProfile& prof = last.run.profile;
+    print_header("Per-shard profile at shards=" +
+                     std::to_string(last.shards) +
+                     " (rounds=" + std::to_string(prof.rounds) + ")",
+                 {"shard", "events", "stall_pct", "msgs_out", "msgs_in",
+                  "spills", "lane_hw"});
+    for (std::size_t s = 0; s < prof.per_shard.size(); ++s) {
+      const sim::ShardProfile& sp = prof.per_shard[s];
+      print_cell(std::to_string(s));
+      print_cell(std::to_string(sp.events));
+      print_cell(sim::RuntimeProfile::stall_fraction(sp) * 100.0);
+      print_cell(std::to_string(sp.msgs_out));
+      print_cell(std::to_string(sp.msgs_in));
+      print_cell(std::to_string(sp.spills_out));
+      print_cell(std::to_string(sp.lane_occupancy_hw));
+      end_row();
+    }
+  }
+
   // Equivalence gates against the oracle point.
   const Point& oracle = points.front();
   bool equivalent = true;
@@ -198,6 +225,31 @@ int main(int argc, char** argv) {
     obs::json::append_u64(json, p.run.fabric.bytes_delivered);
     json += ", \"conserved\": ";
     json += conserved(p.run.fabric) ? "true" : "false";
+    const sim::RuntimeProfile& prof = p.run.profile;
+    json += ",\n     \"profile\": {\"rounds\": ";
+    obs::json::append_u64(json, prof.rounds);
+    json += ", \"mean_advance_ns\": ";
+    obs::json::append_fixed(json, prof.mean_advance_ns, 1);
+    json += ", \"per_shard\": [";
+    for (std::size_t s = 0; s < prof.per_shard.size(); ++s) {
+      const sim::ShardProfile& sp = prof.per_shard[s];
+      if (s != 0) json += ", ";
+      json += "{\"events\": ";
+      obs::json::append_u64(json, sp.events);
+      json += ", \"stall_fraction\": ";
+      obs::json::append_fixed(json, sim::RuntimeProfile::stall_fraction(sp),
+                              4);
+      json += ", \"msgs_out\": ";
+      obs::json::append_u64(json, sp.msgs_out);
+      json += ", \"msgs_in\": ";
+      obs::json::append_u64(json, sp.msgs_in);
+      json += ", \"spills_out\": ";
+      obs::json::append_u64(json, sp.spills_out);
+      json += ", \"lane_occupancy_hw\": ";
+      obs::json::append_u64(json, sp.lane_occupancy_hw);
+      json += "}";
+    }
+    json += "]}";
     json += i + 1 < points.size() ? "},\n" : "}\n";
   }
   json += "  ],\n  \"acceptance\": {\"equivalent\": ";

@@ -36,6 +36,9 @@ struct YcsbRun {
   net::FabricStats fabric;
   /// Simulator events executed over the whole run (all shards).
   std::uint64_t sim_events = 0;
+  /// Runtime execution profile (per-shard events / barrier stall / lane
+  /// traffic, window advance stats). One shard, no rounds in oracle mode.
+  sim::RuntimeProfile profile;
 
   [[nodiscard]] double throughput_ops_s() const {
     return merged.throughput_ops_per_s(makespan_ns);
@@ -89,8 +92,9 @@ struct YcsbRunOpts {
   std::size_t slow_server = 0;
   std::string point_label = {};
   /// Shard count for the parallel runtime. Defaults to the harness-wide
-  /// resolution (--shards / HPRES_SHARDS, oracle when unset). Runs that arm
-  /// a FaultSchedule (slow_factor > 1) are forced back to oracle mode.
+  /// resolution (--shards / HPRES_SHARDS, oracle when unset). Fault
+  /// injection works at any count: FaultSchedule applies events from
+  /// runtime quiesce points when sharded.
   std::size_t shards = Testbench::kAutoShards;
 };
 
@@ -98,11 +102,8 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
                         resilience::Design design, workload::YcsbConfig cfg,
                         const YcsbRunOpts& opts) {
   const std::size_t clients = opts.clients;
-  // Fault injection mutates shared topology state, so a gray-slow run is
-  // pinned to the deterministic oracle regardless of the requested shards.
-  const std::size_t shards = opts.slow_factor > 1.0 ? 1 : opts.shards;
   Testbench bench(bed, opts.servers, clients, design, 3, 2, opts.rep_factor,
-                  opts.arpe, opts.hedge, opts.point_label, {}, shards);
+                  opts.arpe, opts.hedge, opts.point_label, {}, opts.shards);
   if (opts.policy) bench.cluster().set_rpc_policy(*opts.policy);
   cluster::FaultSchedule faults(bench.cluster());
 
@@ -130,7 +131,7 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
   // Measured phase: every client runs its stream concurrently.
   YcsbRun run;
   std::vector<workload::YcsbResult> results(clients);
-  const SimTime start = bench.sim().now();
+  const SimTime start = bench.cluster().now_quiesced();
   if (opts.slow_factor > 1.0) {
     faults.add_slowdown(start, opts.slow_server, opts.slow_factor);
     faults.arm();
@@ -142,11 +143,12 @@ inline YcsbRun run_ycsb(const cluster::Testbed& bed,
                                &results[c]));
   }
   bench.run();
-  run.makespan_ns = bench.sim().now() - start;
+  run.makespan_ns = bench.cluster().now_quiesced() - start;
   for (const auto& r : results) run.merged.merge(r);
   run.latency = bench.latency_rows();
   run.fabric = bench.cluster().fabric().stats();
   run.sim_events = bench.cluster().runtime().events_executed();
+  run.profile = bench.cluster().runtime().profile();
   for (std::size_t c = 0; c < clients; ++c) {
     const resilience::EngineStats& eng = bench.engine(c).stats();
     run.hedged_gets += eng.hedged_gets;

@@ -3,6 +3,7 @@
 // Node ids: servers occupy 0..S-1, clients S..S+C-1.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -32,8 +33,11 @@ struct ClusterConfig {
   /// Event-loop shards for the parallel runtime. 0 or 1 = the
   /// deterministic single-threaded oracle mode; N > 1 partitions servers
   /// and clients round-robin over N event loops run by real threads
-  /// (capped to num_servers + num_clients). Fault injection, tracing, and
-  /// the flight recorder require oracle mode.
+  /// (capped to num_servers + num_clients). Fault injection and the whole
+  /// observability stack (tracing, flight recorder, health monitor) work
+  /// in either mode: parallel runs use per-shard observability domains
+  /// merged deterministically at quiescence, and faults apply at runtime
+  /// quiesce points.
   std::size_t shards = 1;
 };
 
@@ -42,6 +46,9 @@ class Cluster {
   explicit Cluster(ClusterConfig config);
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
+  /// Folds any remaining per-shard observability domains into the attached
+  /// parent instruments (a no-op when already merged or in oracle mode).
+  ~Cluster();
 
   /// The shard runtime driving every event loop (one loop in oracle mode).
   [[nodiscard]] sim::ShardRuntime& runtime() noexcept { return runtime_; }
@@ -103,21 +110,38 @@ class Cluster {
 
   /// Attaches a span tracer to the fabric (NIC occupancy spans) and to
   /// every node's RPC layer (rpc/timeout spans) under process `pid`.
-  /// Engines attach themselves through EngineContext.
-  void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) {
-    fabric_.set_tracer(tracer, pid);
-    for (const auto& s : servers_) s->set_rpc_tracer(tracer, pid);
-    for (const auto& c : clients_) c->set_rpc_tracer(tracer, pid);
+  /// Engines attach themselves through EngineContext (use tracer_for_client
+  /// so each engine records into its shard's domain). In parallel runs with
+  /// an enabled tracer this builds one single-writer tracer domain per
+  /// shard, with shard-disjoint trace/flow/async id spaces (offset = shard,
+  /// stride = num_shards); merge_obs_domains() folds them back into
+  /// `tracer` in ascending shard order at quiescence.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0);
+
+  /// The tracer domain that nodes of shard `s` record into (the attached
+  /// tracer itself in oracle mode; nullptr when tracing is off).
+  [[nodiscard]] obs::Tracer* tracer_domain(std::size_t s) noexcept {
+    return shard_tracers_.empty() ? tracer_ : shard_tracers_[s].get();
   }
+  [[nodiscard]] obs::Tracer* tracer_for_node(net::NodeId node) noexcept {
+    return tracer_domain(fabric_.shard_of(node));
+  }
+  [[nodiscard]] obs::Tracer* tracer_for_client(std::size_t i) noexcept {
+    return tracer_for_node(static_cast<net::NodeId>(config_.num_servers + i));
+  }
+  [[nodiscard]] std::uint32_t trace_pid() const noexcept { return trace_pid_; }
 
   /// Attaches per-node health signal counters to every node's RPC layer
   /// (response RTTs, deadline expiries, retries) and to the fabric (drops).
-  /// Observation-only; pass nullptr to detach.
-  void set_health_signals(obs::HealthSignals* signals) {
-    fabric_.set_health_signals(signals);
-    for (const auto& s : servers_) s->set_health_signals(signals);
-    for (const auto& c : clients_) c->set_health_signals(signals);
-  }
+  /// Observation-only; pass nullptr to detach. Parallel runs record into
+  /// one HealthSignals domain per shard (same node capacity); readers sum
+  /// windows across health_domains().
+  void set_health_signals(obs::HealthSignals* signals);
+
+  /// Every live health-signal domain: the per-shard domains in parallel
+  /// runs, the single attached instance in oracle mode, empty when
+  /// detached. Sum take_window() across these for a node's full window.
+  [[nodiscard]] std::vector<obs::HealthSignals*> health_domains();
 
   /// Attaches the flight recorder to every node and the fabric: sizes its
   /// rings for all S+C nodes, labels them server0../client0.., and routes
@@ -128,6 +152,35 @@ class Cluster {
   /// this for automatic crash dumps.
   [[nodiscard]] obs::FlightRecorder* flight_recorder() const noexcept {
     return flight_;
+  }
+
+  /// The flight-recorder domain that `node`'s shard records into (the
+  /// attached recorder itself in oracle mode; nullptr when none). Each
+  /// domain carries rings for every node — only the writer is per-shard.
+  [[nodiscard]] obs::FlightRecorder* flight_domain_of(
+      net::NodeId node) noexcept {
+    return shard_flights_.empty()
+               ? flight_
+               : shard_flights_[fabric_.shard_of(node)].get();
+  }
+
+  /// Deterministic merge of the per-shard observability domains into the
+  /// attached parent instruments, in ascending shard order (the canonical
+  /// shard-then-timestamp order). Call at quiescence — after run() returns
+  /// or from a runtime quiesce hook — before exporting traces or dumping
+  /// flight rings. Idempotent: absorbed domains are left empty, so
+  /// mid-run merges (crash dumps) and the final merge compose.
+  void merge_obs_domains();
+
+  /// Quiesced simulated time: max over shard clocks. Between runs (or from
+  /// a quiesce hook) every shard is parked, so this is THE cluster time in
+  /// parallel mode; in oracle mode it is sim().now().
+  [[nodiscard]] SimTime now_quiesced() noexcept {
+    SimTime t = 0;
+    for (std::size_t s = 0; s < runtime_.num_shards(); ++s) {
+      t = std::max(t, runtime_.shard(s).now());
+    }
+    return t;
   }
 
   /// Registers the fabric, every server store, and every client's stats
@@ -172,7 +225,15 @@ class Cluster {
   std::vector<net::NodeId> server_nodes_;
   std::vector<std::unique_ptr<kv::Server>> servers_;
   std::vector<std::unique_ptr<kv::Client>> clients_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  obs::HealthSignals* health_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  // Per-shard single-writer observability domains (parallel runs only;
+  // empty in oracle mode). Indexed by shard.
+  std::vector<std::unique_ptr<obs::Tracer>> shard_tracers_;
+  std::vector<std::unique_ptr<obs::HealthSignals>> shard_signals_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> shard_flights_;
   bool started_ = false;
 };
 

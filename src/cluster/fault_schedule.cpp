@@ -35,12 +35,12 @@ void FaultSchedule::add_loss(SimTime at_ns, std::size_t server_index,
       FaultEvent{at_ns, server_index, false, false, 0.0, probability});
 }
 
+FaultSchedule::~FaultSchedule() {
+  if (hook_armed_) cluster_->runtime().remove_quiesce_hook(hook_id_);
+}
+
 void FaultSchedule::arm() {
   assert(!armed_ && "FaultSchedule::arm called twice");
-  // Fault application mutates fabric topology flags and membership, which
-  // every shard reads without locks — injection is an oracle-mode feature.
-  assert(cluster_->num_shards() == 1 &&
-         "FaultSchedule requires oracle mode (shards <= 1)");
   armed_ = true;
   // Stable sort: same-instant events apply in insertion order, keeping the
   // schedule deterministic.
@@ -48,11 +48,20 @@ void FaultSchedule::arm() {
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at_ns < b.at_ns;
                    });
-  cluster_->sim().spawn(driver(this));
+  if (cluster_->num_shards() > 1) {
+    // Fault application mutates fabric topology flags, membership, and
+    // server state, which every shard reads without locks — so with real
+    // threads it runs from a quiesce hook, where all shards are parked and
+    // windows are capped so no event at or past a due fault runs first.
+    hook_id_ = cluster_->runtime().add_quiesce_hook(
+        [this](SimTime min_next) { return on_quiesce(min_next); });
+    hook_armed_ = true;
+  } else {
+    cluster_->sim().spawn(driver(this));
+  }
 }
 
-void FaultSchedule::apply(const FaultEvent& ev) {
-  const SimTime now = cluster_->sim().now();
+void FaultSchedule::apply(const FaultEvent& ev, SimTime now) {
   kv::Server& server = cluster_->server(ev.server);
   if (ev.slow > 0.0) {
     // Gray failure: the node answers slowly but is never marked down, so
@@ -90,11 +99,17 @@ void FaultSchedule::apply(const FaultEvent& ev) {
     server.fail();
     if (ev.wipe) server.store().clear();
     // Crash injection is one of the flight recorder's automatic dump
-    // triggers: snapshot every ring's window as of the crash instant.
+    // triggers: snapshot every ring's window as of the crash instant. The
+    // kDump marker goes to the crashed node's own shard domain; the file
+    // itself is written by the parent recorder after folding every shard
+    // domain in, so the dump sees the whole cluster's freshest window.
     if (obs::FlightRecorder* const flight = cluster_->flight_recorder();
         flight != nullptr) {
-      flight->record(now, ev.server, obs::FlightEventType::kDump,
-                     flight->dumps_written());
+      obs::FlightRecorder* const fl =
+          cluster_->flight_domain_of(static_cast<net::NodeId>(ev.server));
+      fl->record(now, ev.server, obs::FlightEventType::kDump,
+                 flight->dumps_written());
+      cluster_->merge_obs_domains();
       flight->dump_to_file("crash", now);
     }
   }
@@ -106,8 +121,43 @@ void FaultSchedule::apply(const FaultEvent& ev) {
   ++fired_;
   if (detection_lag_ns_ <= 0) {
     cluster_->membership().set_up(ev.server, ev.restart);
+  } else if (hook_armed_) {
+    detects_.push_back(
+        PendingDetect{now + detection_lag_ns_, ev.server, ev.restart});
   } else {
     cluster_->sim().spawn(detect_coro(this, ev.server, ev.restart));
+  }
+}
+
+SimTime FaultSchedule::on_quiesce(SimTime min_next) {
+  constexpr SimTime kNever = sim::Simulator::kNever;
+  // Events scheduled before the hook could first observe them (e.g. armed
+  // mid-run with past due times) apply at the current quiesced instant,
+  // mirroring the driver coroutine's "already late, fire now" behaviour.
+  const SimTime floor = cluster_->now_quiesced();
+  for (;;) {
+    // Earliest pending action: the next schedule event or a lagged
+    // membership flip. Fault events win ties (a flip queued by a crash in
+    // this very call keeps its lag ordering naturally).
+    SimTime due = idx_ < events_.size() ? events_[idx_].at_ns : kNever;
+    std::size_t flip = detects_.size();
+    for (std::size_t i = 0; i < detects_.size(); ++i) {
+      if (detects_[i].at_ns < due) {
+        due = detects_[i].at_ns;
+        flip = i;
+      }
+    }
+    if (due == kNever) return kNever;
+    if (min_next != kNever && due > min_next) return due;
+    const SimTime stamp = std::max(due, floor);
+    if (flip < detects_.size()) {
+      cluster_->membership().set_up(detects_[flip].server, detects_[flip].up);
+      detects_.erase(detects_.begin() +
+                     static_cast<std::ptrdiff_t>(flip));
+    } else {
+      apply(events_[idx_], stamp);
+      ++idx_;
+    }
   }
 }
 
@@ -117,7 +167,7 @@ sim::Task<void> FaultSchedule::driver(FaultSchedule* self) {
     if (ev.at_ns > now) {
       co_await self->cluster_->sim().delay(ev.at_ns - now);
     }
-    self->apply(ev);
+    self->apply(ev, self->cluster_->sim().now());
   }
 }
 

@@ -9,6 +9,15 @@
 // which clients still route to the dead server. Everything is driven by
 // simulated time, so the same schedule on the same seed replays
 // bit-identically.
+//
+// Works in both runtime modes. In oracle mode the schedule is a driver
+// coroutine, byte-identical to the pre-shard implementation. With
+// shards > 1 it is a ShardRuntime quiesce hook: windows are capped at the
+// next due event, so each fault applies at its exact scheduled instant
+// while every shard thread is parked — the fabric topology flags,
+// membership oracle, and server state mutate race-free, and detection-lag
+// membership flips queue on the same hook. Crash dumps fold the per-shard
+// flight domains into the parent recorder before writing the file.
 #pragma once
 
 #include <vector>
@@ -25,6 +34,7 @@ class FaultSchedule {
       : cluster_(&cluster), detection_lag_ns_(detection_lag_ns) {}
   FaultSchedule(const FaultSchedule&) = delete;
   FaultSchedule& operator=(const FaultSchedule&) = delete;
+  ~FaultSchedule();
 
   /// Schedules a crash of `server_index` at simulated time `at_ns`.
   /// `wipe_store` additionally discards the server's contents, modelling a
@@ -56,7 +66,8 @@ class FaultSchedule {
   /// must infer the faulty node from symptoms.
   void set_fault_log(obs::FaultLog* log) noexcept { fault_log_ = log; }
 
-  /// Spawns the driver coroutine. Call exactly once, before running the
+  /// Starts the schedule: a driver coroutine in oracle mode, a runtime
+  /// quiesce hook with shards > 1. Call exactly once, before running the
   /// simulation; the schedule must outlive the simulation.
   void arm();
 
@@ -73,16 +84,33 @@ class FaultSchedule {
     double loss = -1.0;  ///< >= 0: per-node silent-loss probability
   };
 
+  /// A membership flip (crash/restart observation) still pending its
+  /// detection lag — quiesce-hook mode's equivalent of detect_coro.
+  struct PendingDetect {
+    SimTime at_ns = 0;
+    std::size_t server = 0;
+    bool up = false;
+  };
+
   static sim::Task<void> driver(FaultSchedule* self);
   static sim::Task<void> detect_coro(FaultSchedule* self, std::size_t server,
                                      bool up);
 
-  void apply(const FaultEvent& ev);
+  void apply(const FaultEvent& ev, SimTime now);
+  /// Quiesce-hook body (shards > 1): applies every event and pending
+  /// membership flip due at or before `min_next`, each stamped at its own
+  /// due time; returns the earliest remaining due time so the runtime caps
+  /// windows at it.
+  SimTime on_quiesce(SimTime min_next);
 
   Cluster* cluster_;
   SimDur detection_lag_ns_;
   std::vector<FaultEvent> events_;
+  std::vector<PendingDetect> detects_;  ///< quiesce-hook mode only
+  std::size_t idx_ = 0;                 ///< next unapplied event (hook mode)
   std::size_t fired_ = 0;
+  std::size_t hook_id_ = 0;
+  bool hook_armed_ = false;
   bool armed_ = false;
   obs::FaultLog* fault_log_ = nullptr;
 };

@@ -9,22 +9,32 @@ HealthMonitor::HealthMonitor(Cluster& cluster, HealthMonitorParams params)
       detector_(cluster.num_servers(), params.detector),
       samples_(cluster.num_servers()) {}
 
+HealthMonitor::~HealthMonitor() {
+  if (hook_armed_) cluster_->runtime().remove_quiesce_hook(hook_id_);
+}
+
 void HealthMonitor::arm() {
   if (armed_) return;
-  // The monitor samples every server's rpc/store state from one ticker
-  // coroutine — an oracle-mode feature (the detector's inputs are not
-  // shard-safe).
-  assert(cluster_->num_shards() == 1 &&
-         "HealthMonitor requires oracle mode (shards <= 1)");
   armed_ = true;
   cluster_->set_health_signals(&signals_);
-  cluster_->sim().spawn(run(this));
+  if (cluster_->num_shards() > 1) {
+    // Parallel runs tick from a runtime quiesce hook: every shard thread is
+    // parked when it fires, so sampling queue depths, membership and the
+    // per-shard signal domains is race-free, and capping windows at the
+    // next boundary keeps tick times exact and deterministic.
+    next_tick_ = cluster_->now_quiesced() + params_.interval_ns;
+    hook_id_ = cluster_->runtime().add_quiesce_hook(
+        [this](SimTime min_next) { return on_quiesce(min_next); });
+    hook_armed_ = true;
+  } else {
+    cluster_->sim().spawn(run(this));
+  }
 }
 
 void HealthMonitor::request_stop() {
   if (!armed_ || stop_) return;
   // Final tick so symptoms in the last partial window are never dropped.
-  tick_once();
+  tick_at(cluster_->now_quiesced());
   stop_ = true;
 }
 
@@ -41,20 +51,33 @@ void HealthMonitor::register_gauges(obs::MetricsRegistry& reg,
   }
 }
 
-void HealthMonitor::tick_once() {
-  const SimTime now = cluster_->sim().now();
-  obs::FlightRecorder* const flight = cluster_->flight_recorder();
+void HealthMonitor::tick_at(SimTime now) {
+  const std::vector<obs::HealthSignals*> domains = cluster_->health_domains();
   std::uint64_t window_timeouts = 0;
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     obs::HealthSample& s = samples_[i];
-    s.window = signals_.take_window(i);
+    // A node's window is the sum over every live signal domain (exactly one
+    // in oracle mode; one per shard in parallel runs, where a node's own
+    // shard records its rpc symptoms but any sender's shard may record a
+    // fabric drop against it).
+    s.window = {};
+    for (obs::HealthSignals* d : domains) {
+      const obs::HealthWindow w = d->take_window(i);
+      s.window.responses += w.responses;
+      s.window.timeouts += w.timeouts;
+      s.window.retries += w.retries;
+      s.window.drops += w.drops;
+      s.window.over_slo += w.over_slo;
+      s.window.rtt_sum_ns += w.rtt_sum_ns;
+    }
     s.queue_depth = cluster_->server(i).queue_depth();
     s.up = cluster_->membership().up(i);
     window_timeouts += s.window.timeouts;
-    if (flight != nullptr) {
-      flight->record(now, i, obs::FlightEventType::kQueueDepth,
-                     s.queue_depth,
-                     static_cast<std::uint32_t>(s.window.responses));
+    obs::FlightRecorder* const fl =
+        cluster_->flight_domain_of(static_cast<net::NodeId>(i));
+    if (fl != nullptr) {
+      fl->record(now, i, obs::FlightEventType::kQueueDepth, s.queue_depth,
+                 static_cast<std::uint32_t>(s.window.responses));
     }
   }
   detector_.tick(now, samples_);
@@ -63,10 +86,12 @@ void HealthMonitor::tick_once() {
   const auto& transitions = detector_.transitions();
   for (; seen_transitions_ < transitions.size(); ++seen_transitions_) {
     const obs::HealthTransition& tr = transitions[seen_transitions_];
-    if (flight != nullptr) {
-      flight->record(tr.t_ns, tr.node, obs::FlightEventType::kHealthState,
-                     static_cast<std::uint64_t>(tr.to),
-                     static_cast<std::uint32_t>(tr.from));
+    obs::FlightRecorder* const fl =
+        cluster_->flight_domain_of(static_cast<net::NodeId>(tr.node));
+    if (fl != nullptr) {
+      fl->record(tr.t_ns, tr.node, obs::FlightEventType::kHealthState,
+                 static_cast<std::uint64_t>(tr.to),
+                 static_cast<std::uint32_t>(tr.from));
     }
   }
   for (std::size_t i = 0; i < samples_.size(); ++i) {
@@ -79,20 +104,35 @@ void HealthMonitor::tick_once() {
 
   // A cluster-wide burst of deadline expiries in one window is the second
   // automatic dump trigger (after crash injection): snapshot the freshest
-  // ring window while the symptoms are still in it.
+  // ring window while the symptoms are still in it. The dump always comes
+  // from the parent recorder, after folding in the per-shard domains.
+  obs::FlightRecorder* const flight = cluster_->flight_recorder();
   if (flight != nullptr && params_.timeout_burst > 0 &&
       window_timeouts >= params_.timeout_burst) {
+    cluster_->merge_obs_domains();
     flight->record(now, 0, obs::FlightEventType::kDump,
                    flight->dumps_written());
     if (flight->dump_to_file("timeout-burst", now)) ++burst_dumps_;
   }
 }
 
+SimTime HealthMonitor::on_quiesce(SimTime min_next) {
+  if (stop_) return sim::Simulator::kNever;
+  while (min_next != sim::Simulator::kNever && next_tick_ <= min_next) {
+    tick_at(next_tick_);
+    next_tick_ += params_.interval_ns;
+  }
+  // At full quiescence (min_next == kNever) nothing is pending: the final
+  // partial window is covered by the request_stop() tick.
+  return min_next == sim::Simulator::kNever ? sim::Simulator::kNever
+                                            : next_tick_;
+}
+
 sim::Task<void> HealthMonitor::run(HealthMonitor* self) {
   for (;;) {
     co_await self->cluster_->sim().delay(self->params_.interval_ns);
     if (self->stop_) break;
-    self->tick_once();
+    self->tick_at(self->cluster_->sim().now());
   }
 }
 

@@ -2,19 +2,30 @@
 // the passive per-node signals (obs::HealthSignals, fed by rpc/fabric hot
 // paths) and the online anomaly detector (obs::HealthDetector).
 //
-// A spawned ticker process wakes every `interval_ns` of simulated time,
-// assembles one HealthSample per server (windowed signal deltas +
-// instantaneous handler queue depth + the membership oracle's view), and
-// runs one detector tick. Transitions are mirrored into the flight
-// recorder (kHealthState) and into owned Prometheus gauges
-// (health.score_x1000 / health.node_state); a cluster-wide burst of RPC
-// deadline expiries in one window triggers an automatic flight dump.
+// Every `interval_ns` of simulated time the monitor assembles one
+// HealthSample per server (windowed signal deltas + instantaneous handler
+// queue depth + the membership oracle's view) and runs one detector tick.
+// Transitions are mirrored into the flight recorder (kHealthState) and
+// into owned Prometheus gauges (health.score_x1000 / health.node_state); a
+// cluster-wide burst of RPC deadline expiries in one window triggers an
+// automatic flight dump.
+//
+// In oracle mode the ticker is a spawned coroutine, byte-identical to the
+// pre-shard monitor. Under shards > 1 the ticker is a ShardRuntime quiesce
+// hook instead: tick times stay the exact interval boundaries (windows are
+// capped so no event at or past a boundary runs first), ticks are stamped
+// at those boundaries, and each sample sums the per-shard HealthSignals
+// domains — all cross-shard reads happen while every shard thread is
+// parked, so the detector's inputs are deterministic for a fixed (seed,
+// shard count).
 //
 // Lifecycle mirrors obs::Sampler: the harness calls request_stop() when
-// the workload completes, the ticker takes one final tick and exits at its
-// next wakeup, and the event queue drains normally. Monitoring is
+// the workload completes (from inside the sim in oracle mode; from the
+// main thread at quiescence under sharding), a final tick covers the last
+// partial window, and the event queue drains normally. Monitoring is
 // observation-only — it never perturbs workload timing, so a monitored run
-// produces byte-identical workload results to an unmonitored one.
+// reports identical workload results to an unmonitored one (byte-identical
+// in oracle mode).
 #pragma once
 
 #include <string>
@@ -45,14 +56,18 @@ class HealthMonitor {
   explicit HealthMonitor(Cluster& cluster, HealthMonitorParams params = {});
   HealthMonitor(const HealthMonitor&) = delete;
   HealthMonitor& operator=(const HealthMonitor&) = delete;
+  ~HealthMonitor();
 
   /// Wires the signal counters into the cluster's rpc/fabric layers and
-  /// spawns the ticker. Call once, before running the simulation; the
-  /// monitor must outlive it.
+  /// starts the ticker: a spawned coroutine in oracle mode, a runtime
+  /// quiesce hook with shards > 1. Call once, before running the
+  /// simulation; the monitor must outlive it.
   void arm();
 
-  /// Takes one final detector tick at the current instant and makes the
-  /// ticker exit at its next wakeup. Idempotent.
+  /// Takes one final detector tick at the current (quiesced) instant and
+  /// stops the ticker. Idempotent. With shards > 1 this reads cross-shard
+  /// state, so call it only at quiescence — from the main thread after
+  /// run() returns — never from a coroutine on a shard loop.
   void request_stop();
 
   /// Registers per-server owned gauges (health.score_x1000 as the
@@ -74,7 +89,14 @@ class HealthMonitor {
 
  private:
   static sim::Task<void> run(HealthMonitor* self);
-  void tick_once();
+  /// One detector tick stamped at `now`: sums the per-shard signal windows,
+  /// samples queue depth + membership, runs the detector, mirrors
+  /// transitions/gauges, and fires the timeout-burst dump.
+  void tick_at(SimTime now);
+  /// Quiesce-hook body (shards > 1): ticks every interval boundary that is
+  /// due at or before `min_next`, returns the next boundary (caps windows
+  /// so no event at or past it runs before the tick).
+  SimTime on_quiesce(SimTime min_next);
 
   Cluster* cluster_;
   HealthMonitorParams params_;
@@ -85,6 +107,9 @@ class HealthMonitor {
   std::vector<obs::Gauge*> state_gauges_;
   std::size_t seen_transitions_ = 0;
   std::uint64_t burst_dumps_ = 0;
+  SimTime next_tick_ = 0;      ///< next boundary (quiesce-hook mode)
+  std::size_t hook_id_ = 0;    ///< runtime hook slot (quiesce-hook mode)
+  bool hook_armed_ = false;
   bool stop_ = false;
   bool armed_ = false;
 };

@@ -22,8 +22,18 @@
 // Mutable state is strictly shard-owned during parallel runs: the sender's
 // shard owns tx NIC state and send-side counters, the receiver's shard owns
 // rx NIC state, inboxes, and delivery counters. Topology state (up/loss
-// flags) is read-only while shards run; fault injection requires oracle
-// mode.
+// flags) is read-only while shards run; fault injection mutates it either
+// in oracle mode or from a ShardRuntime quiesce hook (every shard thread
+// parked, the barrier publishes the writes).
+//
+// Observability under sharding follows the same single-writer rule: each
+// shard's state carries its own tracer / health-signals / flight-recorder
+// domain, and every recording a send or delivery makes goes to the acting
+// shard's domain (the sender's for tx spans and drops, the receiver's for
+// rx spans). Domains are merged deterministically at quiescence
+// (cluster::Cluster::merge_obs_domains); with one shard the "domains" are
+// the classic single instances and the output is byte-identical to the
+// pre-shard fabric.
 #pragma once
 
 #include <algorithm>
@@ -180,15 +190,28 @@ class Fabric {
     return shard_state_.size() == 1 ? shard_state_[0]->in_flight_messages
                                     : merged_in_flight_messages_;
   }
+  /// Live in-flight wire bytes charged to shard `s` (single-writer; read
+  /// it from that shard's thread or from a quiesce hook).
+  [[nodiscard]] std::uint64_t in_flight_bytes_of_shard(
+      std::size_t s) const noexcept {
+    assert(s < shard_state_.size());
+    return shard_state_[s]->in_flight_bytes;
+  }
 
   /// Attaches a span tracer: NIC occupancy spans ("fabric/send" on the
   /// sender's NIC track, "fabric/recv" on the receiver's) are emitted under
-  /// process `pid`. Pass nullptr to detach. Purely observational. Tracing
-  /// is an oracle-mode feature: the tracer buffer is not shard-safe, so
-  /// harnesses force a single shard whenever tracing is enabled.
+  /// process `pid`. Pass nullptr to detach. Purely observational. Attaches
+  /// the same tracer to every shard; parallel runs overwrite the per-shard
+  /// slots with their own domains (set_shard_tracer) so each shard records
+  /// single-writer.
   void set_tracer(obs::Tracer* tracer, std::uint32_t pid = 0) noexcept {
-    tracer_ = tracer;
+    for (auto& st : shard_state_) st->tracer = tracer;
     trace_pid_ = pid;
+  }
+  /// Points shard `s` at its own tracer domain (parallel runs only).
+  void set_shard_tracer(std::size_t s, obs::Tracer* tracer) noexcept {
+    assert(s < shard_state_.size());
+    shard_state_[s]->tracer = tracer;
   }
 
   /// The receive queue for a node; server/client processes loop on
@@ -215,7 +238,7 @@ class Fabric {
   /// (RpcPolicy timeouts), and later placement decisions consult the
   /// membership oracle once it observes the failure after the configured
   /// detection lag (FaultSchedule). Topology flags are read by every shard:
-  /// mutate only in oracle mode or between runs.
+  /// mutate only in oracle mode, between runs, or from a quiesce hook.
   void set_node_up(NodeId id, bool up) {
     assert(id < nics_.size());
     nics_[id].up = up;
@@ -256,18 +279,26 @@ class Fabric {
   }
 
   /// Attaches the health plane: every drop involving a tracked node feeds
-  /// its drop counter. Purely observational; oracle-mode only.
+  /// its drop counter. Purely observational. Attaches to every shard;
+  /// parallel runs overwrite the slots with per-shard domains.
   void set_health_signals(obs::HealthSignals* signals) noexcept {
-    assert((signals == nullptr || shard_state_.size() == 1) &&
-           "health signals require oracle mode");
-    health_ = signals;
+    for (auto& st : shard_state_) st->health = signals;
+  }
+  void set_shard_health_signals(std::size_t s,
+                                obs::HealthSignals* signals) noexcept {
+    assert(s < shard_state_.size());
+    shard_state_[s]->health = signals;
   }
   /// Attaches the flight recorder: drops land in the involved server's
-  /// ring as kNetDrop events. Purely observational; oracle-mode only.
+  /// ring as kNetDrop events. Purely observational. Attaches to every
+  /// shard; parallel runs overwrite the slots with per-shard domains.
   void set_flight_recorder(obs::FlightRecorder* flight) noexcept {
-    assert((flight == nullptr || shard_state_.size() == 1) &&
-           "flight recorder requires oracle mode");
-    flight_ = flight;
+    for (auto& st : shard_state_) st->flight = flight;
+  }
+  void set_shard_flight_recorder(std::size_t s,
+                                 obs::FlightRecorder* flight) noexcept {
+    assert(s < shard_state_.size());
+    shard_state_[s]->flight = flight;
   }
 
   /// Asynchronously transfers `body` with `payload_bytes` of payload.
@@ -288,7 +319,7 @@ class Fabric {
     ShardState& ss = *shard_state_[node_shard_[src]];
     sim::Simulator* ssim = node_sim_[src];
     obs::Tracer* tr =
-        (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+        (ss.tracer != nullptr && ss.tracer->enabled()) ? ss.tracer : nullptr;
     ++ss.stats.messages_sent;
     ss.stats.bytes_sent += payload_bytes;
     if (!nics_[dst].up || !nics_[src].up) {
@@ -299,7 +330,7 @@ class Fabric {
       } else {
         ++ss.stats.drops_src_down;
       }
-      record_drop(src, dst, payload_bytes, /*injected=*/false);
+      record_drop(ss, src, dst, payload_bytes, /*injected=*/false);
       if (tr != nullptr && trace.valid()) {
         tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
                     ssim->now(), trace.trace_id);
@@ -316,7 +347,7 @@ class Fabric {
         ++ss.stats.messages_dropped;
         ++ss.stats.drops_injected;
         ss.stats.bytes_dropped += payload_bytes;
-        record_drop(src, dst, payload_bytes, /*injected=*/true);
+        record_drop(ss, src, dst, payload_bytes, /*injected=*/true);
         if (tr != nullptr && trace.valid()) {
           tr->instant(trace_pid_, trace.span_id, "fabric/drop", "fabric",
                       ssim->now(), trace.trace_id);
@@ -366,12 +397,35 @@ class Fabric {
       // destination shard (receive_cross_shard): each shard's counters are
       // touched only by its own thread, which is what keeps this path free
       // of atomics and data races.
+      //
+      // Tracing splits at the same boundary: the sender's domain records
+      // the tx-side spans and the 's'/'t' flow legs here; the receiver's
+      // domain records the rx-side spans and the 'f' leg at arrival. The
+      // flow/async ids ride the posted message, so the arrows join up after
+      // the domains merge.
+      std::uint64_t msg = 0;
+      if (tr != nullptr) {
+        tr->complete(trace_pid_, obs::Tracer::kNicTidBase + src,
+                     "fabric/send", "fabric", tx_start, ser, trace.trace_id);
+        if (trace.valid()) {
+          msg = tr->new_flow_id();
+          tr->flow('s', trace_pid_, trace.span_id, now, msg, trace.trace_id);
+          tr->flow('t', trace_pid_, obs::Tracer::kNicTidBase + src, tx_start,
+                   msg, trace.trace_id);
+          const SimTime tx_ready = now + pre_tx;
+          if (tx_start > tx_ready) {
+            tr->async_span(trace_pid_, msg * 4, "fabric/txq", "fabric",
+                           tx_ready, tx_start - tx_ready, trace.trace_id);
+          }
+        }
+      }
       const SimTime arrival = tx_end + params_.latency_ns - ser;
       assert(runtime_ != nullptr);
       runtime_->post(
           node_shard_[src], node_shard_[dst], arrival,
-          [this, ser, e = std::move(env)]() mutable {
-            receive_cross_shard(std::move(e), ser);
+          [this, ser, msg, tid = trace.trace_id,
+           e = std::move(env)]() mutable {
+            receive_cross_shard(std::move(e), ser, msg, tid);
           });
       return;
     }
@@ -434,12 +488,17 @@ class Fabric {
   /// belong to the sending shard; delivery and in-flight counters to the
   /// receiving one. Every field is single-writer (only its shard's thread
   /// touches it); a cross-shard message charges in-flight from wire arrival
-  /// to inbox delivery, so the merged gauges read zero at quiescence.
+  /// to inbox delivery, so the merged gauges read zero at quiescence. The
+  /// observability sinks are the shard's own domains in parallel runs (the
+  /// shared instances in oracle mode), keeping recording single-writer too.
   struct ShardState {
     FabricStats stats;
     Xoshiro256 loss_rng;
     std::uint64_t in_flight_bytes = 0;
     std::uint64_t in_flight_messages = 0;
+    obs::Tracer* tracer = nullptr;
+    obs::HealthSignals* health = nullptr;
+    obs::FlightRecorder* flight = nullptr;
   };
 
   void init_inboxes() {
@@ -454,37 +513,64 @@ class Fabric {
   /// servers and attribute to whichever endpoint is one (the destination
   /// when both are; out-of-range ids bounce off the bounds checks). The
   /// flight event lands in the destination's ring with the source in `b`,
-  /// so per-ring drop tallies stay attributable either way.
-  void record_drop(NodeId src, NodeId dst, std::size_t payload_bytes,
-                   bool injected) {
-    if (health_ != nullptr) {
-      health_->on_drop(dst < health_->num_nodes() ? dst : src);
+  /// so per-ring drop tallies stay attributable either way. Drops resolve
+  /// on the send path, so both records go to the sender's shard domain
+  /// (`ss`): a domain holds rings/counters for every node, only its writer
+  /// is per-shard.
+  void record_drop(ShardState& ss, NodeId src, NodeId dst,
+                   std::size_t payload_bytes, bool injected) {
+    if (ss.health != nullptr) {
+      ss.health->on_drop(dst < ss.health->num_nodes() ? dst : src);
     }
-    if (flight_ != nullptr) {
-      flight_->record(node_sim_[src]->now(), dst,
-                      obs::FlightEventType::kNetDrop, payload_bytes,
-                      static_cast<std::uint32_t>(src), injected ? 1 : 0);
+    if (ss.flight != nullptr) {
+      ss.flight->record(node_sim_[src]->now(), dst,
+                        obs::FlightEventType::kNetDrop, payload_bytes,
+                        static_cast<std::uint32_t>(src), injected ? 1 : 0);
     }
   }
 
   /// Runs on the destination shard at wire-arrival time: claims the
   /// receive NIC in arrival order, then delivers at serialization end.
-  void receive_cross_shard(Envelope<Body> env, SimDur ser) {
+  /// `msg` / `trace_id` carry the sender's flow identity (0 = untraced) so
+  /// the rx-side spans land in this shard's tracer domain with matching
+  /// ids.
+  void receive_cross_shard(Envelope<Body> env, SimDur ser, std::uint64_t msg,
+                           std::uint64_t trace_id) {
     sim::Simulator* dsim = node_sim_[env.dst];
     NicState& dst_nic = nics_[env.dst];
-    const SimTime rx_start = std::max(dsim->now(), dst_nic.rx_busy_until);
+    const SimTime arrival = dsim->now();
+    const SimTime rx_start = std::max(arrival, dst_nic.rx_busy_until);
     const SimTime rx_end = rx_start + ser;
     dst_nic.rx_busy_until = rx_end;
     env.delivered_at = rx_end;
+    ShardState& rs = *shard_state_[node_shard_[env.dst]];
+    if (obs::Tracer* tr =
+            (rs.tracer != nullptr && rs.tracer->enabled()) ? rs.tracer
+                                                           : nullptr;
+        tr != nullptr) {
+      tr->complete(trace_pid_, obs::Tracer::kNicTidBase + env.dst,
+                   "fabric/recv", "fabric", rx_start, ser, trace_id);
+      if (msg != 0) {
+        tr->flow('f', trace_pid_, obs::Tracer::kNicTidBase + env.dst,
+                 rx_start, msg, trace_id);
+        if (rx_start > arrival) {
+          tr->async_span(trace_pid_, msg * 4 + 1, "fabric/rxq", "fabric",
+                         arrival, rx_start - arrival, trace_id);
+        }
+        // In-flight interval from original send to last bit received: the
+        // sender stamped env.sent_at before protocol pre-work began.
+        tr->async_span(trace_pid_, msg * 4 + 2, "fabric/wire", "fabric",
+                       env.sent_at, rx_end - env.sent_at, trace_id);
+      }
+    }
     // The in-flight charge for a cross-shard message begins here, at wire
     // arrival, and is settled by deliver_coro — both on this (the
     // destination) shard's thread. The post->arrival wire leg is therefore
     // uncounted; gauges at quiescence still read zero, and per-shard
     // counters are single-writer by construction.
-    ShardState& ds = *shard_state_[node_shard_[env.dst]];
-    ds.in_flight_bytes += env.wire_bytes;
-    ++ds.in_flight_messages;
-    dsim->spawn(deliver_coro(this, &ds, dsim, rx_end - dsim->now(),
+    rs.in_flight_bytes += env.wire_bytes;
+    ++rs.in_flight_messages;
+    dsim->spawn(deliver_coro(this, &rs, dsim, rx_end - dsim->now(),
                              std::move(env)));
   }
 
@@ -527,10 +613,7 @@ class Fabric {
   std::vector<std::unique_ptr<sim::Channel<Envelope<Body>>>> inboxes_;
   double loss_probability_ = 0.0;
   std::size_t lossy_nodes_ = 0;  ///< nodes with a nonzero per-node loss
-  obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_pid_ = 0;
-  obs::HealthSignals* health_ = nullptr;
-  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace hpres::net

@@ -1,5 +1,6 @@
 #include "obs/flight_recorder.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "obs/json.h"
@@ -54,6 +55,43 @@ std::vector<FlightRecord> FlightRecorder::events(std::size_t node) const {
     out.push_back(ring.buf[(start + i) % ring_size_]);
   }
   return out;
+}
+
+void FlightRecorder::absorb(FlightRecorder& child) {
+  if (&child == this) return;
+  ensure_nodes(child.rings_.size());
+  for (std::size_t node = 0; node < child.rings_.size(); ++node) {
+    Ring& mine = rings_[node];
+    Ring& theirs = child.rings_[node];
+    if (theirs.written > 0) {
+      const std::vector<FlightRecord> a = events(node);
+      const std::vector<FlightRecord> b = child.events(node);
+      std::vector<FlightRecord> merged;
+      merged.reserve(a.size() + b.size());
+      // std::merge is stable and prefers the first range on ties: records
+      // already absorbed (lower-rank shards) precede the child's at equal
+      // timestamps — the canonical shard-then-timestamp order.
+      std::merge(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged),
+                 [](const FlightRecord& x, const FlightRecord& y) {
+                   return x.t_ns < y.t_ns;
+                 });
+      // Keep the newest ring_size_ records and rebuild the ring so that
+      // events() reconstructs exactly this retained window.
+      const std::uint64_t total = mine.written + theirs.written;
+      const std::size_t kept = std::min(merged.size(),
+                                        static_cast<std::size_t>(ring_size_));
+      const std::size_t drop = merged.size() - kept;
+      const std::uint64_t start = total >= kept ? total - kept : 0;
+      for (std::size_t i = 0; i < kept; ++i) {
+        mine.buf[(start + i) % ring_size_] = merged[drop + i];
+      }
+      mine.written = total;
+      theirs.written = 0;
+    }
+  }
+  dropped_records_ += child.dropped_records_;
+  child.dropped_records_ = 0;
 }
 
 std::string FlightRecorder::dump(std::string_view reason,

@@ -126,6 +126,17 @@ class FlightRecorder {
   /// Chronological (oldest-first) snapshot of `node`'s retained events.
   [[nodiscard]] std::vector<FlightRecord> events(std::size_t node) const;
 
+  /// Deterministic shard merge: folds `child`'s retained records into this
+  /// recorder's rings and drains the child. Per node, the two retained
+  /// histories are merge-sorted by timestamp — this recorder's records
+  /// (shards already absorbed, in ascending shard order) win ties, giving
+  /// the canonical shard-then-timestamp order — and only the newest
+  /// ring_size records survive, preserving freshest-window semantics.
+  /// `written` totals and dropped_records accumulate so wrap accounting
+  /// stays truthful. Safe to call repeatedly (mid-run crash dumps, then
+  /// again at teardown): a drained child contributes nothing.
+  void absorb(FlightRecorder& child);
+
   /// Deterministic JSON dump of every node's retained events, oldest first,
   /// under a top-level "flight" object. `reason` names the trigger
   /// ("crash", "timeout-burst", "finalize", ...). `now_ns` stamps the dump.

@@ -1,5 +1,7 @@
 #include "obs/sampler.h"
 
+#include <algorithm>
+
 namespace hpres::obs {
 
 void Sampler::start() {
@@ -32,6 +34,52 @@ sim::Task<void> Sampler::run(Sampler* self) {
     if (self->stop_) co_return;
     self->sample_once();
   }
+}
+
+WindowSampler::~WindowSampler() {
+  if (hook_armed_) runtime_->remove_quiesce_hook(hook_id_);
+}
+
+void WindowSampler::start() {
+  if (hook_armed_ || series_.empty() || interval_ <= 0) return;
+  // First boundary = the current quiesced instant (start() runs from the
+  // main thread between runs), mirroring Sampler's immediate first sample.
+  next_ = 0;
+  for (std::size_t s = 0; s < runtime_->num_shards(); ++s) {
+    next_ = std::max(next_, runtime_->shard(s).now());
+  }
+  hook_id_ = runtime_->add_quiesce_hook(
+      [this](SimTime min_next) { return on_quiesce(min_next); });
+  hook_armed_ = true;
+}
+
+void WindowSampler::sample_at(SimTime now) {
+  for (Series& s : series_) {
+    const std::int64_t v = s.read();
+    s.stats.record(static_cast<double>(v));
+    if (s.domain != nullptr && s.domain->enabled()) {
+      s.domain->counter(s.pid, s.name, now, v);
+    }
+  }
+  ++samples_;
+}
+
+SimTime WindowSampler::on_quiesce(SimTime min_next) {
+  constexpr SimTime kNever = sim::Simulator::kNever;
+  if (stopped_) return kNever;
+  while (min_next != kNever && next_ <= min_next) {
+    sample_at(next_);
+    next_ += interval_;
+  }
+  // At full quiescence nothing is pending; flush() covers the final
+  // partial interval.
+  return min_next == kNever ? kNever : next_;
+}
+
+void WindowSampler::flush(SimTime now) {
+  if (!hook_armed_ || stopped_) return;
+  sample_at(now);
+  stopped_ = true;
 }
 
 }  // namespace hpres::obs

@@ -9,6 +9,10 @@
 // the event queue drains normally. Sampling is read-only — it adds events
 // to the queue but never perturbs workload timing, so enabling it changes
 // no benchmark result.
+//
+// Sampler is the oracle-mode implementation (a spawned coroutine on one
+// event loop). WindowSampler below is its shards > 1 counterpart, driven
+// by runtime quiesce hooks instead of a coroutine.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 
 #include "common/histogram.h"
 #include "obs/trace.h"
+#include "sim/shard_runtime.h"
 #include "sim/simulator.h"
 
 namespace hpres::obs {
@@ -72,6 +77,70 @@ class Sampler {
   std::uint64_t samples_ = 0;
   bool stop_ = false;
   bool started_ = false;
+};
+
+/// Quiesce-hook gauge sampler for parallel runs (shards > 1). Each gauge
+/// is registered with the tracer domain it records into — pass the owning
+/// shard's domain so every counter series stays single-writer; a gauge
+/// that reads cross-shard state is still safe because hooks fire while all
+/// shard threads are parked. Samples land on exact interval boundaries
+/// (the hook caps windows at the next boundary), so the series is
+/// deterministic for a fixed (seed, shard count). The harness calls
+/// flush() at quiescence for the final partial interval.
+class WindowSampler {
+ public:
+  WindowSampler(sim::ShardRuntime& runtime, SimDur interval_ns)
+      : runtime_(&runtime), interval_(interval_ns) {}
+  WindowSampler(const WindowSampler&) = delete;
+  WindowSampler& operator=(const WindowSampler&) = delete;
+  ~WindowSampler();
+
+  /// Registers one gauge recording into `domain` under process `pid`;
+  /// `read` must stay valid until the runtime is done. A null or disabled
+  /// domain still accumulates stats but emits no trace counters.
+  void add_gauge(Tracer* domain, std::uint32_t pid, std::string name,
+                 std::function<std::int64_t()> read) {
+    series_.push_back(
+        Series{domain, pid, std::move(name), std::move(read), {}});
+  }
+
+  /// Registers the quiesce hook (samples at t=0, then every interval).
+  /// No-op when nothing is registered or the interval is not positive.
+  void start();
+
+  /// Takes one final sample at `now` (the quiesced instant) and stops
+  /// sampling. Call from the main thread after run() returns. Idempotent.
+  void flush(SimTime now);
+
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t num_gauges() const noexcept {
+    return series_.size();
+  }
+  /// Running min/mean/max of series `i` over all samples taken.
+  [[nodiscard]] const RunningStats& series_stats(std::size_t i) const {
+    return series_.at(i).stats;
+  }
+
+ private:
+  struct Series {
+    Tracer* domain;
+    std::uint32_t pid;
+    std::string name;
+    std::function<std::int64_t()> read;
+    RunningStats stats;
+  };
+
+  SimTime on_quiesce(SimTime min_next);
+  void sample_at(SimTime now);
+
+  sim::ShardRuntime* runtime_;
+  SimDur interval_;
+  SimTime next_ = 0;  ///< next sample boundary once started
+  std::vector<Series> series_;
+  std::uint64_t samples_ = 0;
+  std::size_t hook_id_ = 0;
+  bool hook_armed_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace hpres::obs

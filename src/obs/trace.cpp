@@ -90,6 +90,23 @@ std::vector<TraceSpan> Tracer::tagged_spans(std::uint32_t pid) const {
   return out;
 }
 
+void Tracer::absorb(Tracer& child) {
+  if (&child == this) return;
+  if (events_.empty()) {
+    events_ = std::move(child.events_);
+  } else {
+    events_.reserve(events_.size() + child.events_.size());
+    for (Event& e : child.events_) events_.push_back(std::move(e));
+  }
+  child.events_.clear();
+  for (auto& [key, total] : child.totals_) {
+    auto& mine = totals_[key];
+    mine.count += total.count;
+    mine.total_ns += total.total_ns;
+  }
+  child.totals_.clear();
+}
+
 void Tracer::retain_traces(const std::unordered_set<std::uint64_t>& keep) {
   std::erase_if(events_, [&](const Event& e) {
     return e.trace != 0 && keep.find(e.trace) == keep.end();

@@ -122,7 +122,10 @@ class Tracer {
   /// disabled runs propagate no context). Ids are dense and allocation order
   /// is deterministic.
   [[nodiscard]] std::uint64_t new_trace_id() noexcept {
-    return enabled_ ? next_trace_++ : 0;
+    if (!enabled_) return 0;
+    const std::uint64_t id = next_trace_;
+    next_trace_ += id_stride_;
+    return id;
   }
   /// The next trace id that new_trace_id() would return. Benches snapshot
   /// this before a measured pass to analyze only the ops inside it.
@@ -130,9 +133,30 @@ class Tracer {
     return next_trace_;
   }
   /// Fresh flow-event id (one per traced fabric message).
-  [[nodiscard]] std::uint64_t new_flow_id() noexcept { return next_flow_++; }
+  [[nodiscard]] std::uint64_t new_flow_id() noexcept {
+    const std::uint64_t id = next_flow_;
+    next_flow_ += id_stride_;
+    return id;
+  }
   /// Fresh async-span id (callers that lack a natural unique id).
-  [[nodiscard]] std::uint64_t new_async_id() noexcept { return next_async_++; }
+  [[nodiscard]] std::uint64_t new_async_id() noexcept {
+    const std::uint64_t id = next_async_;
+    next_async_ += id_stride_;
+    return id;
+  }
+
+  /// Partitions this tracer's id allocators into residue class `offset`
+  /// modulo `stride`: trace/flow/async ids start at 1 + offset and advance
+  /// by stride. Per-shard domain tracers use (shard, num_shards) so ids
+  /// stay globally unique across shards without coordination; the default
+  /// (0, 1) is the classic dense single-writer numbering. Call before any
+  /// id is handed out.
+  void set_id_space(std::uint64_t offset, std::uint64_t stride) noexcept {
+    next_trace_ = 1 + offset;
+    next_flow_ = 1 + offset;
+    next_async_ = 1 + offset;
+    id_stride_ = stride == 0 ? 1 : stride;
+  }
 
   /// Complete span ("X") with an explicit interval. `begin_ns` may lie in
   /// the simulated future (e.g. a NIC slot reserved ahead of time).
@@ -186,6 +210,16 @@ class Tracer {
   /// breakdowns still cover all ops after pruning.
   void retain_traces(const std::unordered_set<std::uint64_t>& keep);
 
+  /// Deterministic shard merge: appends every event recorded by `child`
+  /// after this tracer's own, sums the per-name totals, and leaves `child`
+  /// empty. Called per shard in ascending shard order at quiescence, this
+  /// yields the canonical shard-then-record order — each domain's events
+  /// are already in its own deterministic record order, so the merged
+  /// stream is a pure function of (seed, shard count). Timestamps are
+  /// explicit on every event, so viewers and tools are order-insensitive;
+  /// byte determinism of to_json() is what the canonical order buys.
+  void absorb(Tracer& child);
+
   /// Serializes every recorded event as Chrome trace_event JSON. Output is
   /// a pure function of the recorded events (byte-identical across
   /// same-seed runs).
@@ -215,6 +249,7 @@ class Tracer {
   std::uint64_t next_trace_ = 1;
   std::uint64_t next_flow_ = 1;
   std::uint64_t next_async_ = 1;
+  std::uint64_t id_stride_ = 1;
   bool enabled_ = false;
 };
 

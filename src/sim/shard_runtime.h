@@ -38,6 +38,46 @@
 
 namespace hpres::sim {
 
+/// Per-shard execution profile. Every field is written by exactly one
+/// thread (the owning shard's worker) and read at quiescence, so the
+/// counters need no atomics. Wall-clock fields vary run-over-run; the
+/// event/message fields are simulation-deterministic.
+struct ShardProfile {
+  std::uint64_t events = 0;      ///< events executed by the shard's Simulator
+  std::uint64_t msgs_out = 0;    ///< cross-shard messages posted by the shard
+  std::uint64_t spills_out = 0;  ///< posts that overflowed an SPSC ring
+  std::uint64_t msgs_in = 0;     ///< cross-shard messages merged on drain
+  std::uint64_t lane_occupancy_hw = 0;  ///< max msgs from one lane per drain
+  std::uint64_t stall_wall_ns = 0;  ///< wall time blocked on round barriers
+  std::uint64_t busy_wall_ns = 0;   ///< wall time draining + running windows
+};
+
+/// Snapshot of the runtime's execution profile (see profile()). The window
+/// advance statistics measure simulated time gained per barrier round — a
+/// small mean advance means the run is barrier-bound, the first thing to
+/// check when a scaling curve flattens.
+struct RuntimeProfile {
+  std::size_t shards = 0;
+  SimDur lookahead_ns = 0;
+  std::uint64_t rounds = 0;       ///< barrier rounds (0 in oracle mode)
+  SimDur min_advance_ns = 0;      ///< smallest per-round sim-time advance
+  SimDur max_advance_ns = 0;
+  double mean_advance_ns = 0.0;
+  std::vector<ShardProfile> per_shard;
+
+  [[nodiscard]] std::uint64_t total_events() const noexcept {
+    std::uint64_t total = 0;
+    for (const ShardProfile& p : per_shard) total += p.events;
+    return total;
+  }
+  /// Fraction of a shard's measured wall time spent blocked on barriers.
+  [[nodiscard]] static double stall_fraction(const ShardProfile& p) noexcept {
+    const double total =
+        static_cast<double>(p.stall_wall_ns + p.busy_wall_ns);
+    return total > 0.0 ? static_cast<double>(p.stall_wall_ns) / total : 0.0;
+  }
+};
+
 class ShardRuntime {
  public:
   /// `shards` event loops (0 is normalized to 1 — oracle mode) connected by
@@ -83,6 +123,34 @@ class ShardRuntime {
   /// Callable repeatedly — the harness pattern "spawn, run, spawn, run"
   /// works exactly as with a single Simulator.
   SimTime run();
+
+  /// A quiesce hook runs inside the barrier completion step of every
+  /// parallel round — all shard threads are parked, so the hook may touch
+  /// any cross-shard state (topology flags, membership, observability
+  /// sinks) without synchronization; the barrier's phase transition
+  /// publishes its writes to every shard. Contract:
+  ///   * the hook receives min_next, the earliest pending event time across
+  ///     all shards (kNever at quiescence);
+  ///   * it must apply every pending action due at or before min_next, in
+  ///     time order, stamped at the action's own due time — and at
+  ///     min_next == kNever it must flush everything that remains;
+  ///   * it returns the earliest remaining action time (> min_next), or
+  ///     kNever when none remain; the next window is capped at that time,
+  ///     so no simulated event at or after it runs before the hook acts;
+  ///   * it must not throw and must not schedule simulator events (flag
+  ///     flips and recorder writes only) — the round's horizon was computed
+  ///     before the hook ran.
+  /// Oracle (shards <= 1) runs never invoke hooks; single-shard users keep
+  /// their classic in-sim coroutines, byte-identical to the pre-hook
+  /// runtime. Hooks run in registration order. Returns an id for
+  /// remove_quiesce_hook(); register/remove only between run() calls.
+  using QuiesceHook = std::function<SimTime(SimTime min_next)>;
+  std::size_t add_quiesce_hook(QuiesceHook hook);
+  void remove_quiesce_hook(std::size_t id);
+
+  /// Execution profile snapshot; read at quiescence (never mid-run). The
+  /// per-shard counters are cumulative since construction.
+  [[nodiscard]] RuntimeProfile profile() const;
 
  private:
   struct Msg {
@@ -142,15 +210,23 @@ class ShardRuntime {
   /// its due time, in canonical (due, source shard, FIFO) order.
   void drain(std::size_t s);
 
-  /// Barrier completion step: computes the next window (or termination)
-  /// from the published per-shard horizons. Runs on exactly one thread
-  /// while the others are blocked in the barrier.
+  /// Barrier completion step: runs the quiesce hooks, then computes the
+  /// next window (or termination) from the published per-shard horizons,
+  /// capped at the earliest pending hook action. Runs on exactly one
+  /// thread while the others are blocked in the barrier.
   void compute_window() noexcept;
+
+  /// False-sharing pad: each shard's profile lives on its own cache line.
+  struct alignas(64) PaddedProfile {
+    ShardProfile p;
+  };
 
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<std::unique_ptr<Lane>> lanes_;  // [from * n + to]
   std::vector<std::vector<Msg>> scratch_;     // per-shard drain buffer
   SimDur lookahead_;
+  std::vector<QuiesceHook> hooks_;  ///< removed slots stay as empty fns
+  std::vector<PaddedProfile> prof_;
 
   // Round state. Plain-ish values written either before a barrier arrival
   // or inside its completion step; the barrier's phase transition provides
@@ -159,6 +235,14 @@ class ShardRuntime {
   std::atomic<SimTime> window_{0};
   std::atomic<bool> done_{false};
   std::atomic<std::uint64_t> rounds_{0};
+
+  // Window-advance statistics, updated only inside the barrier completion
+  // step (same synchronization story as window_ / rounds_ above).
+  std::atomic<SimTime> prev_window_end_{0};
+  std::atomic<std::uint64_t> adv_count_{0};
+  std::atomic<SimTime> adv_min_{0};
+  std::atomic<SimTime> adv_max_{0};
+  std::atomic<SimTime> adv_sum_{0};
 };
 
 }  // namespace hpres::sim

@@ -17,6 +17,13 @@
 // mid-write — the normal case for a file written at crash time — yields a
 // warning and a partial report, never a parse abort.
 //
+// Multi-shard dumps are first-class input: a parallel run merges its
+// per-shard flight domains node-by-node before dumping, so each node still
+// appears exactly once with its ring in timestamp order. The timeline's
+// stable sort breaks equal-timestamp ties by dump (node-major) order,
+// which is shard-count independent — the report is byte-stable for a
+// fixed (seed, shard count).
+//
 // Usage: health_report <flight.json> [--metrics=FILE] [--timeline=N]
 #include <algorithm>
 #include <cinttypes>
@@ -206,7 +213,9 @@ double ms(SimTime t) { return static_cast<double>(t) * 1e-6; }
 
 void print_timeline(const Dump& dump, std::size_t limit) {
   // Interesting events only: the periodic snapshots and per-op start/end
-  // markers would drown the distress signals they contextualize.
+  // markers would drown the distress signals they contextualize. The sort
+  // must be stable: merged multi-shard dumps carry equal timestamps across
+  // nodes, and dump (node-major) order is the deterministic tie-break.
   std::vector<const Event*> line;
   for (const Event& e : dump.events) {
     if (e.name == "op_start" || e.name == "op_end" ||

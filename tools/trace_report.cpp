@@ -22,6 +22,15 @@
 // stderr. A process killed mid-write (the exact situation a post-mortem
 // reader is for) still yields a useful partial report.
 //
+// Merged multi-shard exports (--shards > 1) are first-class input: the
+// tracer concatenates per-shard domains shard-major, so events within one
+// process are not globally time-ordered and trace/lane/async ids are
+// strided across shards (interleaved id spaces). Nothing here assumes
+// otherwise — async 'b'/'e' pairing keys on the exact (pid, id, name), the
+// critical-path sweep orders spans itself, and slowest-op ranking breaks
+// total-time ties on trace id, so the report is byte-stable for a fixed
+// (seed, shard count) regardless of merge interleaving.
+//
 // Usage: trace_report <trace.json> [--tail-frac=F] [--slowest=N]
 #include <algorithm>
 #include <cinttypes>
@@ -56,7 +65,9 @@ struct ProcessTrace {
 };
 
 /// Key for pairing async 'b'/'e' events, mirroring the tracer's emission:
-/// one async id per (pid, id, name) span.
+/// one async id per (pid, id, name) span. Multi-shard exports stride async
+/// ids per shard, so ids from different shards can never collide here even
+/// though they interleave in the merged stream.
 struct AsyncKey {
   std::uint64_t pid;
   std::uint64_t id;

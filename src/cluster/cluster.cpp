@@ -31,7 +31,8 @@ Cluster::Cluster(ClusterConfig config)
       // reach its destination sooner than one latency after the send.
       runtime_(effective_shards(config), config.fabric.latency_ns),
       fabric_(runtime_, config.fabric, shard_map(config)),
-      ring_(config.num_servers, config.ring_vnodes, config.ring_seed),
+      ring_(config.num_servers, config.ring_vnodes, config.ring_seed,
+            config.initial_active_servers),
       membership_(config.num_servers, config.membership_check_ns) {
   servers_.reserve(config.num_servers);
   server_nodes_.reserve(config.num_servers);
@@ -204,6 +205,10 @@ void Cluster::set_flight_recorder(obs::FlightRecorder* flight) {
     clients_[i]->set_flight_recorder(
         flight_domain_of(static_cast<net::NodeId>(servers_.size() + i)));
   }
+}
+
+void Cluster::set_placement_view(const kv::PlacementView* view) {
+  for (const auto& c : clients_) c->set_placement_view(view);
 }
 
 void Cluster::set_rpc_policy(const kv::RpcPolicy& policy) {

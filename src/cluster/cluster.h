@@ -30,6 +30,12 @@ struct ClusterConfig {
   SimDur membership_check_ns = 1'500;
   std::size_t ring_vnodes = 128;
   std::uint64_t ring_seed = 0x5eed;
+  /// Servers initially projected onto the hash ring: the active prefix
+  /// [0, initial_active_servers). 0 = all provisioned servers (the classic
+  /// fixed-membership cluster). Servers outside the prefix still exist and
+  /// serve traffic — they just own no placement until a PlacementManager
+  /// join() projects them in.
+  std::size_t initial_active_servers = 0;
   /// Event-loop shards for the parallel runtime. 0 or 1 = the
   /// deterministic single-threaded oracle mode; N > 1 partitions servers
   /// and clients round-robin over N event loops run by real threads
@@ -70,6 +76,10 @@ class Cluster {
   }
   [[nodiscard]] kv::KvFabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] const kv::HashRing& ring() const noexcept { return ring_; }
+  /// Mutable ring access for the placement plane (PlacementManager
+  /// cutover). Harness code must not mutate the ring while shards run —
+  /// with shards > 1 mutations go through a runtime quiesce hook.
+  [[nodiscard]] kv::HashRing& mutable_ring() noexcept { return ring_; }
   [[nodiscard]] kv::Membership& membership() noexcept { return membership_; }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
 
@@ -102,6 +112,13 @@ class Cluster {
   /// FaultSchedule instead.
   void fail_server(std::size_t index);
   void recover_server(std::size_t index);
+
+  /// Attaches a versioned placement view to every client: requests are
+  /// stamped with the view's epoch at issue, which is what lets servers
+  /// bounce writes that resolved owners under a stale ring. Engines attach
+  /// the same view through Engine::attach_placement. Pass nullptr to
+  /// detach (legacy placement-unaware behavior, byte-identical).
+  void set_placement_view(const kv::PlacementView* view);
 
   /// Arms RPC deadlines/retries on every client and server. With a policy
   /// set, calls to dead or lossy nodes resolve kTimeout instead of

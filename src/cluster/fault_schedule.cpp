@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cluster/placement.h"
+
 namespace hpres::cluster {
 
 void FaultSchedule::add_crash(SimTime at_ns, std::size_t server_index,
@@ -35,6 +37,18 @@ void FaultSchedule::add_loss(SimTime at_ns, std::size_t server_index,
       FaultEvent{at_ns, server_index, false, false, 0.0, probability});
 }
 
+void FaultSchedule::add_join(SimTime at_ns, std::size_t server_index) {
+  assert(!armed_ && "schedule is frozen once armed");
+  assert(server_index < cluster_->num_servers());
+  placement_events_.push_back(PlacementEvent{at_ns, server_index, true});
+}
+
+void FaultSchedule::add_leave(SimTime at_ns, std::size_t server_index) {
+  assert(!armed_ && "schedule is frozen once armed");
+  assert(server_index < cluster_->num_servers());
+  placement_events_.push_back(PlacementEvent{at_ns, server_index, false});
+}
+
 FaultSchedule::~FaultSchedule() {
   if (hook_armed_) cluster_->runtime().remove_quiesce_hook(hook_id_);
 }
@@ -58,6 +72,18 @@ void FaultSchedule::arm() {
     hook_armed_ = true;
   } else {
     cluster_->sim().spawn(driver(this));
+  }
+  if (!placement_events_.empty()) {
+    assert(placement_ != nullptr &&
+           "add_join/add_leave require set_placement_manager");
+    std::stable_sort(placement_events_.begin(), placement_events_.end(),
+                     [](const PlacementEvent& a, const PlacementEvent& b) {
+                       return a.at_ns < b.at_ns;
+                     });
+    // One sequential driver in both modes: changes execute one at a time
+    // on the coordinator's own event loop, and the manager internally
+    // routes its cross-shard mutations through a quiesce hook.
+    placement_->coordinator_sim().spawn(placement_driver(this));
   }
 }
 
@@ -168,6 +194,20 @@ sim::Task<void> FaultSchedule::driver(FaultSchedule* self) {
       co_await self->cluster_->sim().delay(ev.at_ns - now);
     }
     self->apply(ev, self->cluster_->sim().now());
+  }
+}
+
+sim::Task<void> FaultSchedule::placement_driver(FaultSchedule* self) {
+  sim::Simulator& sim = self->placement_->coordinator_sim();
+  for (const PlacementEvent& ev : self->placement_events_) {
+    const SimTime now = sim.now();
+    if (ev.at_ns > now) co_await sim.delay(ev.at_ns - now);
+    if (ev.join) {
+      co_await self->placement_->join(ev.server);
+    } else {
+      co_await self->placement_->leave(ev.server);
+    }
+    ++self->fired_;
   }
 }
 

@@ -26,6 +26,8 @@
 
 namespace hpres::cluster {
 
+class PlacementManager;
+
 class FaultSchedule {
  public:
   /// `detection_lag_ns` is the delay between a crash/restart taking
@@ -58,6 +60,22 @@ class FaultSchedule {
   /// loss-rate rule exists for. Requires a nonzero RpcPolicy timeout or
   /// affected callers park forever.
   void add_loss(SimTime at_ns, std::size_t server_index, double probability);
+
+  /// Schedules a ring join of `server_index` at simulated time `at_ns`,
+  /// executed by the attached PlacementManager (set_placement_manager).
+  /// Placement changes run on a dedicated sequential driver coroutine in
+  /// both runtime modes — the manager already defers its cross-shard
+  /// mutations to a quiesce hook, so no hook plumbing is needed here.
+  void add_join(SimTime at_ns, std::size_t server_index);
+
+  /// Schedules a graceful ring leave of `server_index` at `at_ns`.
+  void add_leave(SimTime at_ns, std::size_t server_index);
+
+  /// Attaches the placement plane that executes add_join/add_leave events.
+  /// Must outlive the schedule; required before arm() if any are queued.
+  void set_placement_manager(PlacementManager* manager) noexcept {
+    placement_ = manager;
+  }
 
   /// Attaches the ground-truth log: every applied event is stamped with
   /// its simulated time, node, and fault kind. The closed detection loop
@@ -92,7 +110,14 @@ class FaultSchedule {
     bool up = false;
   };
 
+  struct PlacementEvent {
+    SimTime at_ns = 0;
+    std::size_t server = 0;
+    bool join = false;
+  };
+
   static sim::Task<void> driver(FaultSchedule* self);
+  static sim::Task<void> placement_driver(FaultSchedule* self);
   static sim::Task<void> detect_coro(FaultSchedule* self, std::size_t server,
                                      bool up);
 
@@ -105,7 +130,9 @@ class FaultSchedule {
 
   Cluster* cluster_;
   SimDur detection_lag_ns_;
+  PlacementManager* placement_ = nullptr;
   std::vector<FaultEvent> events_;
+  std::vector<PlacementEvent> placement_events_;
   std::vector<PendingDetect> detects_;  ///< quiesce-hook mode only
   std::size_t idx_ = 0;                 ///< next unapplied event (hook mode)
   std::size_t fired_ = 0;

@@ -28,6 +28,8 @@ enum class StatusCode : std::uint8_t {
   kInvalidArgument,   ///< Malformed request or unsupported parameter.
   kResourceExhausted, ///< Client-side buffer pool / window exhausted.
   kCancelled,         ///< Call abandoned by its issuer (hedged-read straggler).
+  kWrongEpoch,        ///< Request stamped with a stale placement epoch;
+                      ///< retryable once the caller refreshes its view.
   kInternal,          ///< Invariant violation; indicates a bug.
 };
 
@@ -43,6 +45,7 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kWrongEpoch: return "WRONG_EPOCH";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -3,6 +3,11 @@
 namespace hpres::kv {
 
 sim::Future<Response> Client::call_async(NodeId dst, Request req) {
+  // Stamp the placement epoch at issue time, synchronously with the
+  // caller's owner resolution: {dst, epoch} always describe the same ring.
+  if (placement_ != nullptr && req.epoch == 0) {
+    req.epoch = placement_->epoch;
+  }
   sim::Promise<Response> promise(sim());
   sim::Future<Response> future = promise.get_future();
   sim().spawn(issue_coro(this, dst, std::move(req), std::move(promise)));

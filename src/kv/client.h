@@ -4,6 +4,7 @@
 // borrow for encode/decode work.
 #pragma once
 
+#include "kv/placement.h"
 #include "kv/rpc.h"
 #include "obs/metrics.h"
 #include "sim/sync.h"
@@ -51,6 +52,13 @@ class Client final : public RpcNode {
   [[nodiscard]] const ClientParams& params() const noexcept { return params_; }
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
 
+  /// Attaches the cluster's placement view: every request issued from now
+  /// on is stamped with the epoch its owners were resolved under (unless
+  /// the caller stamped one itself). Null detaches (legacy behavior).
+  void set_placement_view(const PlacementView* view) noexcept {
+    placement_ = view;
+  }
+
  protected:
   void on_request(KvEnvelope env) override {
     // Clients never serve requests; stray traffic is dropped.
@@ -64,6 +72,7 @@ class Client final : public RpcNode {
   ClientParams params_;
   sim::WorkerPool cpu_;
   ClientStats stats_;
+  const PlacementView* placement_ = nullptr;
 };
 
 }  // namespace hpres::kv

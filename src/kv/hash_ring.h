@@ -2,9 +2,17 @@
 // placement rule: consistent hashing locates the originally designated
 // server, then the N-1 *following servers in the server list* hold the
 // remaining fragments (Section IV-A).
+//
+// Elastic placement: the ring distinguishes *provisioned* servers (the
+// fixed index space 0..num_servers-1, sized at construction) from the
+// *active* set actually projected onto the ring. add_server / remove_server
+// mutate the active set, bump the placement epoch, and rebuild the point
+// map; moved_ranges() diffs two rings into the minimal set of hash ranges
+// whose owner changed, which is what the migration pass walks.
 #pragma once
 
 #include <cstdint>
+#include <algorithm>
 #include <map>
 #include <string_view>
 #include <vector>
@@ -16,29 +24,111 @@ namespace hpres::kv {
 class HashRing {
  public:
   /// `num_servers` servers indexed 0..num_servers-1, each projected onto
-  /// the ring at `vnodes` points.
+  /// the ring at `vnodes` points. `initial_active` bounds the initially
+  /// active prefix [0, initial_active); 0 means every provisioned server
+  /// starts active (the classic fixed-membership ring).
   explicit HashRing(std::size_t num_servers, std::size_t vnodes = 128,
-                    std::uint64_t seed = 0x5eed);
+                    std::uint64_t seed = 0x5eed,
+                    std::size_t initial_active = 0);
 
+  /// Provisioned index space (stable across joins/leaves): fragment slot
+  /// counts and per-server bookkeeping are sized against this.
   [[nodiscard]] std::size_t num_servers() const noexcept {
     return num_servers_;
   }
+
+  /// Servers currently projected onto the ring.
+  [[nodiscard]] std::size_t num_active() const noexcept {
+    return active_.size();
+  }
+
+  /// Placement epoch: starts at 1, bumped by every add/remove. Requests
+  /// stamped with epoch 0 are placement-unaware (the sentinel legacy
+  /// clients use); servers only bounce epochs that are stale, never 0.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  [[nodiscard]] bool is_active(std::size_t server) const noexcept {
+    return std::binary_search(active_.begin(), active_.end(), server);
+  }
+
+  /// Active server indices, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& active() const noexcept {
+    return active_;
+  }
+
+  /// Projects `server` onto the ring and bumps the epoch. The server must
+  /// be provisioned (< num_servers()) and not already active.
+  void add_server(std::size_t server);
+
+  /// Withdraws `server` from the ring and bumps the epoch. At least one
+  /// active server must remain; callers enforce the stronger invariant
+  /// that the codec's n never exceeds the active count.
+  void remove_server(std::size_t server);
 
   /// Index (into the server list) of the key's designated primary server.
   [[nodiscard]] std::size_t primary_index(std::string_view key) const;
 
   /// Server-list index holding slot `slot` of this key: the primary for
-  /// slot 0, then following servers in list order, wrapping.
+  /// slot 0, then following *active* servers in list order, wrapping.
+  /// With every provisioned server active this is the classic
+  /// (primary + slot) % num_servers rule.
   [[nodiscard]] std::size_t slot_index(std::string_view key,
                                        std::size_t slot) const {
-    return (primary_index(key) + slot) % num_servers_;
+    const std::size_t primary = primary_index(key);
+    const auto it =
+        std::lower_bound(active_.begin(), active_.end(), primary);
+    const auto pos = static_cast<std::size_t>(it - active_.begin());
+    return active_[(pos + slot) % active_.size()];
   }
 
   /// 64-bit key hash (exposed for tests and workload tooling).
   [[nodiscard]] static std::uint64_t hash_key(std::string_view key) noexcept;
 
+  /// One hash range whose primary owner differs between two rings. Ranges
+  /// are half-open arcs (begin, end] on the 2^64 circle; begin >= end
+  /// denotes the wrapping arc through 0.
+  struct MovedRange {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::size_t from = 0;  ///< primary owner under the old ring
+    std::size_t to = 0;    ///< primary owner under the new ring
+
+    [[nodiscard]] bool covers(std::uint64_t h) const noexcept {
+      if (begin < end) return h > begin && h <= end;
+      return h > begin || h <= end;  // wrapping arc (or the full circle)
+    }
+  };
+
+  /// Exact diff of primary ownership between two rings sharing a seed:
+  /// every returned range changed owner, and any key hashing outside all
+  /// ranges keeps its primary. The migration pass only touches keys whose
+  /// hash a range covers.
+  [[nodiscard]] static std::vector<MovedRange> moved_ranges(
+      const HashRing& before, const HashRing& after);
+
+  /// True when some range in `ranges` covers `h`.
+  [[nodiscard]] static bool any_covers(const std::vector<MovedRange>& ranges,
+                                       std::uint64_t h) noexcept {
+    for (const MovedRange& r : ranges) {
+      if (r.covers(h)) return true;
+    }
+    return false;
+  }
+
+  /// Fraction of the hash circle the ranges cover — the expected share of
+  /// keys whose primary moves (≈ 1/num_active for a single join).
+  [[nodiscard]] static double moved_fraction(
+      const std::vector<MovedRange>& ranges) noexcept;
+
  private:
+  void rebuild();
+  [[nodiscard]] std::size_t owner_of(std::uint64_t h) const;
+
   std::size_t num_servers_;
+  std::size_t vnodes_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_ = 1;
+  std::vector<std::size_t> active_;            // ascending server indices
   std::map<std::uint64_t, std::size_t> ring_;  // point -> server index
 };
 

@@ -30,6 +30,7 @@ enum class Verb : std::uint8_t {
   kGetDecode,      ///< server-side fragment aggregation + decode
   kScan,           ///< enumerate stored keys (repair discovery)
   kSetStripeIndex, ///< install packed-stripe locator entries (batched)
+  kPlacementEpoch, ///< control plane: install a new placement epoch
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Verb v) noexcept {
@@ -41,6 +42,7 @@ enum class Verb : std::uint8_t {
     case Verb::kGetDecode: return "GET_DECODE";
     case Verb::kScan: return "SCAN";
     case Verb::kSetStripeIndex: return "SET_STRIPE_INDEX";
+    case Verb::kPlacementEpoch: return "PLACEMENT_EPOCH";
   }
   return "?";
 }
@@ -93,7 +95,20 @@ struct Request {
   std::vector<StripeIndexEntry> stripe_index;
   /// kGet/kDelete: operate on the server's stripe locator directory for
   /// `key` instead of the value store (packed-path lookup / unlink).
+  /// kScan: enumerate the locator directory instead of stored keys.
   bool stripe_lookup = false;
+  /// kSet/kSetStripeIndex: only install when the key (or locator entry) is
+  /// absent, replying kOk either way. Migration copies use this so a
+  /// concurrent client write under the new epoch is never clobbered by the
+  /// older bytes still being moved.
+  bool if_absent = false;
+  /// Placement epoch the sender resolved owners under; 0 = placement-
+  /// unaware (legacy). Servers bounce *writes* with kWrongEpoch when this
+  /// is non-zero and older than their installed epoch. For
+  /// kPlacementEpoch, the epoch being installed. Metadata like `trace`: it
+  /// rides in framing the cost model already charges, so it adds no
+  /// simulated wire bytes.
+  std::uint64_t epoch = 0;
   std::uint64_t rpc_id = 0;
   NodeId reply_to = 0;
   /// Causal trace header: tags the fabric transfer and the server handler
@@ -118,6 +133,10 @@ struct Response {
   /// headers the cost model already charges, so it carries no simulated
   /// wire bytes (payload_bytes excludes it).
   std::uint32_t queue_depth = 0;
+  /// Responder's installed placement epoch, echoed on kWrongEpoch bounces
+  /// and kPlacementEpoch acks (0 otherwise). Header metadata, no wire
+  /// bytes — see `queue_depth`.
+  std::uint64_t epoch = 0;
 };
 
 using WireBody = std::variant<Request, Response>;

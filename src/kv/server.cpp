@@ -71,9 +71,43 @@ void Server::recover() {
   fabric().set_node_up(id(), true);
 }
 
+namespace {
+constexpr bool is_write_verb(Verb v) noexcept {
+  return v == Verb::kSet || v == Verb::kSetEncode || v == Verb::kDelete ||
+         v == Verb::kSetStripeIndex;
+}
+}  // namespace
+
 void Server::on_request(KvEnvelope env) {
   if (failed_) return;  // dead servers answer nothing
   const auto& req = std::get<Request>(env.body);
+  if (req.verb == Verb::kPlacementEpoch) {
+    // Control plane: install the new epoch (monotone — a late-arriving
+    // older install never rolls the server back). Cheap header-only work,
+    // answered inline without a worker slot.
+    placement_epoch_ = std::max(placement_epoch_, req.epoch);
+    Response resp;
+    resp.rpc_id = req.rpc_id;
+    resp.code = StatusCode::kOk;
+    resp.epoch = placement_epoch_;
+    reply(req.reply_to, std::move(resp));
+    return;
+  }
+  if (req.epoch != 0 && req.epoch < placement_epoch_ &&
+      is_write_verb(req.verb)) {
+    // Stale-epoch write: the sender resolved owners under a ring that was
+    // since replaced. Bounce before any stateful work — the retry under
+    // the new epoch re-places every fragment, so accepting nothing here is
+    // what keeps old-ring residue bounded. Reads are never bounced: during
+    // migration both placements may legitimately hold the data.
+    ++wrong_epoch_bounces_;
+    Response resp;
+    resp.rpc_id = req.rpc_id;
+    resp.code = StatusCode::kWrongEpoch;
+    resp.epoch = placement_epoch_;
+    reply(req.reply_to, std::move(resp));
+    return;
+  }
   switch (req.verb) {
     case Verb::kSet:
     case Verb::kGet:
@@ -90,6 +124,8 @@ void Server::on_request(KvEnvelope env) {
       assert(ec_ && "kGetDecode requires enable_ec()");
       sim().spawn(handle_get_decode(this, std::move(env)));
       break;
+    case Verb::kPlacementEpoch:
+      break;  // answered above
   }
 }
 
@@ -113,6 +149,12 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
   resp.trace = ht.ctx();
   switch (req.verb) {
     case Verb::kSet: {
+      if (req.if_absent && self->store_.get(req.key).ok()) {
+        // Migration copy racing a fresher write under the new epoch: the
+        // resident value wins, and the copy acks as a no-op.
+        resp.code = StatusCode::kOk;
+        break;
+      }
       const std::uint64_t demoted_before = self->store_.stats().demoted_bytes;
       resp.code = self->store_.set(req.key, req.value, req.chunk).code();
       const std::uint64_t demoted =
@@ -186,6 +228,18 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
       break;
     }
     case Verb::kScan: {
+      if (req.stripe_lookup) {
+        // Locator-directory walk: the keys whose packed-stripe locators
+        // this server hosts (migration discovery for the placement plane).
+        std::vector<Key> keys;
+        keys.reserve(self->stripe_dir_.size());
+        for (const auto& [key, loc] : self->stripe_dir_) keys.push_back(key);
+        co_await self->workers_.execute(
+            static_cast<SimDur>(200 * keys.size()));
+        resp.code = StatusCode::kOk;
+        resp.keys = std::move(keys);
+        break;
+      }
       // Distinct base keys of every fragment held here; repair discovery.
       std::vector<Key> bases;
       for (const Key& stored : self->store_.keys()) {
@@ -210,6 +264,9 @@ sim::Task<void> Server::handle_plain(Server* self, KvEnvelope env) {
       for (const auto& e : req.stripe_index) {
         auto it = self->stripe_dir_.find(e.key);
         if (it != self->stripe_dir_.end()) {
+          // Migration re-installs must not clobber a locator a concurrent
+          // overwrite already refreshed (see Request::if_absent).
+          if (req.if_absent) continue;
           self->stripe_dir_bytes_ -=
               it->first.size() + it->second.stripe.size() + 12;
         }

@@ -95,6 +95,16 @@ class Server final : public RpcNode {
     return static_cast<std::uint32_t>(workers_.queue_depth());
   }
 
+  /// Highest placement epoch installed via kPlacementEpoch (0 until the
+  /// placement plane first streams one).
+  [[nodiscard]] std::uint64_t placement_epoch() const noexcept {
+    return placement_epoch_;
+  }
+  /// Writes bounced with kWrongEpoch because they carried a stale epoch.
+  [[nodiscard]] std::uint64_t wrong_epoch_bounces() const noexcept {
+    return wrong_epoch_bounces_;
+  }
+
  protected:
   void on_request(KvEnvelope env) override;
 
@@ -184,6 +194,8 @@ class Server final : public RpcNode {
   bool failed_ = false;
   double slowdown_ = 1.0;
   std::uint64_t background_set_failures_ = 0;
+  std::uint64_t placement_epoch_ = 0;
+  std::uint64_t wrong_epoch_bounces_ = 0;
 };
 
 }  // namespace hpres::kv

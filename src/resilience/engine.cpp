@@ -26,8 +26,29 @@ sim::Task<Status> Engine::set_impl(kv::Key key, SharedBytes value,
     ctx_.flight->record(t0, client().id(), obs::FlightEventType::kOpStart, 0,
                         0, /*code=*/0);
   }
-  const Status status = co_await do_set(std::move(key), std::move(value),
-                                        &phases);
+  // Under a live placement plane, keep copies for the wrong-epoch retry
+  // loop (the copies are host-side only; simulated costs are unchanged).
+  kv::Key retry_key;
+  SharedBytes retry_value;
+  const bool placement_aware = ctx_.placement != nullptr;
+  if (placement_aware) {
+    retry_key = key;
+    retry_value = value;
+  }
+  Status status = co_await do_set(std::move(key), std::move(value), &phases);
+  if (placement_aware) {
+    // A kWrongEpoch bounce means some owner installed a newer epoch than
+    // this op was stamped with. The shared ring is already the new one
+    // (the authority swaps it before streaming installs), so re-running
+    // the scheme re-resolves owners and stamps the fresh epoch. Bounded:
+    // epochs only move forward and cutovers are rare per op lifetime.
+    for (int retry = 0;
+         status.code() == StatusCode::kWrongEpoch && retry < 3; ++retry) {
+      ++stats_.wrong_epoch_retries;
+      phases.degraded = true;
+      status = co_await do_set(retry_key, retry_value, &phases);
+    }
+  }
   const SimDur total = sim().now() - t0;
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases.trace_tid, "set", "engine", t0, total,
@@ -78,7 +99,25 @@ sim::Task<Result<Bytes>> Engine::get_impl(kv::Key key,
     ctx_.flight->record(t0, client().id(), obs::FlightEventType::kOpStart, 0,
                         0, /*code=*/1);
   }
+  kv::Key fallback_key;
+  const bool placement_aware = ctx_.placement != nullptr;
+  if (placement_aware) fallback_key = key;
   Result<Bytes> result = co_await do_get(std::move(key), &phases);
+  if (placement_aware && !result.ok() && ctx_.placement->in_transition &&
+      prev_engine_ != nullptr) {
+    // Mid-migration miss: the fragments may not have reached their new
+    // owners yet. Retry under the pre-cutover ring — data at old positions
+    // survives until the post-ack cleanup, so between the two placements
+    // every durably written value stays readable.
+    bool prev_degraded = false;
+    Result<Bytes> prev = co_await prev_engine_->get_nested(
+        fallback_key, phases.trace, &prev_degraded);
+    if (prev.ok()) {
+      ++stats_.placement_fallback_gets;
+      phases.degraded = true;
+      result = std::move(prev);
+    }
+  }
   const SimDur total = sim().now() - t0;
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases.trace_tid, "get", "engine", t0, total,
@@ -138,6 +177,16 @@ sim::Task<std::vector<Result<Bytes>>> Engine::mget(
 
 sim::Task<Status> Engine::del(kv::Key key) {
   ++stats_.dels;
+  if (ctx_.placement != nullptr && ctx_.placement->in_transition &&
+      prev_engine_ != nullptr) {
+    // Mid-migration delete: fragments may sit at old positions, new ones,
+    // or both, so unlink under both rings. OK if either placement held it.
+    kv::Key prev_key = key;
+    const Status cur = co_await do_del(std::move(key));
+    const Status prev = co_await prev_engine_->do_del(std::move(prev_key));
+    if (cur.ok() || prev.ok()) co_return Status::Ok();
+    co_return cur;
+  }
   co_return co_await do_del(std::move(key));
 }
 

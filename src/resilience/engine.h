@@ -13,6 +13,7 @@
 #include "obs/flight_recorder.h"
 #include "kv/hash_ring.h"
 #include "kv/membership.h"
+#include "kv/placement.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -108,6 +109,11 @@ struct EngineStats {
   std::uint64_t packed_get_hits = 0;    ///< gets resolved via stripe locator
   std::uint64_t packed_degraded_gets = 0;  ///< packed gets that decoded
   std::uint64_t staged_reads = 0;       ///< gets served from the staging map
+  // Elastic placement (zero with no placement plane attached).
+  std::uint64_t wrong_epoch_retries = 0;  ///< sets re-run after a kWrongEpoch
+                                          ///< bounce re-resolved the owners
+  std::uint64_t placement_fallback_gets = 0;  ///< mid-migration misses served
+                                              ///< via the pre-cutover ring
 
   /// Registers every field into `reg` under component "engine".
   void register_with(obs::MetricsRegistry& reg, std::string node,
@@ -139,6 +145,10 @@ struct EngineStats {
     reg.bind_counter("engine.packed_degraded_gets", labels,
                      &packed_degraded_gets);
     reg.bind_counter("engine.staged_reads", labels, &staged_reads);
+    reg.bind_counter("engine.wrong_epoch_retries", labels,
+                     &wrong_epoch_retries);
+    reg.bind_counter("engine.placement_fallback_gets", labels,
+                     &placement_fallback_gets);
     reg.bind_counter("engine.set_phase.request_ns", labels,
                      &set_phases.request_ns);
     reg.bind_counter("engine.set_phase.compute_ns", labels,
@@ -176,6 +186,11 @@ struct EngineContext {
   /// ring; failure-handling events (failover, fallback, hedge) land in the
   /// ring of the server they implicate. Purely observational.
   obs::FlightRecorder* flight = nullptr;
+  /// Optional versioned placement view (cluster::PlacementManager). When
+  /// set, stale-epoch Set bounces retry under the refreshed ring and
+  /// mid-migration Get misses fall back to the pre-cutover placement.
+  /// Null = classic fixed-membership behavior, byte-identical.
+  const kv::PlacementView* placement = nullptr;
 };
 
 class Engine {
@@ -252,6 +267,19 @@ class Engine {
   [[nodiscard]] virtual const NodeLoadTracker* load_tracker() const noexcept {
     return nullptr;
   }
+
+  /// Attaches the cluster's versioned placement view (see
+  /// EngineContext::placement). The view must outlive the engine.
+  void attach_placement(const kv::PlacementView* view) noexcept {
+    ctx_.placement = view;
+  }
+
+  /// Attaches a second engine of the same scheme resolved against the
+  /// *pre-cutover* ring. While the placement view reports a transition in
+  /// flight, Get misses retry through it and Deletes dual-issue — the data
+  /// at old positions stays readable until the post-ack cleanup removes
+  /// it. The prev engine must outlive this one.
+  void set_prev_engine(Engine* prev) noexcept { prev_engine_ = prev; }
 
  protected:
   /// Phase accounting filled by implementations during one operation.
@@ -344,6 +372,7 @@ class Engine {
   EngineStats stats_;
   obs::LanePool lanes_;
   obs::LanePool* lane_pool_ = &lanes_;
+  Engine* prev_engine_ = nullptr;  ///< pre-cutover fallback (see above)
 };
 
 }  // namespace hpres::resilience

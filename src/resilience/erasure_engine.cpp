@@ -182,6 +182,7 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
 
   StatusCode worst = StatusCode::kOk;
   std::size_t stored = 0;
+  bool bounced = false;
   const SimTime fanout_t0 = sim().now();
   for (std::size_t i = 0; i < pending.size(); ++i) {
     const kv::Response resp = co_await pending[i].wait();
@@ -193,11 +194,18 @@ sim::Task<Status> ErasureEngine::set_client_encode(kv::Key key,
                         resp.queue_depth);
     } else {
       worst = resp.code;
+      if (resp.code == StatusCode::kWrongEpoch) bounced = true;
     }
   }
   if (tr != nullptr) {
     tr->complete(trace_pid(), phases->trace_tid, "set/fanout", "engine",
                  fanout_t0, sim().now() - fanout_t0, phases->trace.trace_id);
+  }
+  // A stale-epoch bounce outranks the durability verdict: the whole op
+  // re-runs under the refreshed ring (Engine::set_impl), re-placing every
+  // fragment, so partial old-ring placements never count as stored.
+  if (bounced) {
+    co_return Status{StatusCode::kWrongEpoch, "stale placement epoch"};
   }
   // Durability requires at least k fragments (any k reconstruct the value).
   if (stored < k) {
@@ -1048,6 +1056,7 @@ sim::Task<void> ErasureEngine::commit_stripe(ErasureEngine* self,
   }
 
   std::size_t frag_ok = 0;
+  bool bounced = false;
   const SimTime fanout_t0 = self->sim().now();
   for (std::size_t i = 0; i < frag_pending.size(); ++i) {
     const kv::Response resp = co_await frag_pending[i].wait();
@@ -1055,12 +1064,15 @@ sim::Task<void> ErasureEngine::commit_stripe(ErasureEngine* self,
       ++frag_ok;
       self->load_.observe_rtt(frag_owners[i], self->sim().now() - fanout_t0,
                               resp.queue_depth);
+    } else if (resp.code == StatusCode::kWrongEpoch) {
+      bounced = true;
     }
   }
   std::size_t dir_ok = 0;
   for (auto& f : dir_pending) {
     const kv::Response resp = co_await f.wait();
     if (resp.code == StatusCode::kOk) ++dir_ok;
+    if (resp.code == StatusCode::kWrongEpoch) bounced = true;
   }
   if (obs::Tracer* const tr = self->tracer(); tr != nullptr) {
     tr->async_span(self->trace_pid(),
@@ -1070,12 +1082,16 @@ sim::Task<void> ErasureEngine::commit_stripe(ErasureEngine* self,
 
   // Durability: any k fragments reconstruct the stripe, and at least one
   // directory owner can name it (the directory itself is recoverable from
-  // stripe contents — records embed their keys).
+  // stripe contents — records embed their keys). A stale-epoch bounce
+  // outranks both: every waiter's set retries whole (Engine::set_impl),
+  // re-staging its record under the refreshed ring.
   const bool durable =
       frag_ok >= k && (live.empty() || dir_ok >= 1);
-  st->result = durable ? Status::Ok()
-                       : Status{StatusCode::kUnavailable,
-                                "stripe commit not durable"};
+  st->result = bounced ? Status{StatusCode::kWrongEpoch,
+                                "stale placement epoch"}
+               : durable ? Status::Ok()
+                         : Status{StatusCode::kUnavailable,
+                                  "stripe commit not durable"};
 
   // Staged copies served read-your-writes until now; drop the ones this
   // stripe owns (pointer match — overwrites keep their newer entry).

@@ -101,6 +101,7 @@ sim::Task<Status> SyncReplicationEngine::do_set(kv::Key key,
   // the F * (L + D/B) cost of Equation 2.
   StatusCode worst = StatusCode::kOk;
   std::size_t stored = 0;
+  bool bounced = false;
   obs::Tracer* const tr = tracer();
   for (std::size_t slot = 0; slot < factor_; ++slot) {
     const std::size_t owner = ring().slot_index(key, slot);
@@ -124,7 +125,13 @@ sim::Task<Status> SyncReplicationEngine::do_set(kv::Key key,
       ++stored;
     } else {
       worst = resp.code;
+      if (resp.code == StatusCode::kWrongEpoch) bounced = true;
     }
+  }
+  // A stale-epoch bounce must surface even when other replicas stored (or
+  // none did): the whole op re-runs under the refreshed ring.
+  if (bounced) {
+    co_return Status{StatusCode::kWrongEpoch, "stale placement epoch"};
   }
   if (stored == 0) co_return Status{StatusCode::kUnavailable, "no replica stored"};
   co_return Status{worst};
@@ -153,12 +160,14 @@ sim::Task<Status> AsyncReplicationEngine::do_set(kv::Key key,
   }
   StatusCode worst = StatusCode::kOk;
   std::size_t stored = 0;
+  bool bounced = false;
   for (const auto& f : pending) {
     const kv::Response resp = co_await f.wait();
     if (resp.code == StatusCode::kOk) {
       ++stored;
     } else {
       worst = resp.code;
+      if (resp.code == StatusCode::kWrongEpoch) bounced = true;
     }
   }
   if (obs::Tracer* const tr = tracer(); tr != nullptr) {
@@ -170,6 +179,9 @@ sim::Task<Status> AsyncReplicationEngine::do_set(kv::Key key,
                  t0 + request_ns,
                  std::max<SimDur>(0, sim().now() - t0 - request_ns),
                  phases->trace.trace_id);
+  }
+  if (bounced) {
+    co_return Status{StatusCode::kWrongEpoch, "stale placement epoch"};
   }
   if (stored == 0) co_return Status{StatusCode::kUnavailable, "no replica stored"};
   co_return Status{worst};

@@ -1,0 +1,241 @@
+// Elastic resharding end-to-end: a join and a graceful leave through the
+// versioned placement plane must migrate every fragment and packed-stripe
+// locator to the new owners, keep every preloaded value byte-exact, and
+// absorb writes issued while the migration is in flight. Also covers the
+// sharded runtime (cutover via quiesce hook) and same-seed determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fault_schedule.h"
+#include "cluster/placement.h"
+#include "ec/rs_vandermonde.h"
+#include "resilience/factory.h"
+#include "workload/ycsb.h"
+
+namespace hpres {
+namespace {
+
+constexpr std::size_t kProvisioned = 6;
+constexpr std::size_t kInitialActive = 4;
+constexpr std::size_t kClients = 3;  // last client is the coordinator
+constexpr std::size_t kKeys = 60;
+constexpr std::size_t kValueSize = 600;  // > k fragments, odd remainder
+
+std::string key_of(std::size_t i) { return "user" + std::to_string(i); }
+
+Bytes value_of(std::size_t i) {
+  return make_pattern(kValueSize, 0xBEEF + i);
+}
+
+struct Harness {
+  explicit Harness(std::size_t shards = 1)
+      : codec(2, 2),
+        cost(ec::CostModel::defaults(ec::Scheme::kRsVandermonde, 2, 2)),
+        cl(cluster::ClusterConfig{.num_servers = kProvisioned,
+                                  .num_clients = kClients,
+                                  .initial_active_servers = kInitialActive,
+                                  .shards = shards}) {
+    cl.enable_server_ec(codec, cost, /*materialize=*/true);
+    manager = std::make_unique<cluster::PlacementManager>(
+        cl, codec, cost, context(kClients - 1, &cl.ring()),
+        cluster::PlacementParams{.migrate_batch = 16,
+                                 .batch_pause_ns = 5'000});
+    cl.set_placement_view(manager->view());
+    for (std::size_t c = 0; c + 1 < kClients; ++c) {
+      engines.push_back(resilience::make_engine(
+          resilience::Design::kEraCeCd, context(c, &cl.ring()), 3, &codec,
+          cost));
+      // prev engines resolve against the pre-cutover snapshot: while a
+      // transition is in flight, Get misses retry through them.
+      prev_engines.push_back(resilience::make_engine(
+          resilience::Design::kEraCeCd, context(c, &manager->prev_ring()),
+          3, &codec, cost));
+      engines[c]->attach_placement(manager->view());
+      engines[c]->set_prev_engine(prev_engines[c].get());
+    }
+    cl.start();
+  }
+
+  resilience::EngineContext context(std::size_t client,
+                                    const kv::HashRing* ring) {
+    resilience::EngineContext ctx;
+    ctx.sim = &cl.sim_for_client(client);
+    ctx.client = &cl.client(client);
+    ctx.ring = ring;
+    ctx.membership = &cl.membership();
+    ctx.server_nodes = &cl.server_nodes();
+    ctx.materialize = true;
+    return ctx;
+  }
+
+  ec::RsVandermondeCodec codec;
+  ec::CostModel cost;
+  cluster::Cluster cl;
+  std::vector<std::unique_ptr<resilience::Engine>> engines;
+  std::vector<std::unique_ptr<resilience::Engine>> prev_engines;
+  std::unique_ptr<cluster::PlacementManager> manager;
+};
+
+sim::Task<void> load_range(resilience::Engine* engine, std::size_t first,
+                           std::size_t last, std::size_t* failures) {
+  for (std::size_t i = first; i < last; ++i) {
+    const Status s = co_await engine->set(
+        key_of(i), make_shared_bytes(value_of(i)));
+    if (!s.ok()) ++*failures;
+  }
+}
+
+sim::Task<void> verify_range(resilience::Engine* engine, std::size_t first,
+                             std::size_t last, std::size_t* mismatches) {
+  for (std::size_t i = first; i < last; ++i) {
+    Result<Bytes> got = co_await engine->get(key_of(i));
+    if (!got.ok() || *got != value_of(i)) ++*mismatches;
+  }
+}
+
+sim::Task<void> run_join(cluster::PlacementManager* manager,
+                         std::size_t server) {
+  co_await manager->join(server);
+}
+
+sim::Task<void> run_leave(cluster::PlacementManager* manager,
+                          std::size_t server) {
+  co_await manager->leave(server);
+}
+
+TEST(Placement, JoinThenLeaveKeepsEveryValueByteExact) {
+  Harness h;
+  std::size_t load_failures = 0;
+  h.cl.sim().spawn(
+      load_range(h.engines[0].get(), 0, kKeys, &load_failures));
+  h.cl.run();
+  ASSERT_EQ(load_failures, 0u);
+  ASSERT_EQ(h.cl.ring().epoch(), 1u);
+
+  // Scale out: server 4 joins the 4-server ring.
+  h.manager->coordinator_sim().spawn(run_join(h.manager.get(), 4));
+  h.cl.run();
+  EXPECT_EQ(h.cl.ring().epoch(), 2u);
+  EXPECT_EQ(h.cl.ring().num_active(), kInitialActive + 1);
+  EXPECT_FALSE(h.manager->in_transition());
+  const cluster::PlacementStats& after_join = h.manager->stats();
+  EXPECT_EQ(after_join.changes, 1u);
+  EXPECT_EQ(after_join.epoch_acks, kProvisioned);  // all six are up
+  EXPECT_GT(after_join.fragments_moved, 0u);
+  EXPECT_GT(after_join.moved_bytes, 0u);
+  EXPECT_GT(after_join.cleanup_deletes, 0u);
+
+  std::size_t mismatches = 0;
+  h.cl.sim().spawn(
+      verify_range(h.engines[0].get(), 0, kKeys, &mismatches));
+  h.cl.run();
+  EXPECT_EQ(mismatches, 0u);
+
+  // The joiner actually owns data now: some fragments live on server 4.
+  EXPECT_GT(h.cl.server(4).store().keys().size(), 0u);
+
+  // Scale in: server 1 gracefully leaves (it stays up through migration).
+  h.manager->coordinator_sim().spawn(run_leave(h.manager.get(), 1));
+  h.cl.run();
+  EXPECT_EQ(h.cl.ring().epoch(), 3u);
+  EXPECT_EQ(h.cl.ring().num_active(), kInitialActive);
+  EXPECT_FALSE(h.cl.ring().is_active(1));
+
+  mismatches = 0;
+  h.cl.sim().spawn(
+      verify_range(h.engines[0].get(), 0, kKeys, &mismatches));
+  h.cl.run();
+  EXPECT_EQ(mismatches, 0u);
+  // Cleanup drained the leaver: nothing under the final placement maps to
+  // it, and its stale copies were deleted after the epoch acks.
+  EXPECT_EQ(h.cl.server(1).store().keys().size(), 0u);
+}
+
+TEST(Placement, WritesDuringMigrationAllSurvive) {
+  Harness h;
+  std::size_t load_failures = 0;
+  h.cl.sim().spawn(
+      load_range(h.engines[0].get(), 0, kKeys, &load_failures));
+  h.cl.run();
+  ASSERT_EQ(load_failures, 0u);
+
+  // Join and a concurrent write stream race: the writes start at the same
+  // instant the cutover/migration protocol does.
+  std::size_t write_failures = 0;
+  h.manager->coordinator_sim().spawn(run_join(h.manager.get(), 4));
+  h.cl.sim().spawn(load_range(h.engines[1].get(), kKeys, 2 * kKeys,
+                              &write_failures));
+  h.cl.run();
+  EXPECT_EQ(write_failures, 0u);
+  EXPECT_EQ(h.cl.ring().epoch(), 2u);
+
+  std::size_t mismatches = 0;
+  h.cl.sim().spawn(
+      verify_range(h.engines[0].get(), 0, 2 * kKeys, &mismatches));
+  h.cl.run();
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(Placement, FaultScheduleDrivesJoinAndLeaveDeterministically) {
+  auto run_once = [] {
+    Harness h;
+    std::size_t load_failures = 0;
+    h.cl.sim().spawn(
+        load_range(h.engines[0].get(), 0, kKeys, &load_failures));
+    h.cl.run();
+    EXPECT_EQ(load_failures, 0u);
+
+    cluster::FaultSchedule schedule(h.cl);
+    schedule.set_placement_manager(h.manager.get());
+    schedule.add_join(200 * units::kMicrosecond, 4);
+    schedule.add_leave(2 * units::kMillisecond, 0);
+    schedule.arm();
+    std::size_t write_failures = 0;
+    h.cl.sim().spawn(load_range(h.engines[1].get(), kKeys, 2 * kKeys,
+                                &write_failures));
+    const SimTime makespan = h.cl.run();
+    EXPECT_EQ(write_failures, 0u);
+    EXPECT_EQ(h.cl.ring().epoch(), 3u);
+    EXPECT_EQ(h.manager->stats().changes, 2u);
+
+    std::size_t mismatches = 0;
+    h.cl.sim().spawn(
+        verify_range(h.engines[0].get(), 0, 2 * kKeys, &mismatches));
+    h.cl.run();
+    EXPECT_EQ(mismatches, 0u);
+    return std::pair<SimTime, std::uint64_t>{
+        makespan, h.cl.runtime().events_executed()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  // Oracle mode: the whole elastic run replays byte-identically.
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Placement, ShardedRuntimeMigratesThroughQuiesceHook) {
+  Harness h(/*shards=*/3);
+  std::size_t load_failures = 0;
+  h.cl.sim_for_client(0).spawn(
+      load_range(h.engines[0].get(), 0, kKeys, &load_failures));
+  h.cl.run();
+  ASSERT_EQ(load_failures, 0u);
+
+  h.manager->coordinator_sim().spawn(run_join(h.manager.get(), 4));
+  h.cl.run();
+  EXPECT_EQ(h.cl.ring().epoch(), 2u);
+  EXPECT_FALSE(h.manager->in_transition());
+  EXPECT_GT(h.manager->stats().fragments_moved, 0u);
+
+  std::size_t mismatches = 0;
+  h.cl.sim_for_client(0).spawn(
+      verify_range(h.engines[0].get(), 0, kKeys, &mismatches));
+  h.cl.run();
+  EXPECT_EQ(mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace hpres

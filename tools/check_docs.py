@@ -4,12 +4,16 @@
 Two checks over the user-facing markdown:
 
 1. Every relative link target in README.md / DESIGN.md / EXPERIMENTS.md /
-   docs/TUNING.md / ROADMAP.md resolves to a file or directory in the
-   repo (external http(s)/mailto links and pure #anchors are skipped).
+   ROADMAP.md / docs/*.md resolves to a file or directory in the repo
+   (external http(s)/mailto links and pure #anchors are skipped).
 2. Every ``--flag`` mentioned in docs/TUNING.md is actually parsed
    somewhere under bench/, tools/ or src/ — a renamed or removed flag
    must take its documentation with it. Environment knobs (HPRES_*)
    are held to the same rule.
+3. No orphan docs: every markdown file under docs/ must be reachable —
+   linked from README.md or DESIGN.md (directly or via another doc
+   under docs/) — and listed in DOCS above so its own links are
+   checked. A doc nobody links is a doc nobody reads.
 
 Exit code 0 = clean; 1 = problems (each printed one per line).
 """
@@ -24,6 +28,8 @@ DOCS = [
     "DESIGN.md",
     "EXPERIMENTS.md",
     "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OPERATIONS.md",
     "docs/TUNING.md",
 ]
 SOURCE_DIRS = ["bench", "tools", "src", "tests", "examples"]
@@ -76,10 +82,55 @@ def check_flags(errors: list) -> None:
             errors.append(f"docs/TUNING.md: env var {env} not found in sources")
 
 
+def check_orphans(errors: list) -> None:
+    """Every docs/*.md must be linked (transitively from README/DESIGN
+    through other docs/ files) and listed in DOCS."""
+    docs_dir = REPO / "docs"
+    if not docs_dir.is_dir():
+        return
+    # Link targets of a doc, resolved repo-relative.
+    def targets_of(doc: Path):
+        out = set()
+        for target in LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (doc.parent / rel).resolve()
+            try:
+                out.add(resolved.relative_to(REPO).as_posix())
+            except ValueError:
+                pass
+        return out
+
+    reachable = set()
+    frontier = ["README.md", "DESIGN.md"]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        path = REPO / name
+        if path.is_file():
+            frontier.extend(t for t in targets_of(path)
+                            if t.startswith("docs/") and t.endswith(".md"))
+    for doc in sorted(docs_dir.glob("*.md")):
+        rel = doc.relative_to(REPO).as_posix()
+        if rel not in reachable:
+            errors.append(
+                f"{rel}: orphan doc — not linked from README.md/DESIGN.md"
+                " (directly or via another docs/ file)")
+        if rel not in DOCS:
+            errors.append(f"{rel}: not listed in check_docs.py DOCS —"
+                          " its own links go unchecked")
+
+
 def main() -> int:
     errors = []
     check_links(errors)
     check_flags(errors)
+    check_orphans(errors)
     for e in errors:
         print(e)
     print(f"check_docs: {len(DOCS)} files checked, {len(errors)} problem(s)")
